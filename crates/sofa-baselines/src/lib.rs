@@ -1,0 +1,26 @@
+//! Exact-search baselines (paper §V "Competitors").
+//!
+//! The paper compares SOFA against three exact competitors, all
+//! implemented here from scratch:
+//!
+//! * [`UcrScan`] — **UCR Suite-P**: a parallel version of the UCR-suite
+//!   optimized serial scan. Each thread owns a contiguous segment of the
+//!   in-memory series array and scans it independently with SIMD
+//!   early-abandoning Euclidean distance; threads synchronize only at the
+//!   end to merge their local results.
+//! * [`FlatL2`] — a CPU **FAISS `IndexFlatL2`** analogue: exact brute
+//!   force with cache-blocked distance evaluation via the
+//!   `|x-y|^2 = |x|^2 - 2 x.y + |y|^2` decomposition, parallelized over
+//!   *query mini-batches* (FAISS cannot parallelize inside one query, so
+//!   the paper batches queries to the core count — our API does the same).
+//!
+//! Both operate on z-normalized copies of the data, like the index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flat;
+pub mod scan;
+
+pub use flat::FlatL2;
+pub use scan::UcrScan;

@@ -1,0 +1,190 @@
+//! UCR Suite-P: parallel partitioned scan with SIMD early abandoning.
+//!
+//! The paper's description (§V "Competitors"): "each thread is allocated a
+//! segment of the in-memory DS array, allowing all threads to concurrently
+//! and independently process their assigned segments. The real distance
+//! calculations are performed using SIMD, and synchronization occurs only
+//! at the end to compile the final result." That is precisely this module:
+//! per-thread [`sofa_index::KnnSet`]s merged after the scan, with each
+//! thread early-abandoning against its own running bound.
+
+use sofa_index::{KnnSet, Neighbor};
+use sofa_simd::{euclidean_sq_early_abandon, znormalize};
+
+/// A parallel scan "index" (no structure, just the normalized data).
+pub struct UcrScan {
+    data: Vec<f32>,
+    series_len: usize,
+    threads: usize,
+}
+
+impl UcrScan {
+    /// Copies and z-normalizes `raw_data` (row-major series of length
+    /// `series_len`).
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty or not a whole number of series.
+    #[must_use]
+    pub fn new(raw_data: &[f32], series_len: usize, threads: usize) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        assert!(!raw_data.is_empty(), "dataset must be non-empty");
+        assert_eq!(raw_data.len() % series_len, 0, "buffer must hold whole series");
+        let mut data = raw_data.to_vec();
+        for row in data.chunks_mut(series_len) {
+            znormalize(row);
+        }
+        UcrScan { data, series_len, threads: threads.max(1) }
+    }
+
+    /// Number of series.
+    #[must_use]
+    pub fn n_series(&self) -> usize {
+        self.data.len() / self.series_len
+    }
+
+    /// Exact 1-NN.
+    ///
+    /// # Panics
+    /// Panics on query length mismatch.
+    #[must_use]
+    pub fn nn(&self, query: &[f32]) -> Neighbor {
+        self.knn(query, 1)[0]
+    }
+
+    /// Exact k-NN, best first (`min(k, n_series)` results).
+    ///
+    /// # Panics
+    /// Panics on query length mismatch or `k == 0`.
+    #[must_use]
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.series_len, "query length mismatch");
+        assert!(k >= 1, "k must be at least 1");
+        let mut q = query.to_vec();
+        znormalize(&mut q);
+
+        let n = self.series_len;
+        let n_series = self.n_series();
+        let rows_per_chunk = n_series.div_ceil(self.threads);
+        let merged = KnnSet::new(k);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (chunk_idx, chunk) in self.data.chunks(rows_per_chunk * n).enumerate() {
+                let q = &q[..];
+                handles.push(scope.spawn(move |_| {
+                    // Thread-local best set: independent segments, merge at
+                    // the end (the paper's synchronization model).
+                    let local = KnnSet::new(k);
+                    let base = (chunk_idx * rows_per_chunk) as u32;
+                    for (i, series) in chunk.chunks(n).enumerate() {
+                        let bound = local.bound();
+                        let d = euclidean_sq_early_abandon(q, series, bound);
+                        if d < bound {
+                            local.offer(Neighbor { row: base + i as u32, dist_sq: d });
+                        }
+                    }
+                    local.into_sorted()
+                }));
+            }
+            for h in handles {
+                for nb in h.join().expect("scan worker panicked") {
+                    merged.offer(nb);
+                }
+            }
+        })
+        .expect("scan scope failed");
+        merged.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(count: usize, n: usize, seed: usize) -> Vec<f32> {
+        let mut data = Vec::with_capacity(count * n);
+        for r in 0..count {
+            for t in 0..n {
+                let x = t as f32;
+                let r = (r + seed) as f32;
+                data.push((x * 0.23 + r).sin() + 0.4 * (x * 1.7 - r * 0.5).cos());
+            }
+        }
+        data
+    }
+
+    fn brute(data: &[f32], n: usize, q: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut qz = q.to_vec();
+        znormalize(&mut qz);
+        let mut all: Vec<Neighbor> = data
+            .chunks(n)
+            .enumerate()
+            .map(|(row, s)| {
+                let mut sz = s.to_vec();
+                znormalize(&mut sz);
+                Neighbor { row: row as u32, dist_sq: sofa_simd::euclidean_sq(&qz, &sz) }
+            })
+            .collect();
+        all.sort_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq).then(a.row.cmp(&b.row)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let n = 64;
+        let data = dataset(300, n, 0);
+        let scan = UcrScan::new(&data, n, 3);
+        let queries = dataset(5, n, 888);
+        for q in queries.chunks(n) {
+            for k in [1usize, 5] {
+                let got = scan.knn(q, k);
+                let want = brute(&data, n, q, k);
+                for (g, w) in got.iter().zip(want.iter()) {
+                    assert!((g.dist_sq - w.dist_sq).abs() < 1e-3 * w.dist_sq.max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_across_thread_counts() {
+        let n = 96;
+        let data = dataset(200, n, 3);
+        let q = dataset(1, n, 555);
+        let d1 = UcrScan::new(&data, n, 1).nn(&q).dist_sq;
+        let d4 = UcrScan::new(&data, n, 4).nn(&q).dist_sq;
+        assert!((d1 - d4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn finds_itself() {
+        let n = 64;
+        let data = dataset(100, n, 0);
+        let scan = UcrScan::new(&data, n, 2);
+        let nn = scan.nn(&data[5 * n..6 * n]);
+        assert_eq!(nn.row, 5);
+        assert!(nn.dist_sq < 1e-4);
+    }
+
+    #[test]
+    fn knn_sorted_unique() {
+        let n = 64;
+        let data = dataset(150, n, 9);
+        let scan = UcrScan::new(&data, n, 2);
+        let q = dataset(1, n, 321);
+        let got = scan.knn(&q, 10);
+        assert_eq!(got.len(), 10);
+        for w in got.windows(2) {
+            assert!(w[0].dist_sq <= w[1].dist_sq);
+            assert_ne!(w[0].row, w[1].row);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "query length mismatch")]
+    fn rejects_bad_query() {
+        let data = dataset(10, 32, 0);
+        let scan = UcrScan::new(&data, 32, 1);
+        let _ = scan.nn(&[0.0; 31]);
+    }
+}

@@ -1,0 +1,52 @@
+//! End-to-end query benchmarks: exact 1-NN through SOFA, MESSI, the UCR
+//! scan and the flat index on one high-frequency and one low-frequency
+//! dataset profile — the Criterion companion to Table II.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sofa::baselines::{FlatL2, UcrScan};
+use sofa::data::registry;
+use sofa::{MessiIndex, SofaIndex};
+
+fn bench_profile(c: &mut Criterion, name: &str) {
+    let spec = registry().into_iter().find(|s| s.name == name).expect("registry");
+    let dataset = spec.generate(8_000, 5);
+    let n = dataset.series_len();
+    let threads = 2;
+
+    let sofa = SofaIndex::builder()
+        .threads(threads)
+        .leaf_capacity(500)
+        .sample_ratio(0.05)
+        .build_sofa(dataset.data(), n)
+        .expect("sofa build");
+    let messi = MessiIndex::builder()
+        .threads(threads)
+        .leaf_capacity(500)
+        .build_messi(dataset.data(), n)
+        .expect("messi build");
+    let scan = UcrScan::new(dataset.data(), n, threads);
+    let flat = FlatL2::new(dataset.data(), n, threads);
+
+    let q = dataset.query(0);
+    let mut group = c.benchmark_group(format!("query_1nn_{name}_8000"));
+    group.bench_function("sofa", |b| b.iter(|| sofa.nn(black_box(q)).expect("query")));
+    group.bench_function("messi", |b| b.iter(|| messi.nn(black_box(q)).expect("query")));
+    group.bench_function("ucr_scan", |b| b.iter(|| scan.nn(black_box(q))));
+    group.bench_function("flat_l2", |b| b.iter(|| flat.nn(black_box(q))));
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    // High-frequency profile: SOFA's best case (paper Figure 12 top).
+    bench_profile(c, "LenDB");
+    // Low-frequency profile: parity case (paper Figure 12 bottom).
+    bench_profile(c, "Deep1b");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_queries
+}
+criterion_main!(benches);

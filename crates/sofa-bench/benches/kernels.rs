@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the hot kernels (the §IV-H SIMD ablation):
+//! scalar vs 8-lane Euclidean distance, early abandoning, and the
+//! scalar-vs-SIMD SFA mindist.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use sofa_simd::{euclidean_sq, euclidean_sq_early_abandon, euclidean_sq_scalar};
+use sofa_summaries::{mindist_scalar, mindist_simd, QueryContext, Sfa, SfaConfig, Summarization};
+
+fn series(n: usize, seed: usize) -> Vec<f32> {
+    let mut s: Vec<f32> = (0..n)
+        .map(|t| ((t + seed) as f32 * 0.37).sin() + 0.4 * ((t * seed % 97) as f32 * 0.11).cos())
+        .collect();
+    sofa_simd::znormalize(&mut s);
+    s
+}
+
+fn bench_euclidean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("euclidean_256");
+    let a = series(256, 1);
+    let b = series(256, 2);
+    group.bench_function("scalar", |bench| {
+        bench.iter(|| euclidean_sq_scalar(black_box(&a), black_box(&b)));
+    });
+    group.bench_function("simd", |bench| {
+        bench.iter(|| euclidean_sq(black_box(&a), black_box(&b)));
+    });
+    // Early abandoning with a tight bound: most of the series is skipped.
+    let full = euclidean_sq(&a, &b);
+    group.bench_function("simd_early_abandon_tight_bsf", |bench| {
+        bench.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 0.01));
+    });
+    group.bench_function("simd_early_abandon_loose_bsf", |bench| {
+        bench.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 10.0));
+    });
+    group.finish();
+}
+
+fn bench_mindist(c: &mut Criterion) {
+    let n = 256;
+    let count = 2000;
+    let mut data = Vec::with_capacity(count * n);
+    for r in 0..count {
+        data.extend_from_slice(&series(n, r + 3));
+    }
+    let sfa = Sfa::learn(
+        &data,
+        n,
+        &SfaConfig { word_len: 16, alphabet: 256, sample_ratio: 0.25, ..Default::default() },
+    );
+    let mut tr = sfa.transformer();
+    let words: Vec<Vec<u8>> = data.chunks(n).map(|s| tr.word(s, 16)).collect();
+    let query = series(n, 999);
+    let ctx = QueryContext::new(&sfa, &query);
+    // A representative BSF: the 5th percentile of scalar mindists.
+    let mut dists: Vec<f32> = words.iter().map(|w| mindist_scalar(&ctx, w)).collect();
+    dists.sort_by(f32::total_cmp);
+    let bsf = dists[dists.len() / 20];
+
+    let mut group = c.benchmark_group("sfa_mindist_2000_words");
+    group.bench_function("scalar", |bench| {
+        bench.iter_batched(
+            || (),
+            |()| {
+                let mut acc = 0.0f32;
+                for w in &words {
+                    acc += mindist_scalar(black_box(&ctx), black_box(w));
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("simd_no_abandon", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f32;
+            for w in &words {
+                acc += mindist_simd(black_box(&ctx), black_box(w), f32::INFINITY);
+            }
+            acc
+        });
+    });
+    group.bench_function("simd_early_abandon", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f32;
+            for w in &words {
+                acc += mindist_simd(black_box(&ctx), black_box(w), black_box(bsf));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_euclidean, bench_mindist
+}
+criterion_main!(benches);

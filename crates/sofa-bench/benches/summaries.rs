@@ -1,0 +1,88 @@
+//! Transform-throughput benchmarks: SAX (PAA + fixed bins, O(n)) vs SFA
+//! (DFT + learned bins, O(n log n)) — the cost asymmetry behind Figure 7's
+//! higher SOFA transform bar — plus MCB learning itself (Algorithm 1).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use sofa_summaries::{ISax, SaxConfig, Sfa, SfaConfig, Summarization};
+
+fn dataset(count: usize, n: usize) -> Vec<f32> {
+    let mut data = Vec::with_capacity(count * n);
+    for r in 0..count {
+        for t in 0..n {
+            data.push(
+                (t as f32 * 0.23 + r as f32).sin()
+                    + 0.5 * (t as f32 * 1.9 - r as f32 * 0.7).cos(),
+            );
+        }
+    }
+    for row in data.chunks_mut(n) {
+        sofa_simd::znormalize(row);
+    }
+    data
+}
+
+fn bench_transform(c: &mut Criterion) {
+    for &n in &[96usize, 256] {
+        let rows = 1000;
+        let data = dataset(rows, n);
+        let sax = ISax::new(n, &SaxConfig { word_len: 16, alphabet: 256 });
+        let sfa = Sfa::learn(
+            &data,
+            n,
+            &SfaConfig { word_len: 16, alphabet: 256, sample_ratio: 0.25, ..Default::default() },
+        );
+        let mut group = c.benchmark_group(format!("transform_{rows}x{n}"));
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_function("sax", |bench| {
+            let mut tr = sax.transformer();
+            let mut word = vec![0u8; 16];
+            bench.iter(|| {
+                for row in data.chunks(n) {
+                    tr.word_into(black_box(row), &mut word);
+                }
+            });
+        });
+        group.bench_function("sfa", |bench| {
+            let mut tr = sfa.transformer();
+            let mut word = vec![0u8; 16];
+            bench.iter(|| {
+                for row in data.chunks(n) {
+                    tr.word_into(black_box(row), &mut word);
+                }
+            });
+        });
+        group.finish();
+    }
+}
+
+fn bench_mcb_learning(c: &mut Criterion) {
+    let n = 256;
+    let data = dataset(2000, n);
+    let mut group = c.benchmark_group("mcb_learn_2000x256");
+    for ratio in [0.01f64, 0.1, 1.0] {
+        group.bench_function(format!("sample_{ratio}"), |bench| {
+            bench.iter(|| {
+                Sfa::learn(
+                    black_box(&data),
+                    n,
+                    &SfaConfig {
+                        word_len: 16,
+                        alphabet: 256,
+                        sample_ratio: ratio,
+                        min_sample: 16,
+                        ..Default::default()
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_transform, bench_mcb_learning
+}
+criterion_main!(benches);

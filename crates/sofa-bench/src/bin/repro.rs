@@ -1,0 +1,103 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [OPTIONS] <EXPERIMENT>...
+//!
+//! EXPERIMENT   tab1 fig1 fig2-3 fig4 fig7 fig8 tab2 tab3 fig10 fig11
+//!              fig12 fig13 tab4 tab5 tab6 fig15 | all
+//!
+//! OPTIONS
+//!   --quick            small sizes for smoke runs
+//!   --scale <N>        divide paper series counts by N   (default 10000)
+//!   --queries <N>      queries per dataset               (default 15)
+//!   --threads <list>   comma-separated core sweep        (default 1,2,4)
+//!   --leaf <N>         leaf capacity                     (default 500)
+//!   --write <path>     append rendered markdown to a file
+//! ```
+
+use sofa_bench::experiments::{all_experiments, find, Suite};
+use sofa_bench::BenchConfig;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+
+    let mut cfg = BenchConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut write_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => cfg = BenchConfig::quick(),
+            "--scale" => cfg.scale = parse(it.next(), "--scale"),
+            "--queries" => cfg.n_queries = parse(it.next(), "--queries"),
+            "--leaf" => cfg.leaf_capacity = parse(it.next(), "--leaf"),
+            "--threads" => {
+                let list: String = parse(it.next(), "--threads");
+                cfg.threads = list
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| die(&format!("bad thread count: {t}"))))
+                    .collect();
+            }
+            "--write" => write_path = Some(parse(it.next(), "--write")),
+            "--help" | "-h" => usage_and_exit(),
+            other if other.starts_with('-') => die(&format!("unknown option {other}")),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        die("no experiment given (try `all`)");
+    }
+
+    let suite = Suite::new(cfg.clone());
+    let experiments: Vec<_> = if ids.iter().any(|i| i == "all") {
+        all_experiments()
+    } else {
+        ids.iter()
+            .map(|id| find(id).unwrap_or_else(|| die(&format!("unknown experiment {id}"))))
+            .collect()
+    };
+
+    let mut rendered = String::new();
+    for e in &experiments {
+        eprintln!("== running {} ({}) ...", e.id, e.title);
+        let (report, secs) = sofa_bench::timed(|| (e.run)(&suite));
+        eprintln!("   done in {secs:.1}s");
+        let section = report.render();
+        println!("{section}");
+        rendered.push_str(&section);
+        rendered.push('\n');
+    }
+
+    if let Some(path) = write_path {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| die(&format!("cannot open {path}: {e}")));
+        f.write_all(rendered.as_bytes())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("appended {} experiment section(s) to {path}", experiments.len());
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| die(&format!("{flag} needs a value")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--scale N] [--queries N] [--threads a,b,c] \
+         [--leaf N] [--write FILE] <experiment>...\nexperiments: {} | all",
+        all_experiments().iter().map(|e| e.id).collect::<Vec<_>>().join(" ")
+    );
+    std::process::exit(0);
+}

@@ -1,0 +1,97 @@
+//! Markdown report assembly for the experiment suite.
+
+use std::fmt::Write as _;
+
+/// One experiment's output: a title, contextual notes (including the
+/// paper's reference values), and data tables.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Experiment id (`tab2`, `fig12`, ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Markdown body.
+    body: String,
+}
+
+impl Report {
+    /// Starts a report.
+    #[must_use]
+    pub fn new(id: &str, title: &str) -> Self {
+        Report { id: id.to_string(), title: title.to_string(), body: String::new() }
+    }
+
+    /// Appends a paragraph.
+    pub fn para(&mut self, text: &str) {
+        let _ = writeln!(self.body, "{text}\n");
+    }
+
+    /// Appends a markdown table.
+    ///
+    /// # Panics
+    /// Panics if any row's width differs from the header's.
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) {
+        let _ = writeln!(self.body, "| {} |", header.join(" | "));
+        let _ = writeln!(self.body, "|{}|", vec!["---"; header.len()].join("|"));
+        for row in rows {
+            assert_eq!(row.len(), header.len(), "ragged table row");
+            let _ = writeln!(self.body, "| {} |", row.join(" | "));
+        }
+        let _ = writeln!(self.body);
+    }
+
+    /// Renders the full markdown section.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!("## {} — {}\n\n{}", self.id, self.title, self.body)
+    }
+}
+
+/// Formats a float with 1 decimal place.
+#[must_use]
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with 2 decimal places.
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimal places.
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_table_and_text() {
+        let mut r = Report::new("tab9", "demo");
+        r.para("hello");
+        r.table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let s = r.render();
+        assert!(s.contains("## tab9 — demo"));
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("| 1 | 2 |"));
+        assert!(s.contains("hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        let mut r = Report::new("x", "y");
+        r.table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f2(1.256), "1.26");
+        assert_eq!(f3(0.1234), "0.123");
+    }
+}

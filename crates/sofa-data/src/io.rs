@@ -1,0 +1,164 @@
+//! `fvecs` / `bvecs` vector-file IO.
+//!
+//! The paper's vector datasets (SIFT1B, BigANN, Deep1B) ship in the TexMex
+//! formats: each vector is a little-endian `u32` dimensionality `d`
+//! followed by `d` payload elements (`f32` for fvecs, `u8` for bvecs).
+//! These readers let a user who *does* have the real files run the
+//! benchmark harness on them instead of the synthetic analogues; the
+//! writers exist for round-trip tests and for exporting generated datasets
+//! to other tools.
+
+use bytes::{Buf, BufMut};
+use std::io::{self, Read, Write};
+
+/// Reads an entire fvecs stream into a flat row-major buffer.
+///
+/// Returns `(data, dimension)`. `max_vectors` caps the number of vectors
+/// read (0 = unlimited).
+///
+/// # Errors
+/// Returns an error on IO failure, inconsistent dimensions, or a truncated
+/// final record.
+pub fn read_fvecs(reader: &mut dyn Read, max_vectors: usize) -> io::Result<(Vec<f32>, usize)> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    let mut data = Vec::new();
+    let mut dim = 0usize;
+    let mut count = 0usize;
+    while buf.remaining() >= 4 && (max_vectors == 0 || count < max_vectors) {
+        let d = buf.get_u32_le() as usize;
+        if dim == 0 {
+            dim = d;
+        } else if d != dim {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("inconsistent dimension: {d} vs {dim}"),
+            ));
+        }
+        if buf.remaining() < 4 * d {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated fvecs record"));
+        }
+        for _ in 0..d {
+            data.push(buf.get_f32_le());
+        }
+        count += 1;
+    }
+    Ok((data, dim))
+}
+
+/// Reads an entire bvecs stream, widening bytes to `f32`.
+///
+/// # Errors
+/// Same failure modes as [`read_fvecs`].
+pub fn read_bvecs(reader: &mut dyn Read, max_vectors: usize) -> io::Result<(Vec<f32>, usize)> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    let mut data = Vec::new();
+    let mut dim = 0usize;
+    let mut count = 0usize;
+    while buf.remaining() >= 4 && (max_vectors == 0 || count < max_vectors) {
+        let d = buf.get_u32_le() as usize;
+        if dim == 0 {
+            dim = d;
+        } else if d != dim {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("inconsistent dimension: {d} vs {dim}"),
+            ));
+        }
+        if buf.remaining() < d {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated bvecs record"));
+        }
+        for _ in 0..d {
+            data.push(f32::from(buf.get_u8()));
+        }
+        count += 1;
+    }
+    Ok((data, dim))
+}
+
+/// Writes a flat row-major buffer as fvecs.
+///
+/// # Errors
+/// Returns IO errors from the writer.
+///
+/// # Panics
+/// Panics if `data` is not a whole number of `dim`-length vectors.
+pub fn write_fvecs(writer: &mut dyn Write, data: &[f32], dim: usize) -> io::Result<()> {
+    assert!(dim > 0 && data.len() % dim == 0, "data must be whole vectors");
+    let mut out = Vec::with_capacity(data.len() * 4 + (data.len() / dim) * 4);
+    for row in data.chunks(dim) {
+        out.put_u32_le(dim as u32);
+        for &x in row {
+            out.put_f32_le(x);
+        }
+    }
+    writer.write_all(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let data: Vec<f32> = (0..24).map(|i| i as f32 * 0.5).collect();
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &data, 8).unwrap();
+        let (back, dim) = read_fvecs(&mut &buf[..], 0).unwrap();
+        assert_eq!(dim, 8);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn fvecs_max_vectors_caps() {
+        let data: Vec<f32> = (0..30).map(|i| i as f32).collect();
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &data, 10).unwrap();
+        let (back, dim) = read_fvecs(&mut &buf[..], 2).unwrap();
+        assert_eq!(dim, 10);
+        assert_eq!(back.len(), 20);
+    }
+
+    #[test]
+    fn fvecs_rejects_inconsistent_dims() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(2);
+        buf.put_f32_le(1.0);
+        buf.put_f32_le(2.0);
+        buf.put_u32_le(3);
+        buf.put_f32_le(1.0);
+        buf.put_f32_le(2.0);
+        buf.put_f32_le(3.0);
+        assert!(read_fvecs(&mut &buf[..], 0).is_err());
+    }
+
+    #[test]
+    fn fvecs_rejects_truncation() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(4);
+        buf.put_f32_le(1.0); // 3 values missing
+        assert!(read_fvecs(&mut &buf[..], 0).is_err());
+    }
+
+    #[test]
+    fn bvecs_widens_bytes() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(3);
+        buf.put_u8(0);
+        buf.put_u8(128);
+        buf.put_u8(255);
+        let (data, dim) = read_bvecs(&mut &buf[..], 0).unwrap();
+        assert_eq!(dim, 3);
+        assert_eq!(data, vec![0.0, 128.0, 255.0]);
+    }
+
+    #[test]
+    fn empty_stream_is_empty_dataset() {
+        let (data, dim) = read_fvecs(&mut &[][..], 0).unwrap();
+        assert!(data.is_empty());
+        assert_eq!(dim, 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! UCR-archive-like dataset families for the TLB ablation.
+//!
+//! The paper's §V-E ablation computes the tightness of lower bound over the
+//! ~120-dataset UCR archive (train split used to learn SFA, test split used
+//! as queries). The archive itself is licensed data we do not ship, so this
+//! module generates a seeded collection of 24 dataset *families* spanning
+//! the same breadth of shapes — periodic (sine/square/triangle/sawtooth at
+//! several frequencies), transient (ECG-like pulse trains, Gaussian bumps,
+//! bursts), stochastic (random walks, AR noise), and frequency-swept
+//! (chirps) — each with within-family variation (phase, warp, noise).
+//! TLB *rankings* between summarizations depend on shape diversity, not on
+//! the exact UCR sources; see DESIGN.md §2.
+
+use crate::gen::gauss;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One UCR-like dataset: train split (summarizations learn on it) and test
+/// split (queries), as in the paper's protocol.
+#[derive(Clone, Debug)]
+pub struct UcrDataset {
+    /// Family name, e.g. `"sine-k3"`.
+    pub name: String,
+    /// Series length.
+    pub series_len: usize,
+    /// Flat row-major training series (z-normalized).
+    pub train: Vec<f32>,
+    /// Flat row-major test series (z-normalized).
+    pub test: Vec<f32>,
+}
+
+#[derive(Copy, Clone, Debug)]
+enum Family {
+    Sine(f32),
+    Square(f32),
+    Triangle(f32),
+    Sawtooth(f32),
+    Chirp { f0: f32, f1: f32 },
+    EcgLike,
+    GaussBumps(usize),
+    Burst,
+    RandomWalk,
+    ArNoise(f32),
+    Harmonics,
+    StepFunction,
+}
+
+fn sample(family: Family, n: usize, rng: &mut StdRng) -> Vec<f32> {
+    let tau = std::f32::consts::TAU;
+    let phase: f32 = rng.random_range(0.0..tau);
+    let warp: f32 = rng.random_range(0.9..1.1);
+    let noise: f32 = 0.1;
+    let mut s: Vec<f32> = match family {
+        Family::Sine(k) => {
+            (0..n).map(|t| (tau * k * warp * t as f32 / n as f32 + phase).sin()).collect()
+        }
+        Family::Square(k) => (0..n)
+            .map(|t| (tau * k * warp * t as f32 / n as f32 + phase).sin().signum())
+            .collect(),
+        Family::Triangle(k) => (0..n)
+            .map(|t| {
+                let x = (k * warp * t as f32 / n as f32 + phase / tau).fract();
+                4.0 * (x - 0.5).abs() - 1.0
+            })
+            .collect(),
+        Family::Sawtooth(k) => (0..n)
+            .map(|t| 2.0 * (k * warp * t as f32 / n as f32 + phase / tau).fract() - 1.0)
+            .collect(),
+        Family::Chirp { f0, f1 } => (0..n)
+            .map(|t| {
+                let x = t as f32 / n as f32;
+                (tau * (f0 * x + (f1 - f0) * x * x / 2.0) * warp + phase).sin()
+            })
+            .collect(),
+        Family::EcgLike => {
+            // Pulse train: sharp R-spike, small P/T bumps, ~4 beats.
+            let beats = 4.0 * warp;
+            (0..n)
+                .map(|t| {
+                    let x = (beats * t as f32 / n as f32 + phase / tau).fract();
+                    let r = (-((x - 0.3) / 0.02).powi(2)).exp() * 2.0;
+                    let p = (-((x - 0.18) / 0.04).powi(2)).exp() * 0.3;
+                    let tt = (-((x - 0.55) / 0.07).powi(2)).exp() * 0.5;
+                    r + p + tt
+                })
+                .collect()
+        }
+        Family::GaussBumps(count) => {
+            let mut s = vec![0.0f32; n];
+            for _ in 0..count {
+                let center = rng.random_range(0.0..n as f32);
+                let width = rng.random_range(n as f32 / 40.0..n as f32 / 10.0);
+                let amp = rng.random_range(0.5..2.0);
+                for (t, v) in s.iter_mut().enumerate() {
+                    *v += amp * (-((t as f32 - center) / width).powi(2)).exp();
+                }
+            }
+            s
+        }
+        Family::Burst => {
+            let onset = rng.random_range(n / 4..3 * n / 4);
+            let carrier = rng.random_range(0.25..0.45) * n as f32;
+            (0..n)
+                .map(|t| {
+                    if t < onset {
+                        0.0
+                    } else {
+                        let dt = (t - onset) as f32;
+                        (-dt * 8.0 / n as f32).exp()
+                            * (tau * carrier * t as f32 / n as f32 + phase).sin()
+                    }
+                })
+                .collect()
+        }
+        Family::RandomWalk => {
+            let mut acc = 0.0f32;
+            (0..n)
+                .map(|_| {
+                    acc += gauss(rng);
+                    acc
+                })
+                .collect()
+        }
+        Family::ArNoise(rho) => {
+            let mut prev = 0.0f32;
+            (0..n)
+                .map(|_| {
+                    prev = rho * prev + gauss(rng);
+                    prev
+                })
+                .collect()
+        }
+        Family::Harmonics => (0..n)
+            .map(|t| {
+                let x = t as f32 / n as f32;
+                (tau * 2.0 * x + phase).sin()
+                    + 0.5 * (tau * 5.0 * x + 2.0 * phase).sin()
+                    + 0.25 * (tau * 11.0 * x - phase).cos()
+            })
+            .collect(),
+        Family::StepFunction => {
+            let steps = rng.random_range(3..8);
+            let mut s = vec![0.0f32; n];
+            let mut level = 0.0f32;
+            let mut next = 0usize;
+            for seg in 0..steps {
+                let end = if seg == steps - 1 { n } else { rng.random_range(next + 1..=n) };
+                for v in s.iter_mut().take(end).skip(next) {
+                    *v = level;
+                }
+                level += gauss(rng);
+                next = end;
+                if next >= n {
+                    break;
+                }
+            }
+            s
+        }
+    };
+    for v in s.iter_mut() {
+        *v += noise * gauss(rng);
+    }
+    sofa_simd::znormalize(&mut s);
+    s
+}
+
+/// Generates the 24-family UCR-like archive. Each family has `train_size`
+/// training and `test_size` test series of length `series_len`.
+#[must_use]
+pub fn ucr_like_archive(series_len: usize, train_size: usize, test_size: usize) -> Vec<UcrDataset> {
+    let families: Vec<(String, Family)> = vec![
+        ("sine-k1".into(), Family::Sine(1.0)),
+        ("sine-k3".into(), Family::Sine(3.0)),
+        ("sine-k9".into(), Family::Sine(9.0)),
+        ("sine-k20".into(), Family::Sine(20.0)),
+        ("square-k2".into(), Family::Square(2.0)),
+        ("square-k7".into(), Family::Square(7.0)),
+        ("triangle-k2".into(), Family::Triangle(2.0)),
+        ("triangle-k6".into(), Family::Triangle(6.0)),
+        ("sawtooth-k3".into(), Family::Sawtooth(3.0)),
+        ("sawtooth-k8".into(), Family::Sawtooth(8.0)),
+        ("chirp-slow".into(), Family::Chirp { f0: 1.0, f1: 6.0 }),
+        ("chirp-fast".into(), Family::Chirp { f0: 4.0, f1: 24.0 }),
+        ("ecg-like".into(), Family::EcgLike),
+        ("bumps-2".into(), Family::GaussBumps(2)),
+        ("bumps-5".into(), Family::GaussBumps(5)),
+        ("burst".into(), Family::Burst),
+        ("random-walk".into(), Family::RandomWalk),
+        ("ar-smooth".into(), Family::ArNoise(0.95)),
+        ("ar-rough".into(), Family::ArNoise(0.3)),
+        ("white-noise".into(), Family::ArNoise(0.0)),
+        ("harmonics".into(), Family::Harmonics),
+        ("steps".into(), Family::StepFunction),
+        ("sine-k14".into(), Family::Sine(14.0)),
+        ("square-k15".into(), Family::Square(15.0)),
+    ];
+    families
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, family))| {
+            let mut rng = StdRng::seed_from_u64(0x0C0FFEE + i as u64);
+            let mut train = Vec::with_capacity(train_size * series_len);
+            for _ in 0..train_size {
+                train.extend_from_slice(&sample(family, series_len, &mut rng));
+            }
+            let mut test = Vec::with_capacity(test_size * series_len);
+            for _ in 0..test_size {
+                test.extend_from_slice(&sample(family, series_len, &mut rng));
+            }
+            UcrDataset { name, series_len, train, test }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_shape() {
+        let a = ucr_like_archive(64, 20, 5);
+        assert_eq!(a.len(), 24);
+        for d in &a {
+            assert_eq!(d.train.len(), 20 * 64, "{}", d.name);
+            assert_eq!(d.test.len(), 5 * 64, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn series_are_znormalized() {
+        let a = ucr_like_archive(64, 5, 2);
+        for d in &a {
+            for row in d.train.chunks(64) {
+                let mean: f32 = row.iter().sum::<f32>() / 64.0;
+                assert!(mean.abs() < 1e-4, "{}: mean={mean}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ucr_like_archive(32, 4, 2);
+        let b = ucr_like_archive(32, 4, 2);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.train, y.train);
+            assert_eq!(x.test, y.test);
+        }
+    }
+
+    #[test]
+    fn families_are_distinct() {
+        let a = ucr_like_archive(64, 2, 1);
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert_ne!(a[i].train, a[j].train, "{} vs {}", a[i].name, a[j].name);
+            }
+        }
+    }
+
+    #[test]
+    fn within_family_variation_exists() {
+        let a = ucr_like_archive(64, 3, 1);
+        for d in &a {
+            let r0 = &d.train[..64];
+            let r1 = &d.train[64..128];
+            assert_ne!(r0, r1, "{} has duplicate rows", d.name);
+        }
+    }
+}

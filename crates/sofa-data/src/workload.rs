@@ -1,0 +1,157 @@
+//! The [`Dataset`] container: row-major series plus a query workload.
+//!
+//! The paper's protocol (§V, "Datasets"): every dataset ships with a
+//! distinct set of 100 query series kept separate from the indexed data;
+//! all methods answer the same queries. A [`Dataset`] holds both sides in
+//! flat row-major buffers (cache-friendly, directly consumable by the
+//! index builders and scan baselines) and provides z-normalization since
+//! every method in the paper works in z-normalized space.
+
+use sofa_simd::znormalize;
+
+/// An in-memory dataset: `n_series` indexed series and `n_queries` query
+/// series, all of one length, stored row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    name: String,
+    series_len: usize,
+    data: Vec<f32>,
+    queries: Vec<f32>,
+}
+
+impl Dataset {
+    /// Wraps flat buffers into a dataset.
+    ///
+    /// # Panics
+    /// Panics if either buffer is not a whole number of series.
+    #[must_use]
+    pub fn new(name: String, series_len: usize, data: Vec<f32>, queries: Vec<f32>) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        assert_eq!(data.len() % series_len, 0, "data must hold whole series");
+        assert_eq!(queries.len() % series_len, 0, "queries must hold whole series");
+        Dataset { name, series_len, data, queries }
+    }
+
+    /// Dataset name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Series length.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Number of indexed series.
+    #[must_use]
+    pub fn n_series(&self) -> usize {
+        self.data.len() / self.series_len
+    }
+
+    /// Number of query series.
+    #[must_use]
+    pub fn n_queries(&self) -> usize {
+        self.queries.len() / self.series_len
+    }
+
+    /// The flat row-major data buffer.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat row-major query buffer.
+    #[must_use]
+    pub fn queries(&self) -> &[f32] {
+        &self.queries
+    }
+
+    /// Indexed series `i`.
+    #[must_use]
+    pub fn series(&self, i: usize) -> &[f32] {
+        &self.data[i * self.series_len..(i + 1) * self.series_len]
+    }
+
+    /// Query series `q`.
+    #[must_use]
+    pub fn query(&self, q: usize) -> &[f32] {
+        &self.queries[q * self.series_len..(q + 1) * self.series_len]
+    }
+
+    /// Z-normalizes every series and every query in place. All of the
+    /// paper's methods operate on z-normalized series (Definition 2).
+    pub fn znormalize(&mut self) {
+        for row in self.data.chunks_mut(self.series_len) {
+            znormalize(row);
+        }
+        for row in self.queries.chunks_mut(self.series_len) {
+            znormalize(row);
+        }
+    }
+
+    /// Returns a copy truncated to the first `count` series (workload
+    /// scaling for sweeps).
+    #[must_use]
+    pub fn truncated(&self, count: usize) -> Dataset {
+        let count = count.min(self.n_series());
+        Dataset {
+            name: self.name.clone(),
+            series_len: self.series_len,
+            data: self.data[..count * self.series_len].to_vec(),
+            queries: self.queries.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy".into(),
+            4,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            vec![0.0, 1.0, 0.0, 1.0],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.n_series(), 2);
+        assert_eq!(d.n_queries(), 1);
+        assert_eq!(d.series(1), &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(d.query(0), &[0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(d.name(), "toy");
+    }
+
+    #[test]
+    fn znormalize_rows_independently() {
+        let mut d = toy();
+        d.znormalize();
+        for i in 0..d.n_series() {
+            let row = d.series(i);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn truncation() {
+        let d = toy();
+        let t = d.truncated(1);
+        assert_eq!(t.n_series(), 1);
+        assert_eq!(t.n_queries(), 1);
+        let t2 = d.truncated(100);
+        assert_eq!(t2.n_series(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole series")]
+    fn ragged_data_rejected() {
+        let _ = Dataset::new("bad".into(), 4, vec![1.0; 6], vec![]);
+    }
+}

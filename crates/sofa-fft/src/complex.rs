@@ -1,0 +1,163 @@
+//! Minimal single-precision complex arithmetic.
+//!
+//! Only the operations the FFT kernels need are implemented; this is not a
+//! general-purpose complex library.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f32` components.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// The additive identity.
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline(always)]
+    #[must_use]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Complex32 { re, im }
+    }
+
+    /// `e^{i theta}` computed in `f64` for twiddle-factor accuracy.
+    #[inline]
+    #[must_use]
+    pub fn from_angle(theta: f64) -> Self {
+        Complex32 { re: theta.cos() as f32, im: theta.sin() as f32 }
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Complex32 { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `re^2 + im^2`.
+    #[inline(always)]
+    #[must_use]
+    pub fn norm_sq(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline(always)]
+    #[must_use]
+    pub fn abs(self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline(always)]
+    #[must_use]
+    pub fn scale(self, s: f32) -> Self {
+        Complex32 { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Complex32;
+    #[inline(always)]
+    fn add(self, rhs: Complex32) -> Complex32 {
+        Complex32 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex32 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Complex32) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Complex32;
+    #[inline(always)]
+    fn sub(self, rhs: Complex32) -> Complex32 {
+        Complex32 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Complex32;
+    #[inline(always)]
+    fn mul(self, rhs: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex32 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Complex32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Complex32;
+    #[inline(always)]
+    fn neg(self) -> Complex32 {
+        Complex32 { re: -self.re, im: -self.im }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(3.0, -4.0);
+        assert_eq!(a + Complex32::ZERO, a);
+        assert_eq!(a * Complex32::ONE, a);
+        assert_eq!((a + b) - b, a);
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn multiplication() {
+        // (1+2i)(3-4i) = 3 - 4i + 6i + 8 = 11 + 2i
+        let p = Complex32::new(1.0, 2.0) * Complex32::new(3.0, -4.0);
+        assert_eq!(p, Complex32::new(11.0, 2.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex32::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex32::new(3.0, -4.0));
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        // z * conj(z) = |z|^2 (real)
+        let zz = a * a.conj();
+        assert!((zz.re - 25.0).abs() < 1e-6);
+        assert!(zz.im.abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_circle() {
+        let w = Complex32::from_angle(std::f64::consts::FRAC_PI_2);
+        assert!(w.re.abs() < 1e-7);
+        assert!((w.im - 1.0).abs() < 1e-7);
+        // e^{i pi} = -1
+        let m = Complex32::from_angle(std::f64::consts::PI);
+        assert!((m.re + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scale() {
+        assert_eq!(Complex32::new(2.0, -6.0).scale(0.5), Complex32::new(1.0, -3.0));
+    }
+}

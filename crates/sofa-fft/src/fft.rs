@@ -1,0 +1,386 @@
+//! Complex FFT engine: iterative radix-2 Cooley–Tukey for power-of-two
+//! lengths, Bluestein's chirp-z algorithm for everything else.
+//!
+//! A [`FftPlan`] is built once per series length and reused for every
+//! transform of that length. Plans are immutable and shareable across
+//! threads; callers provide (or let the convenience wrappers allocate)
+//! scratch space.
+
+use crate::complex::Complex32;
+
+/// Precomputed state for transforms of one fixed length.
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+#[derive(Clone, Debug)]
+enum PlanKind {
+    /// Iterative radix-2 with a shared twiddle table and bit-reversal map.
+    Radix2 {
+        /// `twiddles[k] = e^{-2 pi i k / n}` for `k < n/2`.
+        twiddles: Vec<Complex32>,
+        /// Bit-reversal permutation of `0..n`.
+        bitrev: Vec<u32>,
+    },
+    /// Bluestein chirp-z: re-expresses an arbitrary-length DFT as a circular
+    /// convolution of size `m` (next power of two >= 2n-1).
+    Bluestein {
+        /// `chirp[j] = e^{-i pi j^2 / n}` for `j < n`.
+        chirp: Vec<Complex32>,
+        /// Forward FFT (size `m`) of the chirp filter `b`.
+        b_fft: Vec<Complex32>,
+        /// Inner power-of-two plan of size `m`.
+        inner: Box<FftPlan>,
+    },
+}
+
+/// Reusable scratch buffers for the Bluestein path. Radix-2 transforms need
+/// no scratch. Create one per thread and pass it to
+/// [`FftPlan::forward_with_scratch`].
+#[derive(Clone, Debug, Default)]
+pub struct FftScratch {
+    a: Vec<Complex32>,
+}
+
+impl FftPlan {
+    /// Builds a plan for length `n` (any `n >= 1`).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "FFT length must be at least 1");
+        if n.is_power_of_two() {
+            FftPlan { n, kind: Self::radix2_kind(n) }
+        } else {
+            FftPlan { n, kind: Self::bluestein_kind(n) }
+        }
+    }
+
+    fn radix2_kind(n: usize) -> PlanKind {
+        let mut twiddles = Vec::with_capacity(n / 2);
+        for k in 0..n / 2 {
+            let theta = -2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
+            twiddles.push(Complex32::from_angle(theta));
+        }
+        let bits = n.trailing_zeros();
+        let mut bitrev = Vec::with_capacity(n);
+        for i in 0..n as u32 {
+            bitrev.push(i.reverse_bits() >> (32 - bits.max(1)));
+        }
+        if n == 1 {
+            bitrev[0] = 0;
+        }
+        PlanKind::Radix2 { twiddles, bitrev }
+    }
+
+    fn bluestein_kind(n: usize) -> PlanKind {
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Box::new(FftPlan::new(m));
+        // chirp[j] = e^{-i pi j^2 / n}; compute the angle with j^2 reduced
+        // mod 2n so the f64 angle stays accurate for large j.
+        let chirp: Vec<Complex32> = (0..n)
+            .map(|j| {
+                let j2 = ((j as u64 * j as u64) % (2 * n as u64)) as f64;
+                Complex32::from_angle(-std::f64::consts::PI * j2 / n as f64)
+            })
+            .collect();
+        // Filter b: b[0]=1, b[j]=b[m-j]=conj(chirp[j]) for 0<j<n, zero-padded.
+        let mut b = vec![Complex32::ZERO; m];
+        b[0] = Complex32::ONE;
+        for j in 1..n {
+            let v = chirp[j].conj();
+            b[j] = v;
+            b[m - j] = v;
+        }
+        let mut inner_plan = FftScratch::default();
+        inner.forward_with_scratch(&mut b, &mut inner_plan);
+        PlanKind::Bluestein { chirp, b_fft: b, inner }
+    }
+
+    /// Transform length this plan was built for.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the plan length is zero — never, kept for API symmetry.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT (`X_k = sum_t x_t e^{-2 pi i k t / n}`),
+    /// allocating scratch if the Bluestein path needs it.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Complex32]) {
+        let mut scratch = FftScratch::default();
+        self.forward_with_scratch(data, &mut scratch);
+    }
+
+    /// In-place forward DFT reusing caller-provided scratch (allocation-free
+    /// after warm-up, including the Bluestein path).
+    pub fn forward_with_scratch(&self, data: &mut [Complex32], scratch: &mut FftScratch) {
+        assert_eq!(data.len(), self.n, "data length must match plan length");
+        match &self.kind {
+            PlanKind::Radix2 { twiddles, bitrev } => {
+                radix2_inplace(data, twiddles, bitrev);
+            }
+            PlanKind::Bluestein { chirp, b_fft, inner } => {
+                let m = inner.len();
+                let a = &mut scratch.a;
+                a.clear();
+                a.resize(m, Complex32::ZERO);
+                for j in 0..self.n {
+                    a[j] = data[j] * chirp[j];
+                }
+                // Convolve via the inner power-of-two FFT; no extra scratch
+                // is needed because the inner plan is radix-2.
+                let mut none = FftScratch::default();
+                inner.forward_with_scratch(a, &mut none);
+                for (x, &b) in a.iter_mut().zip(b_fft.iter()) {
+                    *x *= b;
+                }
+                inner.inverse_with_scratch(a, &mut none);
+                for k in 0..self.n {
+                    data[k] = a[k] * chirp[k];
+                }
+            }
+        }
+    }
+
+    /// In-place inverse DFT including the `1/n` normalization, so
+    /// `inverse(forward(x)) == x` up to rounding.
+    pub fn inverse(&self, data: &mut [Complex32]) {
+        let mut scratch = FftScratch::default();
+        self.inverse_with_scratch(data, &mut scratch);
+    }
+
+    /// In-place inverse DFT reusing caller scratch.
+    pub fn inverse_with_scratch(&self, data: &mut [Complex32], scratch: &mut FftScratch) {
+        // ifft(x) = conj(fft(conj(x))) / n
+        for x in data.iter_mut() {
+            *x = x.conj();
+        }
+        self.forward_with_scratch(data, scratch);
+        let inv_n = 1.0 / self.n as f32;
+        for x in data.iter_mut() {
+            *x = x.conj().scale(inv_n);
+        }
+    }
+}
+
+/// Iterative radix-2 decimation-in-time butterfly network.
+#[allow(clippy::needless_range_loop)] // index pairs (i, bitrev[i]) are the algorithm
+fn radix2_inplace(data: &mut [Complex32], twiddles: &[Complex32], bitrev: &[u32]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation: swap each element with its reversed index
+    // once (guard i < j to avoid double swaps).
+    for i in 0..n {
+        let j = bitrev[i] as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies: stage sizes 2, 4, ..., n. The shared twiddle table is for
+    // size n; a stage of size `len` strides it by n/len.
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let stride = n / len;
+        let mut base = 0;
+        while base < n {
+            for k in 0..half {
+                let w = twiddles[k * stride];
+                let u = data[base + k];
+                let t = data[base + k + half] * w;
+                data[base + k] = u + t;
+                data[base + k + half] = u - t;
+            }
+            base += len;
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n^2) reference DFT.
+    fn naive_dft(input: &[Complex32]) -> Vec<Complex32> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex32::ZERO;
+                for (t, &x) in input.iter().enumerate() {
+                    let theta =
+                        -2.0 * std::f64::consts::PI * (k as f64) * (t as f64) / (n as f64);
+                    acc += x * Complex32::from_angle(theta);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex32], b: &[Complex32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "index {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    fn test_signal(n: usize) -> Vec<Complex32> {
+        (0..n)
+            .map(|t| {
+                Complex32::new(
+                    (t as f32 * 0.31).sin() + 0.5 * (t as f32 * 1.7).cos(),
+                    0.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radix2_matches_naive() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let sig = test_signal(n);
+            let mut fast = sig.clone();
+            FftPlan::new(n).forward(&mut fast);
+            let slow = naive_dft(&sig);
+            assert_close(&fast, &slow, 1e-3 * (n as f32).max(1.0));
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive() {
+        for n in [3usize, 5, 6, 7, 12, 96, 100, 150] {
+            let sig = test_signal(n);
+            let mut fast = sig.clone();
+            FftPlan::new(n).forward(&mut fast);
+            let slow = naive_dft(&sig);
+            assert_close(&fast, &slow, 2e-3 * (n as f32).max(1.0));
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for n in [8usize, 96, 100, 128, 255] {
+            let sig = test_signal(n);
+            let plan = FftPlan::new(n);
+            let mut data = sig.clone();
+            plan.forward(&mut data);
+            plan.inverse(&mut data);
+            assert_close(&data, &sig, 1e-4 * (n as f32));
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let n = 16;
+        let mut data = vec![Complex32::ZERO; n];
+        data[0] = Complex32::ONE;
+        FftPlan::new(n).forward(&mut data);
+        for x in &data {
+            assert!((x.re - 1.0).abs() < 1e-6 && x.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn constant_concentrates_in_dc() {
+        let n = 32;
+        let mut data = vec![Complex32::ONE; n];
+        FftPlan::new(n).forward(&mut data);
+        assert!((data[0].re - n as f32).abs() < 1e-4);
+        for x in &data[1..] {
+            assert!(x.abs() < 1e-3, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn pure_tone_single_bin() {
+        let n = 64;
+        let k0 = 5;
+        let mut data: Vec<Complex32> = (0..n)
+            .map(|t| {
+                let theta = 2.0 * std::f64::consts::PI * k0 as f64 * t as f64 / n as f64;
+                Complex32::from_angle(theta)
+            })
+            .collect();
+        FftPlan::new(n).forward(&mut data);
+        for (k, x) in data.iter().enumerate() {
+            if k == k0 {
+                assert!((x.re - n as f32).abs() < 1e-2);
+            } else {
+                assert!(x.abs() < 1e-2, "bin {k} leaked: {x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 100;
+        let a = test_signal(n);
+        let b: Vec<Complex32> =
+            (0..n).map(|t| Complex32::new((t as f32 * 0.9).cos(), 0.0)).collect();
+        let plan = FftPlan::new(n);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        let mut fab: Vec<Complex32> = a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect();
+        plan.forward(&mut fab);
+        let sum: Vec<Complex32> = fa.iter().zip(fb.iter()).map(|(&x, &y)| x + y).collect();
+        assert_close(&fab, &sum, 1e-2);
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        for n in [64usize, 96, 100] {
+            let sig = test_signal(n);
+            let time_energy: f32 = sig.iter().map(|x| x.norm_sq()).sum();
+            let mut freq = sig.clone();
+            FftPlan::new(n).forward(&mut freq);
+            let freq_energy: f32 =
+                freq.iter().map(|x| x.norm_sq()).sum::<f32>() / n as f32;
+            assert!(
+                (time_energy - freq_energy).abs() < 1e-2 * time_energy.max(1.0),
+                "n={n}: {time_energy} vs {freq_energy}"
+            );
+        }
+    }
+
+    #[test]
+    fn conjugate_symmetry_for_real_input() {
+        let n = 96;
+        let sig = test_signal(n);
+        let mut freq = sig;
+        FftPlan::new(n).forward(&mut freq);
+        for k in 1..n / 2 {
+            let a = freq[k];
+            let b = freq[n - k].conj();
+            assert!((a.re - b.re).abs() < 1e-2 && (a.im - b.im).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        let plan = FftPlan::new(100);
+        let sig = test_signal(100);
+        let mut scratch = FftScratch::default();
+        let mut first = sig.clone();
+        plan.forward_with_scratch(&mut first, &mut scratch);
+        let mut second = sig.clone();
+        plan.forward_with_scratch(&mut second, &mut scratch);
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,36 @@
+//! Discrete Fourier transform substrate for SOFA.
+//!
+//! SFA (Symbolic Fourier Approximation, §IV-E of the paper) starts by
+//! transforming every data series into the frequency domain. This crate
+//! implements that substrate from scratch:
+//!
+//! * [`Complex32`] — a minimal single-precision complex number,
+//! * [`FftPlan`] — an iterative radix-2 Cooley–Tukey FFT with precomputed
+//!   twiddle factors and bit-reversal permutation for power-of-two lengths,
+//! * Bluestein's chirp-z algorithm for arbitrary lengths (several of the
+//!   paper's datasets have length 100 or 96, which are not powers of two),
+//! * [`RealDft`] — the real-input front end used by SFA. It produces the
+//!   coefficient layout and **lower-bounding normalization** from
+//!   Rafiei–Mendelzon (paper Eq. 1): coefficients are scaled by `1/sqrt(n)`
+//!   so that, by Parseval's theorem, the Euclidean distance between two
+//!   series equals the weighted Euclidean distance between their coefficient
+//!   vectors — the DC term with weight 1, interior coefficients with weight
+//!   2 (they stand in for their conjugate mirror), and the Nyquist term
+//!   (even `n` only) with weight 1. Truncating the sum to `l` coefficients
+//!   therefore *lower-bounds* the true distance, which is the property the
+//!   GEMINI framework requires.
+//!
+//! Plans cache twiddle tables, so transforming many series of one length —
+//! the bulk-ingestion path of the index — allocates nothing per series
+//! beyond the caller-provided scratch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod fft;
+pub mod rdft;
+
+pub use complex::Complex32;
+pub use fft::FftPlan;
+pub use rdft::{coefficient_weight, RealDft, RealDftPlan};

@@ -1,0 +1,374 @@
+//! Real-input DFT front end with the lower-bounding normalization.
+//!
+//! SFA consumes the first `n/2 + 1` complex coefficients of a real series'
+//! DFT as a flat `f32` sequence `[re_0, im_0, re_1, im_1, ...]`, scaled so
+//! that Euclidean distance in coefficient space lower-bounds Euclidean
+//! distance in the time domain (paper Eq. 1, after Rafiei–Mendelzon):
+//!
+//! ```text
+//! d_ED^2(A, B) = w_0 (a'_0-b'_0)^2 + 2 * sum_{k=1}^{n/2-1} |a'_k - b'_k|^2
+//!                + w_nyq |a'_{n/2}-b'_{n/2}|^2           (even n)
+//! where a'_k = DFT(A)_k / sqrt(n)
+//! ```
+//!
+//! Dropping terms from the right-hand side can only shrink it, so any subset
+//! of coefficients yields a lower bound — the exactness guarantee GEMINI
+//! needs. [`coefficient_weight`] exposes the per-coefficient weight (1 for
+//! DC and Nyquist, 2 otherwise) so summarizations apply the right factor.
+
+use crate::complex::Complex32;
+use crate::fft::{FftPlan, FftScratch};
+use std::sync::Arc;
+
+/// Shareable precomputed state for real-input DFTs of one length.
+///
+/// For even `n` the forward transform uses the classic *packing* trick:
+/// the real series is folded into a complex series of length `n/2`
+/// (`z[t] = x[2t] + i x[2t+1]`), one half-size complex FFT is run, and the
+/// spectrum is untangled with the even/odd symmetry
+/// `X[k] = E[k] + e^{-2 pi i k / n} O[k]` — roughly halving the transform
+/// cost, which dominates SOFA's index-construction time (paper Figure 7).
+/// Odd lengths fall back to the direct complex transform.
+#[derive(Debug)]
+pub struct RealDftPlan {
+    n: usize,
+    /// Full-length plan, used by [`RealDft::reconstruct`] (inverse) and by
+    /// the odd-length forward path.
+    full: FftPlan,
+    /// Even `n` only: the half-size plan plus untangling twiddles
+    /// `e^{-2 pi i k / n}` for `k <= n/2`.
+    packed: Option<(FftPlan, Vec<Complex32>)>,
+}
+
+impl RealDftPlan {
+    /// Builds the plan for series of length `n`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let full = FftPlan::new(n);
+        let packed = (n >= 2 && n % 2 == 0).then(|| {
+            let half = FftPlan::new(n / 2);
+            let twiddles = (0..=n / 2)
+                .map(|k| {
+                    Complex32::from_angle(-2.0 * std::f64::consts::PI * k as f64 / n as f64)
+                })
+                .collect();
+            (half, twiddles)
+        });
+        RealDftPlan { n, full, packed }
+    }
+
+    /// Series length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the length is zero (never; API symmetry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Reusable real-input DFT for one series length.
+///
+/// Holds the shared plan plus per-thread scratch, so bulk transformation of
+/// a dataset performs no per-series allocation. One `RealDft` per worker
+/// thread; the plan (twiddle tables, Bluestein filter) is shared across
+/// threads via [`RealDft::from_plan`], which makes per-query transformer
+/// construction cheap even for Bluestein lengths.
+#[derive(Clone, Debug)]
+pub struct RealDft {
+    plan: Arc<RealDftPlan>,
+    buf: Vec<Complex32>,
+    scratch: FftScratch,
+    inv_sqrt_n: f32,
+}
+
+/// Weight of coefficient `k` in the Parseval expansion for a length-`n`
+/// real series: interior coefficients represent themselves and their
+/// conjugate mirror (weight 2); DC and — for even `n` — Nyquist appear once.
+#[inline]
+#[must_use]
+pub fn coefficient_weight(k: usize, n: usize) -> f32 {
+    if k == 0 || (n % 2 == 0 && k == n / 2) {
+        1.0
+    } else {
+        2.0
+    }
+}
+
+impl RealDft {
+    /// Creates a transform for series of length `n`, building a fresh plan.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::from_plan(Arc::new(RealDftPlan::new(n)))
+    }
+
+    /// Creates a transform around an existing shared plan (cheap: only the
+    /// per-thread buffers are allocated).
+    #[must_use]
+    pub fn from_plan(plan: Arc<RealDftPlan>) -> Self {
+        let n = plan.len();
+        RealDft {
+            plan,
+            buf: vec![Complex32::ZERO; n],
+            scratch: FftScratch::default(),
+            inv_sqrt_n: 1.0 / (n as f32).sqrt(),
+        }
+    }
+
+    /// The shared plan, for constructing sibling transforms.
+    #[must_use]
+    pub fn plan(&self) -> Arc<RealDftPlan> {
+        Arc::clone(&self.plan)
+    }
+
+    /// Series length this transform accepts.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// `true` if the configured length is zero (never; API symmetry).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// Number of complex coefficients produced: `n/2 + 1`.
+    #[inline]
+    #[must_use]
+    pub fn num_coefficients(&self) -> usize {
+        self.len() / 2 + 1
+    }
+
+    /// Transforms `series`, writing `[re_0, im_0, re_1, im_1, ...]` for
+    /// coefficients `0..=n/2` into `out` (length `2 * num_coefficients()`),
+    /// scaled by `1/sqrt(n)`.
+    ///
+    /// # Panics
+    /// Panics if `series.len() != self.len()` or `out` has the wrong length.
+    pub fn transform_into(&mut self, series: &[f32], out: &mut [f32]) {
+        assert_eq!(series.len(), self.len(), "series length mismatch");
+        assert_eq!(out.len(), 2 * self.num_coefficients(), "output length mismatch");
+        match &self.plan.packed {
+            Some((half, twiddles)) => {
+                // Packed path: fold pairs into a half-length complex
+                // series, one half-size FFT, then untangle.
+                let m = self.len() / 2;
+                for (t, b) in self.buf[..m].iter_mut().enumerate() {
+                    *b = Complex32::new(series[2 * t], series[2 * t + 1]);
+                }
+                half.forward_with_scratch(&mut self.buf[..m], &mut self.scratch);
+                for k in 0..=m {
+                    let zk = self.buf[k % m];
+                    let zmk = self.buf[(m - k) % m].conj();
+                    let even = (zk + zmk).scale(0.5);
+                    let odd = (zk - zmk) * Complex32::new(0.0, -0.5);
+                    let x = even + twiddles[k] * odd;
+                    out[2 * k] = x.re * self.inv_sqrt_n;
+                    out[2 * k + 1] = x.im * self.inv_sqrt_n;
+                }
+            }
+            None => {
+                for (b, &x) in self.buf.iter_mut().zip(series.iter()) {
+                    *b = Complex32::new(x, 0.0);
+                }
+                self.plan.full.forward_with_scratch(&mut self.buf, &mut self.scratch);
+                for k in 0..self.num_coefficients() {
+                    out[2 * k] = self.buf[k].re * self.inv_sqrt_n;
+                    out[2 * k + 1] = self.buf[k].im * self.inv_sqrt_n;
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper over [`RealDft::transform_into`].
+    #[must_use]
+    pub fn transform(&mut self, series: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; 2 * self.num_coefficients()];
+        self.transform_into(series, &mut out);
+        out
+    }
+
+    /// Reconstructs a time-domain series from a *subset* of coefficients,
+    /// given as `(coefficient_index, re, im)` triples in the `1/sqrt(n)`
+    /// scaling. Missing coefficients are treated as zero. Used by the
+    /// Figure 1 / Figure 2 reproductions to show how closely a truncated
+    /// Fourier representation tracks the raw series.
+    #[must_use]
+    pub fn reconstruct(&self, coeffs: &[(usize, f32, f32)]) -> Vec<f32> {
+        let n = self.len();
+        let mut freq = vec![Complex32::ZERO; n];
+        let sqrt_n = (n as f32).sqrt();
+        for &(k, re, im) in coeffs {
+            assert!(k <= n / 2, "coefficient index out of range");
+            let v = Complex32::new(re * sqrt_n, im * sqrt_n);
+            freq[k] = v;
+            if k != 0 && !(n % 2 == 0 && k == n / 2) {
+                freq[n - k] = v.conj();
+            }
+        }
+        self.plan.full.inverse(&mut freq);
+        freq.into_iter().map(|c| c.re).collect()
+    }
+}
+
+/// Weighted squared distance between two full coefficient vectors in the
+/// `[re, im, ...]` layout — equals the time-domain squared ED up to
+/// rounding. Exposed for tests and the DFT-summarization baseline.
+#[must_use]
+pub fn full_spectrum_distance_sq(a: &[f32], b: &[f32], n: usize) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let mut sum = 0.0f32;
+    for k in 0..a.len() / 2 {
+        let w = coefficient_weight(k, n);
+        let dre = a[2 * k] - b[2 * k];
+        let dim = a[2 * k + 1] - b[2 * k + 1];
+        sum += w * (dre * dre + dim * dim);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..n).map(f).collect()
+    }
+
+    fn ed_sq(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn full_spectrum_distance_equals_time_domain() {
+        for n in [64usize, 96, 100, 128] {
+            let a = series(n, |i| (i as f32 * 0.3).sin());
+            let b = series(n, |i| (i as f32 * 0.3).cos() * 0.7);
+            let mut dft = RealDft::new(n);
+            let fa = dft.transform(&a);
+            let fb = dft.transform(&b);
+            let time = ed_sq(&a, &b);
+            let freq = full_spectrum_distance_sq(&fa, &fb, n);
+            assert!(
+                (time - freq).abs() < 1e-2 * time.max(1.0),
+                "n={n}: time={time} freq={freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_lower_bounds_time_domain() {
+        let n = 128;
+        let a = series(n, |i| (i as f32 * 0.13).sin() + (i as f32 * 0.91).cos());
+        let b = series(n, |i| (i as f32 * 0.29).sin());
+        let mut dft = RealDft::new(n);
+        let fa = dft.transform(&a);
+        let fb = dft.transform(&b);
+        let time = ed_sq(&a, &b);
+        // Any prefix of coefficients must lower-bound the true distance.
+        for keep in 1..=n / 2 {
+            let mut lb = 0.0f32;
+            for k in 0..keep {
+                let w = coefficient_weight(k, n);
+                let dre = fa[2 * k] - fb[2 * k];
+                let dim = fa[2 * k + 1] - fb[2 * k + 1];
+                lb += w * (dre * dre + dim * dim);
+            }
+            assert!(
+                lb <= time * (1.0 + 1e-4) + 1e-4,
+                "keep={keep}: lb={lb} > time={time}"
+            );
+        }
+    }
+
+    #[test]
+    fn dc_coefficient_is_scaled_mean() {
+        let n = 64;
+        let a = series(n, |i| i as f32);
+        let mut dft = RealDft::new(n);
+        let fa = dft.transform(&a);
+        // re_0 = sum(x)/sqrt(n) = mean * sqrt(n)
+        let mean = a.iter().sum::<f32>() / n as f32;
+        assert!((fa[0] - mean * (n as f32).sqrt()).abs() < 1e-2);
+        assert!(fa[1].abs() < 1e-3); // imag of DC is zero for real input
+    }
+
+    #[test]
+    fn znormalized_series_has_zero_dc() {
+        let n = 100;
+        let mut a = series(n, |i| (i as f32 * 0.7).sin() * 3.0 + 11.0);
+        // manual z-norm
+        let mean = a.iter().sum::<f32>() / n as f32;
+        let var = a.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        for x in &mut a {
+            *x = (*x - mean) / var.sqrt();
+        }
+        let mut dft = RealDft::new(n);
+        let fa = dft.transform(&a);
+        assert!(fa[0].abs() < 1e-3, "DC={}", fa[0]);
+    }
+
+    #[test]
+    fn reconstruct_full_spectrum_is_identity() {
+        let n = 64;
+        let a = series(n, |i| (i as f32 * 0.5).sin());
+        let mut dft = RealDft::new(n);
+        let fa = dft.transform(&a);
+        let coeffs: Vec<(usize, f32, f32)> =
+            (0..=n / 2).map(|k| (k, fa[2 * k], fa[2 * k + 1])).collect();
+        let rec = dft.reconstruct(&coeffs);
+        for (x, y) in a.iter().zip(rec.iter()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn truncated_reconstruction_reduces_error_with_more_coeffs() {
+        let n = 128;
+        let a = series(n, |i| {
+            (i as f32 * 0.1).sin() + 0.5 * (i as f32 * 0.45).sin() + 0.2 * (i as f32 * 1.3).cos()
+        });
+        let mut dft = RealDft::new(n);
+        let fa = dft.transform(&a);
+        let err = |keep: usize| {
+            let coeffs: Vec<(usize, f32, f32)> =
+                (0..keep).map(|k| (k, fa[2 * k], fa[2 * k + 1])).collect();
+            let rec = dft.reconstruct(&coeffs);
+            ed_sq(&a, &rec)
+        };
+        let e4 = err(4);
+        let e16 = err(16);
+        let e33 = err(n / 2 + 1);
+        assert!(e16 <= e4 + 1e-3);
+        assert!(e33 < 1e-2, "full reconstruction error {e33}");
+    }
+
+    #[test]
+    fn weights() {
+        assert_eq!(coefficient_weight(0, 64), 1.0);
+        assert_eq!(coefficient_weight(1, 64), 2.0);
+        assert_eq!(coefficient_weight(31, 64), 2.0);
+        assert_eq!(coefficient_weight(32, 64), 1.0); // Nyquist, even n
+        assert_eq!(coefficient_weight(32, 65), 2.0); // odd n: no Nyquist
+    }
+
+    #[test]
+    fn odd_length_series_supported() {
+        let n = 101;
+        let a = series(n, |i| (i as f32 * 0.2).sin());
+        let b = series(n, |i| (i as f32 * 0.6).sin());
+        let mut dft = RealDft::new(n);
+        let fa = dft.transform(&a);
+        let fb = dft.transform(&b);
+        assert_eq!(fa.len(), 2 * (n / 2 + 1));
+        let time = ed_sq(&a, &b);
+        let freq = full_spectrum_distance_sq(&fa, &fb, n);
+        assert!((time - freq).abs() < 1e-2 * time.max(1.0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests of the FFT substrate: the algebraic identities that must
+//! hold for *every* input, not just the unit-test vectors.
+
+use proptest::prelude::*;
+use sofa_fft::{coefficient_weight, Complex32, FftPlan, RealDft};
+
+fn signal_strategy(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    (min_len..=max_len)
+        .prop_flat_map(|n| proptest::collection::vec(-100.0f32..100.0, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// inverse(forward(x)) == x for arbitrary lengths (radix-2 and
+    /// Bluestein paths both exercised).
+    #[test]
+    fn roundtrip_identity(sig in signal_strategy(1, 200)) {
+        let n = sig.len();
+        let plan = FftPlan::new(n);
+        let mut data: Vec<Complex32> =
+            sig.iter().map(|&x| Complex32::new(x, 0.0)).collect();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        for (orig, back) in sig.iter().zip(data.iter()) {
+            let scale = orig.abs().max(1.0) * n as f32;
+            prop_assert!((orig - back.re).abs() < 1e-4 * scale, "{orig} vs {:?}", back);
+            prop_assert!(back.im.abs() < 1e-4 * scale);
+        }
+    }
+
+    /// Parseval: time-domain energy equals (1/n) frequency-domain energy.
+    #[test]
+    fn parseval(sig in signal_strategy(2, 200)) {
+        let n = sig.len();
+        let time: f64 = sig.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+        let mut data: Vec<Complex32> =
+            sig.iter().map(|&x| Complex32::new(x, 0.0)).collect();
+        FftPlan::new(n).forward(&mut data);
+        let freq: f64 =
+            data.iter().map(|c| f64::from(c.norm_sq())).sum::<f64>() / n as f64;
+        prop_assert!((time - freq).abs() < 1e-3 * time.max(1.0), "{time} vs {freq}");
+    }
+
+    /// The real-input front end agrees with the complex transform and the
+    /// full-spectrum distance equals the time-domain distance — for any
+    /// pair of equal-length signals (packed even path and direct odd path).
+    #[test]
+    fn real_dft_distance_identity(
+        a in signal_strategy(4, 160),
+        seed in 0u64..1000,
+    ) {
+        let n = a.len();
+        // Derive a second signal deterministically from the first.
+        let b: Vec<f32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * 0.5 + ((i as u64 + seed) % 17) as f32 - 8.0)
+            .collect();
+        let mut dft = RealDft::new(n);
+        let fa = dft.transform(&a);
+        let fb = dft.transform(&b);
+        let mut freq = 0.0f64;
+        for k in 0..=n / 2 {
+            let w = f64::from(coefficient_weight(k, n));
+            let dre = f64::from(fa[2 * k] - fb[2 * k]);
+            let dim = f64::from(fa[2 * k + 1] - fb[2 * k + 1]);
+            freq += w * (dre * dre + dim * dim);
+        }
+        let time: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| (f64::from(x) - f64::from(y)).powi(2))
+            .sum();
+        prop_assert!(
+            (time - freq).abs() < 1e-3 * time.max(1.0),
+            "n={n}: time={time} freq={freq}"
+        );
+    }
+
+    /// Any coefficient-prefix distance lower-bounds the full distance.
+    #[test]
+    fn prefix_lower_bound(sig in signal_strategy(8, 128), keep in 1usize..5) {
+        let n = sig.len();
+        let other: Vec<f32> = sig.iter().rev().copied().collect();
+        let mut dft = RealDft::new(n);
+        let fa = dft.transform(&sig);
+        let fb = dft.transform(&other);
+        let keep = keep.min(n / 2);
+        let mut lb = 0.0f64;
+        for k in 0..keep {
+            let w = f64::from(coefficient_weight(k, n));
+            let dre = f64::from(fa[2 * k] - fb[2 * k]);
+            let dim = f64::from(fa[2 * k + 1] - fb[2 * k + 1]);
+            lb += w * (dre * dre + dim * dim);
+        }
+        let time: f64 = sig
+            .iter()
+            .zip(other.iter())
+            .map(|(&x, &y)| (f64::from(x) - f64::from(y)).powi(2))
+            .sum();
+        prop_assert!(lb <= time * (1.0 + 1e-3) + 1e-3, "lb={lb} time={time}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Shared best-so-far (BSF) state for parallel query answering.
+//!
+//! MESSI's workers share one BSF value that every pruning decision reads
+//! and every improved real distance tightens (paper §IV-C). We store the
+//! squared distance as `f32` bits in an [`std::sync::atomic::AtomicU32`]:
+//! for non-negative IEEE-754 floats the bit pattern is monotone in the
+//! value, so a CAS-min on the bits is a CAS-min on the distance.
+//!
+//! For k-NN the BSF is the *k-th best* distance; [`KnnSet`] keeps the k
+//! best neighbors in a mutex-protected bounded max-heap and mirrors the
+//! k-th distance into an [`AtomicDistance`] so the hot pruning path stays
+//! lock-free.
+
+use parking_lot::Mutex;
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
+
+/// A lock-free, monotonically decreasing non-negative `f32`.
+#[derive(Debug)]
+pub struct AtomicDistance {
+    bits: AtomicU32,
+}
+
+impl AtomicDistance {
+    /// Starts at `+inf` (no candidate yet).
+    #[must_use]
+    pub fn new() -> Self {
+        AtomicDistance { bits: AtomicU32::new(f32::INFINITY.to_bits()) }
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn load(&self) -> f32 {
+        f32::from_bits(self.bits.load(AtomicOrdering::Acquire))
+    }
+
+    /// Lowers the value to `candidate` if it improves. Returns `true` when
+    /// this call updated the stored value.
+    ///
+    /// # Panics
+    /// Debug-asserts that `candidate` is non-negative (bit-ordering trick
+    /// requires it).
+    pub fn fetch_min(&self, candidate: f32) -> bool {
+        debug_assert!(candidate >= 0.0, "distances must be non-negative");
+        let new_bits = candidate.to_bits();
+        let mut current = self.bits.load(AtomicOrdering::Acquire);
+        loop {
+            if f32::from_bits(current) <= candidate {
+                return false;
+            }
+            match self.bits.compare_exchange_weak(
+                current,
+                new_bits,
+                AtomicOrdering::AcqRel,
+                AtomicOrdering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Overwrites the value unconditionally (used to seed the BSF after
+    /// the approximate-search phase).
+    pub fn store(&self, value: f32) {
+        self.bits.store(value.to_bits(), AtomicOrdering::Release);
+    }
+}
+
+impl Default for AtomicDistance {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One answer: a row id and its squared z-normalized Euclidean distance.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Row index into the indexed dataset.
+    pub row: u32,
+    /// Squared distance to the query.
+    pub dist_sq: f32,
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist_sq
+            .total_cmp(&other.dist_sq)
+            .then_with(|| self.row.cmp(&other.row))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Thread-safe set of the k best neighbors found so far.
+///
+/// `bound()` is `+inf` until k neighbors exist, then the k-th best squared
+/// distance — the value all pruning compares against.
+#[derive(Debug)]
+pub struct KnnSet {
+    k: usize,
+    /// Max-heap on distance: the root is the current k-th best.
+    heap: Mutex<Vec<Neighbor>>,
+    bound: AtomicDistance,
+}
+
+impl KnnSet {
+    /// Creates a set tracking the `k` nearest neighbors.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        KnnSet { k, heap: Mutex::new(Vec::with_capacity(k + 1)), bound: AtomicDistance::new() }
+    }
+
+    /// The current pruning bound (k-th best squared distance, or `+inf`).
+    #[inline]
+    #[must_use]
+    pub fn bound(&self) -> f32 {
+        self.bound.load()
+    }
+
+    /// Offers a candidate; returns `true` if it entered the k-best set.
+    /// Duplicate rows are ignored.
+    pub fn offer(&self, candidate: Neighbor) -> bool {
+        // Cheap rejection without the lock.
+        if candidate.dist_sq >= self.bound() {
+            return false;
+        }
+        let mut heap = self.heap.lock();
+        if heap.iter().any(|n| n.row == candidate.row) {
+            return false;
+        }
+        heap.push(candidate);
+        heap.sort_unstable(); // k is small (<= 50 in the paper's sweeps)
+        if heap.len() > self.k {
+            heap.pop();
+        }
+        if heap.len() == self.k {
+            self.bound.store(heap.last().expect("non-empty").dist_sq);
+        }
+        true
+    }
+
+    /// The neighbors found, best first.
+    #[must_use]
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_inner();
+        v.sort_unstable();
+        v
+    }
+
+    /// Snapshot of the neighbors, best first.
+    #[must_use]
+    pub fn sorted(&self) -> Vec<Neighbor> {
+        let mut v = self.heap.lock().clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_distance_min_semantics() {
+        let d = AtomicDistance::new();
+        assert_eq!(d.load(), f32::INFINITY);
+        assert!(d.fetch_min(5.0));
+        assert!(!d.fetch_min(7.0));
+        assert_eq!(d.load(), 5.0);
+        assert!(d.fetch_min(1.5));
+        assert_eq!(d.load(), 1.5);
+        assert!(d.fetch_min(0.0));
+        assert_eq!(d.load(), 0.0);
+    }
+
+    #[test]
+    fn atomic_distance_concurrent_min() {
+        use std::sync::Arc;
+        let d = Arc::new(AtomicDistance::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let d = Arc::clone(&d);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    d.fetch_min(((t * 1000 + i) % 997) as f32 + 1.0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.load(), 1.0);
+    }
+
+    #[test]
+    fn knn_keeps_k_best() {
+        let set = KnnSet::new(3);
+        for (row, dist) in [(1u32, 9.0f32), (2, 1.0), (3, 4.0), (4, 16.0), (5, 2.0)] {
+            set.offer(Neighbor { row, dist_sq: dist });
+        }
+        let best = set.into_sorted();
+        assert_eq!(best.len(), 3);
+        assert_eq!(best[0], Neighbor { row: 2, dist_sq: 1.0 });
+        assert_eq!(best[1], Neighbor { row: 5, dist_sq: 2.0 });
+        assert_eq!(best[2], Neighbor { row: 3, dist_sq: 4.0 });
+    }
+
+    #[test]
+    fn knn_bound_transitions_from_infinity() {
+        let set = KnnSet::new(2);
+        assert_eq!(set.bound(), f32::INFINITY);
+        set.offer(Neighbor { row: 1, dist_sq: 3.0 });
+        assert_eq!(set.bound(), f32::INFINITY); // only 1 of 2 found
+        set.offer(Neighbor { row: 2, dist_sq: 5.0 });
+        assert_eq!(set.bound(), 5.0);
+        set.offer(Neighbor { row: 3, dist_sq: 1.0 });
+        assert_eq!(set.bound(), 3.0);
+    }
+
+    #[test]
+    fn knn_rejects_duplicates_and_worse() {
+        let set = KnnSet::new(1);
+        assert!(set.offer(Neighbor { row: 7, dist_sq: 2.0 }));
+        assert!(!set.offer(Neighbor { row: 7, dist_sq: 2.0 }));
+        assert!(!set.offer(Neighbor { row: 8, dist_sq: 3.0 }));
+        assert!(set.offer(Neighbor { row: 9, dist_sq: 1.0 }));
+        assert_eq!(set.sorted()[0].row, 9);
+    }
+
+    #[test]
+    fn neighbor_ordering_breaks_ties_by_row() {
+        let a = Neighbor { row: 1, dist_sq: 2.0 };
+        let b = Neighbor { row: 2, dist_sq: 2.0 };
+        assert!(a < b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn knn_rejects_zero_k() {
+        let _ = KnnSet::new(0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Parallel index construction (paper §IV-G, Figure 5, stage 1).
+//!
+//! MESSI's build pipeline: raw series are z-normalized and summarized in
+//! parallel chunks (each worker owns a disjoint slice of the summary
+//! buffer, so no synchronization is needed), rows are grouped by their
+//! root key, and the resulting root-child groups are built into subtrees
+//! in parallel — each subtree is independent, so workers claim groups off
+//! an atomic counter and never contend. We materialize each subtree with
+//! a recursive bulk build, which produces exactly the tree that repeated
+//! leaf-splitting (iSAX 2.0's balanced splits) would: a leaf over capacity
+//! splits on the position whose next bit partitions its rows most evenly.
+
+use crate::config::IndexConfig;
+use crate::node::{root_key, Node, NodeKind, Subtree};
+use crate::{Index, IndexError};
+use sofa_simd::znormalize;
+use sofa_summaries::Summarization;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+impl<S: Summarization> Index<S> {
+    /// Builds an index over `raw_data` (row-major series of the
+    /// summarization's length). The data is copied and z-normalized; the
+    /// original buffer is untouched.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] for an empty buffer or one that
+    /// is not a whole number of series.
+    pub fn build(
+        summarization: S,
+        raw_data: &[f32],
+        config: IndexConfig,
+    ) -> Result<Self, IndexError> {
+        let n = summarization.series_len();
+        if n == 0 || raw_data.is_empty() {
+            return Err(IndexError::BadDataset("empty dataset".into()));
+        }
+        if raw_data.len() % n != 0 {
+            return Err(IndexError::BadDataset(format!(
+                "buffer of {} floats is not a multiple of series length {n}",
+                raw_data.len()
+            )));
+        }
+        let n_series = raw_data.len() / n;
+        let l = summarization.word_len();
+        let symbol_bits = summarization.symbol_bits();
+        if l > 64 {
+            return Err(IndexError::BadDataset("word length > 64 unsupported".into()));
+        }
+
+        // --- Phase 1: normalize + summarize (parallel, Figure 7 "Transformation").
+        let t0 = Instant::now();
+        let mut data = raw_data.to_vec();
+        let mut words = vec![0u8; n_series * l];
+        let mut keys = vec![0u64; n_series];
+        let threads = config.num_threads.max(1);
+        let rows_per_chunk = n_series.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            let summarization = &summarization;
+            for ((data_chunk, words_chunk), keys_chunk) in data
+                .chunks_mut(rows_per_chunk * n)
+                .zip(words.chunks_mut(rows_per_chunk * l))
+                .zip(keys.chunks_mut(rows_per_chunk))
+            {
+                scope.spawn(move |_| {
+                    let mut transformer = summarization.transformer();
+                    for ((series, word), key) in data_chunk
+                        .chunks_mut(n)
+                        .zip(words_chunk.chunks_mut(l))
+                        .zip(keys_chunk.iter_mut())
+                    {
+                        znormalize(series);
+                        transformer.word_into(series, word);
+                        *key = root_key(word, symbol_bits);
+                    }
+                });
+            }
+        })
+        .expect("build worker panicked");
+        let transform_secs = t0.elapsed().as_secs_f64();
+
+        // --- Phase 2: group rows by root key.
+        let t1 = Instant::now();
+        let mut groups: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (row, &key) in keys.iter().enumerate() {
+            groups.entry(key).or_default().push(row as u32);
+        }
+        let groups: Vec<(u64, Vec<u32>)> = groups.into_iter().collect();
+
+        // --- Phase 3: build subtrees in parallel (Figure 7 "Indexing").
+        let next_group = AtomicUsize::new(0);
+        let done = parking_lot::Mutex::new(Vec::with_capacity(groups.len()));
+        crossbeam::thread::scope(|scope| {
+            let groups = &groups;
+            let words = &words[..];
+            let next_group = &next_group;
+            let done = &done;
+            let config = &config;
+            for _ in 0..threads {
+                scope.spawn(move |_| loop {
+                    let g = next_group.fetch_add(1, Ordering::Relaxed);
+                    if g >= groups.len() {
+                        break;
+                    }
+                    let (key, rows) = &groups[g];
+                    let subtree =
+                        build_subtree(*key, rows.clone(), words, l, symbol_bits, config);
+                    done.lock().push(subtree);
+                });
+            }
+        })
+        .expect("subtree worker panicked");
+        let mut subtrees = done.into_inner();
+        subtrees.sort_by_key(|s| s.key);
+        let tree_secs = t1.elapsed().as_secs_f64();
+
+        Ok(Index {
+            summarization,
+            config,
+            data,
+            words,
+            subtrees,
+            series_len: n,
+            word_len: l,
+            build_breakdown: (transform_secs, tree_secs),
+        })
+    }
+
+    /// The subtree forest (read-only).
+    #[must_use]
+    pub fn subtrees(&self) -> &[Subtree] {
+        &self.subtrees
+    }
+}
+
+/// Builds one subtree over `rows`, whose words all share root key `key`.
+fn build_subtree(
+    key: u64,
+    rows: Vec<u32>,
+    words: &[u8],
+    l: usize,
+    symbol_bits: u8,
+    config: &IndexConfig,
+) -> Subtree {
+    // Root-child label: one bit per position, taken from the key.
+    let prefixes: Vec<u8> = (0..l).map(|j| ((key >> j) & 1) as u8).collect();
+    let bits = vec![1u8; l];
+    let mut nodes = Vec::new();
+    build_node(rows, prefixes, bits, &mut nodes, words, l, symbol_bits, config.leaf_capacity);
+    Subtree { key, nodes }
+}
+
+/// Recursively materializes the node for `rows`, returning its arena id.
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    rows: Vec<u32>,
+    prefixes: Vec<u8>,
+    bits: Vec<u8>,
+    arena: &mut Vec<Node>,
+    words: &[u8],
+    l: usize,
+    symbol_bits: u8,
+    leaf_capacity: usize,
+) -> u32 {
+    let id = arena.len() as u32;
+    if rows.len() <= leaf_capacity {
+        arena.push(Node { prefixes, bits, kind: NodeKind::Leaf { rows } });
+        return id;
+    }
+    // Balanced split (iSAX 2.0): among positions with spare cardinality,
+    // pick the one whose next bit divides the rows most evenly. Positions
+    // where every row agrees on the next bit cannot separate anything.
+    let mut best: Option<(usize, usize)> = None; // (imbalance, position)
+    for j in 0..l {
+        if bits[j] >= symbol_bits {
+            continue;
+        }
+        let shift = symbol_bits - bits[j] - 1;
+        let ones =
+            rows.iter().filter(|&&r| (words[r as usize * l + j] >> shift) & 1 == 1).count();
+        let zeros = rows.len() - ones;
+        if ones == 0 || zeros == 0 {
+            continue;
+        }
+        let imbalance = ones.abs_diff(zeros);
+        let better = match best {
+            None => true,
+            Some((bi, bj)) => {
+                imbalance < bi || (imbalance == bi && bits[j] < bits[bj])
+            }
+        };
+        if better {
+            best = Some((imbalance, j));
+        }
+    }
+    let Some((_, split_pos)) = best else {
+        // No position separates the rows (identical words up to full
+        // cardinality): keep an over-full leaf, as iSAX-family indices do.
+        arena.push(Node { prefixes, bits, kind: NodeKind::Leaf { rows } });
+        return id;
+    };
+
+    let shift = symbol_bits - bits[split_pos] - 1;
+    let (zeros, ones): (Vec<u32>, Vec<u32>) = rows
+        .iter()
+        .partition(|&&r| (words[r as usize * l + split_pos] >> shift) & 1 == 0);
+
+    // Reserve the inner node's slot before recursing so children ids are
+    // stable.
+    arena.push(Node {
+        prefixes: prefixes.clone(),
+        bits: bits.clone(),
+        kind: NodeKind::Inner { left: 0, right: 0, split_pos: split_pos as u16 },
+    });
+
+    let child_label = |bit: u8| {
+        let mut p = prefixes.clone();
+        let mut b = bits.clone();
+        p[split_pos] = (p[split_pos] << 1) | bit;
+        b[split_pos] += 1;
+        (p, b)
+    };
+    let (lp, lb) = child_label(0);
+    let left = build_node(zeros, lp, lb, arena, words, l, symbol_bits, leaf_capacity);
+    let (rp, rb) = child_label(1);
+    let right = build_node(ones, rp, rb, arena, words, l, symbol_bits, leaf_capacity);
+    match &mut arena[id as usize].kind {
+        NodeKind::Inner { left: lslot, right: rslot, .. } => {
+            *lslot = left;
+            *rslot = right;
+        }
+        NodeKind::Leaf { .. } => unreachable!("slot was reserved as inner"),
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofa_summaries::{ISax, SaxConfig};
+
+    fn dataset(count: usize, n: usize) -> Vec<f32> {
+        let mut data = Vec::with_capacity(count * n);
+        for r in 0..count {
+            for t in 0..n {
+                let x = t as f32;
+                data.push(
+                    (x * 0.2 + r as f32).sin() + 0.5 * (x * (0.5 + (r % 7) as f32 * 0.2)).cos(),
+                );
+            }
+        }
+        data
+    }
+
+    fn sax_index(count: usize, n: usize, leaf: usize, threads: usize) -> Index<ISax> {
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        Index::build(
+            sax,
+            &dataset(count, n),
+            IndexConfig::with_threads(threads).leaf_capacity(leaf),
+        )
+        .expect("build")
+    }
+
+    #[test]
+    fn every_row_lands_in_exactly_one_leaf() {
+        let idx = sax_index(500, 64, 32, 2);
+        let mut seen = vec![false; 500];
+        for st in idx.subtrees() {
+            for leaf in st.leaves() {
+                for &r in leaf.rows() {
+                    assert!(!seen[r as usize], "row {r} appears twice");
+                    seen[r as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some rows missing from the tree");
+    }
+
+    #[test]
+    fn leaves_respect_capacity_or_are_unsplittable() {
+        let idx = sax_index(1000, 64, 50, 2);
+        for st in idx.subtrees() {
+            for leaf in st.leaves() {
+                if leaf.rows().len() > 50 {
+                    // Over-full leaves are only allowed when no position
+                    // can separate the rows.
+                    let rows = leaf.rows();
+                    let l = 8;
+                    #[allow(clippy::needless_range_loop)]
+                    for j in 0..l {
+                        if leaf.bits[j] >= 8 {
+                            continue;
+                        }
+                        let shift = 8 - leaf.bits[j] - 1;
+                        let ones = rows
+                            .iter()
+                            .filter(|&&r| (idx.word(r as usize)[j] >> shift) & 1 == 1)
+                            .count();
+                        assert!(
+                            ones == 0 || ones == rows.len(),
+                            "splittable over-full leaf (pos {j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_labels_cover_their_rows() {
+        // Every row's word must match its leaf's prefix at every position.
+        let idx = sax_index(600, 64, 40, 3);
+        for st in idx.subtrees() {
+            for leaf in st.leaves() {
+                for &r in leaf.rows() {
+                    let w = idx.word(r as usize);
+                    #[allow(clippy::needless_range_loop)]
+                    for j in 0..8 {
+                        let b = leaf.bits[j];
+                        if b == 0 {
+                            continue;
+                        }
+                        assert_eq!(
+                            crate::node::symbol_prefix(w[j], b, 8),
+                            leaf.prefixes[j],
+                            "row {r} violates leaf label at position {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_deterministic_across_thread_counts() {
+        // The tree structure may vary with threads in MESSI, but our
+        // bulk build is deterministic: same groups, same splits.
+        let a = sax_index(400, 64, 30, 1);
+        let b = sax_index(400, 64, 30, 4);
+        assert_eq!(a.subtrees().len(), b.subtrees().len());
+        for (x, y) in a.subtrees().iter().zip(b.subtrees().iter()) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.n_rows(), y.n_rows());
+        }
+    }
+
+    #[test]
+    fn words_are_stored_per_row() {
+        let idx = sax_index(50, 64, 10, 2);
+        assert_eq!(idx.word(0).len(), 8);
+        assert_eq!(idx.n_series(), 50);
+        // Words must correspond to the (z-normalized) stored series.
+        let mut tr = idx.summarization().transformer();
+        for r in 0..50 {
+            let expect = tr.word(idx.series(r), 8);
+            assert_eq!(idx.word(r), &expect[..], "row {r}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let sax = ISax::new(64, &SaxConfig { word_len: 8, alphabet: 256 });
+        assert!(matches!(
+            Index::build(sax, &[], IndexConfig::default()),
+            Err(IndexError::BadDataset(_))
+        ));
+        let sax = ISax::new(64, &SaxConfig { word_len: 8, alphabet: 256 });
+        assert!(matches!(
+            Index::build(sax, &vec![0.0; 65], IndexConfig::default()),
+            Err(IndexError::BadDataset(_))
+        ));
+    }
+
+    #[test]
+    fn build_breakdown_reports_phases() {
+        let idx = sax_index(200, 64, 20, 2);
+        let (transform, tree) = idx.build_breakdown();
+        assert!(transform >= 0.0 && tree >= 0.0);
+    }
+
+    #[test]
+    fn subtrees_sorted_by_key() {
+        let idx = sax_index(800, 64, 25, 2);
+        let keys: Vec<u64> = idx.subtrees().iter().map(|s| s.key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -1,0 +1,73 @@
+//! Index build and query configuration.
+
+/// Configuration for [`crate::Index`] construction and querying.
+///
+/// Defaults follow the paper's setup (§V "Setup"): leaf capacity 20,000,
+/// one priority queue per worker thread. `num_threads` defaults to the
+/// machine's available parallelism.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Maximum series per leaf before it splits (`leaf-size`). The paper
+    /// sweeps this in Figure 11 and settles on 20,000.
+    pub leaf_capacity: usize,
+    /// Worker threads for build and query phases.
+    pub num_threads: usize,
+    /// Number of leaf priority queues used during query refinement;
+    /// the paper sets it to the core count.
+    pub num_queues: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        IndexConfig { leaf_capacity: 20_000, num_threads: threads, num_queues: threads }
+    }
+}
+
+impl IndexConfig {
+    /// Config with `threads` workers and matching queue count.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        IndexConfig {
+            num_threads: threads.max(1),
+            num_queues: threads.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the leaf capacity, returning the modified config.
+    #[must_use]
+    pub fn leaf_capacity(mut self, capacity: usize) -> Self {
+        self.leaf_capacity = capacity.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = IndexConfig::default();
+        assert_eq!(c.leaf_capacity, 20_000);
+        assert_eq!(c.num_queues, c.num_threads);
+        assert!(c.num_threads >= 1);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = IndexConfig::with_threads(4).leaf_capacity(100);
+        assert_eq!(c.num_threads, 4);
+        assert_eq!(c.num_queues, 4);
+        assert_eq!(c.leaf_capacity, 100);
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        let c = IndexConfig::with_threads(0);
+        assert_eq!(c.num_threads, 1);
+        let c2 = IndexConfig::default().leaf_capacity(0);
+        assert_eq!(c2.leaf_capacity, 1);
+    }
+}

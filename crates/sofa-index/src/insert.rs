@@ -1,0 +1,324 @@
+//! Incremental insertion — the iSAX-2.0-style online path of the index
+//! family.
+//!
+//! MESSI (and SOFA) are described as batch-built indexes, but every member
+//! of the iSAX family also supports online insertion: append the series,
+//! compute its word, descend the home subtree to a leaf, and when the leaf
+//! exceeds its capacity split it by increasing the cardinality of the
+//! position whose next bit divides the leaf's rows most evenly (paper
+//! §IV-B: "when the number of series in a leaf node exceeds its capacity,
+//! the leaf splits into two new leaves, becoming an inner node"). This
+//! module implements that path so the index stays usable for workloads
+//! that trickle in after the initial bulk build.
+//!
+//! Inserts keep every exactness invariant: the new row's word respects its
+//! leaf's prefix (checked by tests), so queries started after an insert
+//! see the new series.
+
+use crate::node::{root_key, Node, NodeKind, Subtree};
+use crate::{Index, IndexError};
+use sofa_summaries::Summarization;
+
+impl<S: Summarization> Index<S> {
+    /// Inserts one series, returning its row id.
+    ///
+    /// The series is z-normalized and summarized with the index's learned
+    /// model. Note that an SFA model learned at build time is *not*
+    /// re-learned — the paper's batch protocol; drifting data would call
+    /// for a rebuild.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] if the series length mismatches.
+    pub fn insert(&mut self, series: &[f32]) -> Result<u32, IndexError> {
+        if series.len() != self.series_len {
+            return Err(IndexError::BadQuery(format!(
+                "series length {} != index series length {}",
+                series.len(),
+                self.series_len
+            )));
+        }
+        // Append normalized values and the word.
+        let mut z = series.to_vec();
+        sofa_simd::znormalize(&mut z);
+        let mut word = vec![0u8; self.word_len];
+        self.summarization.transformer().word_into(&z, &mut word);
+        let row = (self.data.len() / self.series_len) as u32;
+        self.data.extend_from_slice(&z);
+        self.words.extend_from_slice(&word);
+
+        let symbol_bits = self.summarization.symbol_bits();
+        let key = root_key(&word, symbol_bits);
+        let subtree_idx = match self.subtrees.binary_search_by_key(&key, |s| s.key) {
+            Ok(i) => i,
+            Err(i) => {
+                // New root child: a fresh subtree holding one leaf.
+                let prefixes: Vec<u8> =
+                    (0..self.word_len).map(|j| ((key >> j) & 1) as u8).collect();
+                let bits = vec![1u8; self.word_len];
+                self.subtrees.insert(
+                    i,
+                    Subtree {
+                        key,
+                        nodes: vec![Node { prefixes, bits, kind: NodeKind::Leaf { rows: vec![] } }],
+                    },
+                );
+                i
+            }
+        };
+
+        // Descend to the home leaf by the word's bits.
+        let subtree = &mut self.subtrees[subtree_idx];
+        let mut id = 0u32;
+        loop {
+            match &subtree.nodes[id as usize].kind {
+                NodeKind::Leaf { .. } => break,
+                NodeKind::Inner { left, right, split_pos } => {
+                    let pos = *split_pos as usize;
+                    let child_bits = subtree.nodes[id as usize].bits[pos] + 1;
+                    let bit = (word[pos] >> (symbol_bits - child_bits)) & 1;
+                    id = if bit == 0 { *left } else { *right };
+                }
+            }
+        }
+        match &mut subtree.nodes[id as usize].kind {
+            NodeKind::Leaf { rows } => rows.push(row),
+            NodeKind::Inner { .. } => unreachable!("descent ends at a leaf"),
+        }
+        split_while_overfull(
+            subtree,
+            id,
+            &self.words,
+            self.word_len,
+            symbol_bits,
+            self.config.leaf_capacity,
+        );
+        Ok(row)
+    }
+
+    /// Inserts every series in a row-major buffer, returning the first new
+    /// row id.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] if the buffer is not a whole
+    /// number of series.
+    pub fn insert_all(&mut self, buffer: &[f32]) -> Result<u32, IndexError> {
+        if buffer.is_empty() || buffer.len() % self.series_len != 0 {
+            return Err(IndexError::BadDataset(
+                "buffer must be a non-empty whole number of series".into(),
+            ));
+        }
+        let first = (self.data.len() / self.series_len) as u32;
+        for series in buffer.chunks(self.series_len) {
+            self.insert(series)?;
+        }
+        Ok(first)
+    }
+}
+
+/// Splits `leaf` (and any over-full child produced by the split) using the
+/// balanced-split rule, mutating the subtree arena in place.
+fn split_while_overfull(
+    subtree: &mut Subtree,
+    leaf: u32,
+    words: &[u8],
+    l: usize,
+    symbol_bits: u8,
+    leaf_capacity: usize,
+) {
+    let mut pending = vec![leaf];
+    while let Some(id) = pending.pop() {
+        let (rows, prefixes, bits) = {
+            let node = &subtree.nodes[id as usize];
+            let NodeKind::Leaf { rows } = &node.kind else { continue };
+            if rows.len() <= leaf_capacity {
+                continue;
+            }
+            (rows.clone(), node.prefixes.clone(), node.bits.clone())
+        };
+
+        // Balanced split position (same rule as the bulk build).
+        let mut best: Option<(usize, usize)> = None;
+        for j in 0..l {
+            if bits[j] >= symbol_bits {
+                continue;
+            }
+            let shift = symbol_bits - bits[j] - 1;
+            let ones =
+                rows.iter().filter(|&&r| (words[r as usize * l + j] >> shift) & 1 == 1).count();
+            let zeros = rows.len() - ones;
+            if ones == 0 || zeros == 0 {
+                continue;
+            }
+            let imbalance = ones.abs_diff(zeros);
+            let better = match best {
+                None => true,
+                Some((bi, bj)) => imbalance < bi || (imbalance == bi && bits[j] < bits[bj]),
+            };
+            if better {
+                best = Some((imbalance, j));
+            }
+        }
+        let Some((_, split_pos)) = best else {
+            continue; // unsplittable: allow the over-full leaf
+        };
+
+        let shift = symbol_bits - bits[split_pos] - 1;
+        let (zeros, ones): (Vec<u32>, Vec<u32>) = rows
+            .iter()
+            .partition(|&&r| (words[r as usize * l + split_pos] >> shift) & 1 == 0);
+
+        let child = |bit: u8, rows: Vec<u32>| {
+            let mut p = prefixes.clone();
+            let mut b = bits.clone();
+            p[split_pos] = (p[split_pos] << 1) | bit;
+            b[split_pos] += 1;
+            Node { prefixes: p, bits: b, kind: NodeKind::Leaf { rows } }
+        };
+        let left = subtree.nodes.len() as u32;
+        subtree.nodes.push(child(0, zeros));
+        let right = subtree.nodes.len() as u32;
+        subtree.nodes.push(child(1, ones));
+        subtree.nodes[id as usize].kind =
+            NodeKind::Inner { left, right, split_pos: split_pos as u16 };
+        pending.push(left);
+        pending.push(right);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::symbol_prefix;
+    use crate::IndexConfig;
+    use sofa_summaries::{ISax, SaxConfig};
+
+    fn dataset(count: usize, n: usize, seed: usize) -> Vec<f32> {
+        let mut data = Vec::with_capacity(count * n);
+        for r in 0..count {
+            for t in 0..n {
+                let x = t as f32;
+                let r = (r + seed) as f32;
+                data.push((x * 0.21 + r).sin() + 0.6 * (x * (0.3 + (r % 13.0) * 0.07)).cos());
+            }
+        }
+        data
+    }
+
+    fn empty_then_insert(data: &[f32], n: usize, leaf: usize) -> Index<ISax> {
+        // Bootstrap with the first series, then insert the rest online.
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let mut idx = Index::build(
+            sax,
+            &data[..n],
+            IndexConfig::with_threads(1).leaf_capacity(leaf),
+        )
+        .expect("build");
+        idx.insert_all(&data[n..]).expect("insert");
+        idx
+    }
+
+    #[test]
+    fn inserted_index_matches_bulk_built_queries() {
+        let n = 64;
+        let data = dataset(500, n, 0);
+        let incremental = empty_then_insert(&data, n, 30);
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let bulk =
+            Index::build(sax, &data, IndexConfig::with_threads(1).leaf_capacity(30)).expect("build");
+        let queries = dataset(6, n, 900);
+        for q in queries.chunks(n) {
+            let a = incremental.nn(q).expect("query");
+            let b = bulk.nn(q).expect("query");
+            assert!(
+                (a.dist_sq - b.dist_sq).abs() < 1e-4 * a.dist_sq.max(1.0),
+                "incremental {a:?} vs bulk {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inserts_split_leaves() {
+        let n = 64;
+        let data = dataset(400, n, 3);
+        let idx = empty_then_insert(&data, n, 10);
+        let stats = idx.stats();
+        assert!(stats.leaves > 1, "splitting must have happened: {stats:?}");
+        assert_eq!(stats.n_series, 400);
+    }
+
+    #[test]
+    fn every_inserted_row_respects_its_leaf_label() {
+        let n = 64;
+        let data = dataset(300, n, 7);
+        let idx = empty_then_insert(&data, n, 20);
+        for st in idx.subtrees() {
+            for leaf in st.leaves() {
+                for &r in leaf.rows() {
+                    let w = idx.word(r as usize);
+                    for (j, (&prefix, &b)) in
+                        leaf.prefixes.iter().zip(leaf.bits.iter()).enumerate()
+                    {
+                        if b == 0 {
+                            continue;
+                        }
+                        assert_eq!(
+                            symbol_prefix(w[j], b, 8),
+                            prefix,
+                            "row {r} violates label at {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inserted_series_are_findable() {
+        let n = 64;
+        let base = dataset(100, n, 0);
+        let extra = dataset(50, n, 5000);
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let mut idx = Index::build(
+            sax,
+            &base,
+            IndexConfig::with_threads(1).leaf_capacity(16),
+        )
+        .expect("build");
+        let first = idx.insert_all(&extra).expect("insert");
+        assert_eq!(first, 100);
+        // Each inserted series must find itself as its own 1-NN.
+        for (i, s) in extra.chunks(n).enumerate() {
+            let nn = idx.nn(s).expect("query");
+            assert!(nn.dist_sq < 1e-4, "inserted series {i} not found: {nn:?}");
+        }
+    }
+
+    #[test]
+    fn insert_rejects_wrong_length() {
+        let n = 32;
+        let data = dataset(10, n, 0);
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let mut idx = Index::build(sax, &data, IndexConfig::default()).expect("build");
+        assert!(idx.insert(&[0.0; 31]).is_err());
+        assert!(idx.insert_all(&[0.0; 33]).is_err());
+    }
+
+    #[test]
+    fn insert_creates_new_subtrees_when_needed() {
+        let n = 64;
+        // Bootstrap with a smooth series, then insert a very different one
+        // whose root key should differ.
+        let smooth: Vec<f32> = (0..n).map(|t| (t as f32 * 0.1).sin()).collect();
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let mut idx =
+            Index::build(sax, &smooth, IndexConfig::with_threads(1).leaf_capacity(4))
+                .expect("build");
+        let before = idx.subtrees().len();
+        let spiky: Vec<f32> =
+            (0..n).map(|t| if t % 2 == 0 { 1.0 } else { -1.0 } * (t as f32 * 0.9).cos()).collect();
+        idx.insert(&spiky).expect("insert");
+        assert!(idx.subtrees().len() >= before);
+        let nn = idx.nn(&spiky).expect("query");
+        assert!(nn.dist_sq < 1e-4);
+    }
+}

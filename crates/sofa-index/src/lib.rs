@@ -1,0 +1,139 @@
+//! MESSI-style parallel in-memory tree index for exact similarity search.
+//!
+//! This crate is the index half of SOFA (paper §IV). It implements the
+//! MESSI architecture (Peng, Fatourou, Palpanas — ICDE 2020) *generically
+//! over the summarization*:
+//!
+//! * instantiated with [`sofa_summaries::ISax`] it is **MESSI**,
+//! * instantiated with [`sofa_summaries::Sfa`] it is **SOFA**.
+//!
+//! The structure (paper §IV-B): a forest of **subtrees** hanging off an
+//! implicit root. Each root child is labelled by the first bit of every
+//! word position; inner nodes refine one position by one bit (the iSAX
+//! variable-cardinality trick, which works identically for SFA words since
+//! both are vectors of symbols over per-position ordered breakpoint
+//! tables); leaves hold row ids of the indexed series.
+//!
+//! Query answering (paper §IV-C) follows GEMINI exactly:
+//!
+//! 1. **Approximate search** descends to the query's home leaf and
+//!    computes real distances there, seeding the best-so-far (BSF).
+//! 2. **Collect**: workers traverse subtrees in parallel, prune whole
+//!    subtrees/nodes whose node-level lower bound exceeds the BSF, and
+//!    push surviving leaves into a fixed number of priority queues ordered
+//!    by leaf lower bound.
+//! 3. **Refine**: workers drain the queues; a popped leaf whose lower
+//!    bound exceeds the BSF abandons its entire queue (everything behind
+//!    it is farther). Surviving leaves evaluate per-series lower bounds
+//!    with the SIMD mindist kernel (early-abandoned against the BSF) and
+//!    only then compute real distances (also early-abandoned), updating
+//!    the shared atomic BSF.
+//!
+//! The result is exact: every pruning step is justified by a lower bound.
+//! The crate-level tests and the workspace property tests verify that the
+//! index returns byte-identical nearest neighbors to a brute-force scan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bsf;
+pub mod build;
+pub mod config;
+pub mod insert;
+pub mod node;
+pub mod query;
+pub mod stats;
+
+pub use bsf::{AtomicDistance, KnnSet, Neighbor};
+pub use config::IndexConfig;
+pub use node::{Node, NodeKind, Subtree};
+pub use query::QueryStats;
+pub use stats::IndexStats;
+
+use sofa_summaries::Summarization;
+
+/// Errors surfaced while building or querying an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The dataset buffer was empty or not a whole number of series.
+    BadDataset(String),
+    /// A query's length does not match the indexed series length.
+    BadQuery(String),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+            IndexError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// An exact similarity-search index over fixed-length data series.
+///
+/// Owns a z-normalized copy of the data, the per-series words, and the
+/// subtree forest. `S` supplies the summarization (iSAX → MESSI,
+/// SFA → SOFA).
+pub struct Index<S: Summarization> {
+    pub(crate) summarization: S,
+    pub(crate) config: IndexConfig,
+    /// Z-normalized series, row-major.
+    pub(crate) data: Vec<f32>,
+    /// Per-series words, row-major (`n_series * word_len`).
+    pub(crate) words: Vec<u8>,
+    /// Subtrees sorted by root key.
+    pub(crate) subtrees: Vec<Subtree>,
+    pub(crate) series_len: usize,
+    pub(crate) word_len: usize,
+    /// Wall-clock seconds spent in each build phase
+    /// (transform, tree construction) — Figure 7's breakdown.
+    pub(crate) build_breakdown: (f64, f64),
+}
+
+impl<S: Summarization> Index<S> {
+    /// Number of indexed series.
+    #[must_use]
+    pub fn n_series(&self) -> usize {
+        self.data.len().checked_div(self.series_len).unwrap_or(0)
+    }
+
+    /// Length of every indexed series.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// The summarization model in use.
+    #[must_use]
+    pub fn summarization(&self) -> &S {
+        &self.summarization
+    }
+
+    /// The build configuration.
+    #[must_use]
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Z-normalized series `row`.
+    #[must_use]
+    pub fn series(&self, row: usize) -> &[f32] {
+        &self.data[row * self.series_len..(row + 1) * self.series_len]
+    }
+
+    /// Word of series `row`.
+    #[must_use]
+    pub fn word(&self, row: usize) -> &[u8] {
+        &self.words[row * self.word_len..(row + 1) * self.word_len]
+    }
+
+    /// `(transform_seconds, tree_seconds)` measured during the build —
+    /// the Figure 7 stacked-bar data.
+    #[must_use]
+    pub fn build_breakdown(&self) -> (f64, f64) {
+        self.build_breakdown
+    }
+}

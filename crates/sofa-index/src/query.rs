@@ -1,0 +1,412 @@
+//! Exact query answering (paper §IV-C, Figure 5 stage 2).
+//!
+//! The three GEMINI phases — approximate seed, parallel collect, parallel
+//! refine — are documented on the crate root. All pruning reads a shared
+//! atomic best-so-far bound (the k-th best distance for k-NN); every
+//! surviving candidate pays a SIMD lower-bound check before the real
+//! distance is computed, both early-abandoned against the bound.
+
+use crate::bsf::{KnnSet, Neighbor};
+use crate::node::{root_key, NodeKind, Subtree};
+use crate::{Index, IndexError};
+use parking_lot::Mutex;
+use sofa_simd::euclidean_sq_early_abandon;
+use sofa_summaries::{mindist_node, mindist_simd, QueryContext, RootLbd, Summarization};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Counters describing how much work one query performed — the raw
+/// material for the paper's pruning-power discussion (§V-E).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Leaves pushed into the priority queues.
+    pub leaves_collected: usize,
+    /// Leaves whose series were actually examined.
+    pub leaves_refined: usize,
+    /// Inner nodes or leaves pruned by the node-level lower bound.
+    pub nodes_pruned: usize,
+    /// Per-series lower-bound evaluations.
+    pub series_lbd_checked: usize,
+    /// Per-series real-distance evaluations (survived the LBD).
+    pub series_refined: usize,
+    /// Queues abandoned because their minimum exceeded the bound.
+    pub queues_abandoned: usize,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    leaves_collected: AtomicUsize,
+    leaves_refined: AtomicUsize,
+    nodes_pruned: AtomicUsize,
+    series_lbd_checked: AtomicUsize,
+    series_refined: AtomicUsize,
+    queues_abandoned: AtomicUsize,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> QueryStats {
+        QueryStats {
+            leaves_collected: self.leaves_collected.load(Ordering::Relaxed),
+            leaves_refined: self.leaves_refined.load(Ordering::Relaxed),
+            nodes_pruned: self.nodes_pruned.load(Ordering::Relaxed),
+            series_lbd_checked: self.series_lbd_checked.load(Ordering::Relaxed),
+            series_refined: self.series_refined.load(Ordering::Relaxed),
+            queues_abandoned: self.queues_abandoned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A leaf waiting in a priority queue, ordered by ascending lower bound.
+#[derive(Copy, Clone, Debug, PartialEq)]
+struct QueueEntry {
+    lbd: f32,
+    subtree: u32,
+    node: u32,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.lbd
+            .total_cmp(&other.lbd)
+            .then_with(|| self.subtree.cmp(&other.subtree))
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S: Summarization> Index<S> {
+    /// Exact 1-NN under z-normalized Euclidean distance.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on a length mismatch.
+    pub fn nn(&self, query: &[f32]) -> Result<Neighbor, IndexError> {
+        Ok(self.knn(query, 1)?[0])
+    }
+
+    /// Exact k-NN, best first. Returns `min(k, n_series)` neighbors.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on a length mismatch or `k == 0`.
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, IndexError> {
+        self.knn_with_stats(query, k).map(|(nn, _)| nn)
+    }
+
+    /// Exact k-NN plus per-query work counters.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on a length mismatch or `k == 0`.
+    pub fn knn_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+    ) -> Result<(Vec<Neighbor>, QueryStats), IndexError> {
+        if query.len() != self.series_len {
+            return Err(IndexError::BadQuery(format!(
+                "query length {} != series length {}",
+                query.len(),
+                self.series_len
+            )));
+        }
+        if k == 0 {
+            return Err(IndexError::BadQuery("k must be at least 1".into()));
+        }
+
+        // Work in z-normalized space, like every indexed series.
+        let mut q = query.to_vec();
+        sofa_simd::znormalize(&mut q);
+
+        let ctx = QueryContext::new(&self.summarization, &q);
+        // The query word is the quantization of the context's values — no
+        // second transform needed.
+        let qword = ctx.word();
+        let root_lbd = RootLbd::new(&ctx);
+
+        let knn = KnnSet::new(k);
+        let stats = AtomicStats::default();
+
+        // --- Phase 1: approximate search seeds the BSF.
+        self.approximate_into(&q, &qword, &ctx, &knn);
+
+        // --- Phase 2: collect unpruned leaves into priority queues.
+        let num_queues = self.config.num_queues.max(1);
+        let queues: Vec<Mutex<BinaryHeap<Reverse<QueueEntry>>>> =
+            (0..num_queues).map(|_| Mutex::new(BinaryHeap::new())).collect();
+        let next_subtree = AtomicUsize::new(0);
+        let push_counter = AtomicUsize::new(0);
+        let threads = self.config.num_threads.max(1);
+        let done: Vec<AtomicBool> = (0..num_queues).map(|_| AtomicBool::new(false)).collect();
+
+        if threads == 1 {
+            // Serial fast path: identical algorithm without the scoped
+            // thread spawns, whose cost would dominate sub-millisecond
+            // queries and mask the algorithmic comparison.
+            for (s, subtree) in self.subtrees.iter().enumerate() {
+                self.collect_subtree(
+                    subtree,
+                    s as u32,
+                    &ctx,
+                    &root_lbd,
+                    &knn,
+                    &queues,
+                    &push_counter,
+                    &stats,
+                );
+            }
+            self.refine_from_queues(0, &q, &queues, &done, &ctx, &knn, &stats);
+            return Ok((knn.into_sorted(), stats.snapshot()));
+        }
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    loop {
+                        let s = next_subtree.fetch_add(1, Ordering::Relaxed);
+                        if s >= self.subtrees.len() {
+                            break;
+                        }
+                        self.collect_subtree(
+                            &self.subtrees[s],
+                            s as u32,
+                            &ctx,
+                            &root_lbd,
+                            &knn,
+                            &queues,
+                            &push_counter,
+                            &stats,
+                        );
+                    }
+                });
+            }
+        })
+        .expect("collect worker panicked");
+
+        // --- Phase 3: refine from the queues.
+        crossbeam::thread::scope(|scope| {
+            for worker in 0..threads {
+                let queues = &queues;
+                let done = &done;
+                let knn = &knn;
+                let ctx = &ctx;
+                let stats = &stats;
+                let q = &q[..];
+                scope.spawn(move |_| {
+                    self.refine_from_queues(worker, q, queues, done, ctx, knn, stats);
+                });
+            }
+        })
+        .expect("refine worker panicked");
+
+        Ok((knn.into_sorted(), stats.snapshot()))
+    }
+
+    /// Approximate 1-NN only (the paper's "Approximate Search" stage used
+    /// on its own): descend to the query's home leaf and return the best
+    /// real distance there. The answer is not guaranteed exact.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on a length mismatch.
+    pub fn approximate_nn(&self, query: &[f32]) -> Result<Neighbor, IndexError> {
+        if query.len() != self.series_len {
+            return Err(IndexError::BadQuery(format!(
+                "query length {} != series length {}",
+                query.len(),
+                self.series_len
+            )));
+        }
+        let mut q = query.to_vec();
+        sofa_simd::znormalize(&mut q);
+        let ctx = QueryContext::new(&self.summarization, &q);
+        let qword = ctx.word();
+        let knn = KnnSet::new(1);
+        self.approximate_into(&q, &qword, &ctx, &knn);
+        knn.sorted()
+            .first()
+            .copied()
+            .ok_or_else(|| IndexError::BadQuery("index is empty".into()))
+    }
+
+    /// Approximate search (paper §IV-C): identify the leaf with the
+    /// smallest lower-bound distance and seed the BSF from its series.
+    ///
+    /// The query's home subtree (exact root-key match) is tried first; the
+    /// descent then follows the child with the smaller node-level mindist,
+    /// which is robust even when individual word bits of the query are
+    /// noisy. When no subtree matches the key, the subtree whose root has
+    /// the smallest mindist is used instead.
+    fn approximate_into(&self, q: &[f32], qword: &[u8], ctx: &QueryContext<'_>, knn: &KnnSet) {
+        let key = root_key(qword, self.summarization.symbol_bits());
+        let subtree = match self.subtrees.binary_search_by_key(&key, |s| s.key) {
+            Ok(i) => &self.subtrees[i],
+            Err(_) => self
+                .subtrees
+                .iter()
+                .min_by(|a, b| {
+                    let da = mindist_node(ctx, &a.nodes[0].prefixes, &a.nodes[0].bits);
+                    let db = mindist_node(ctx, &b.nodes[0].prefixes, &b.nodes[0].bits);
+                    da.total_cmp(&db)
+                })
+                .expect("index has at least one subtree"),
+        };
+        let mut node = &subtree.nodes[0];
+        loop {
+            match &node.kind {
+                NodeKind::Leaf { rows } => {
+                    for &row in rows {
+                        let bound = knn.bound();
+                        let d = euclidean_sq_early_abandon(q, self.series(row as usize), bound);
+                        // An abandoned distance (> bound) is rejected by
+                        // `offer` anyway, so no exactness hazard here.
+                        if d < bound {
+                            knn.offer(Neighbor { row, dist_sq: d });
+                        }
+                    }
+                    return;
+                }
+                NodeKind::Inner { left, right, .. } => {
+                    let l = &subtree.nodes[*left as usize];
+                    let r = &subtree.nodes[*right as usize];
+                    let dl = mindist_node(ctx, &l.prefixes, &l.bits);
+                    let dr = mindist_node(ctx, &r.prefixes, &r.bits);
+                    node = if dl <= dr { l } else { r };
+                }
+            }
+        }
+    }
+
+    /// DFS over one subtree, pruning by node lower bound and pushing
+    /// surviving leaves into the queues round-robin.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_subtree(
+        &self,
+        subtree: &Subtree,
+        subtree_idx: u32,
+        ctx: &QueryContext<'_>,
+        root_lbd: &RootLbd,
+        knn: &KnnSet,
+        queues: &[Mutex<BinaryHeap<Reverse<QueueEntry>>>],
+        push_counter: &AtomicUsize,
+        stats: &AtomicStats,
+    ) {
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(id) = stack.pop() {
+            let node = &subtree.nodes[id as usize];
+            // The root's 1-bit-per-position label is fully determined by
+            // the subtree key: use the precomputed XOR-penalty evaluation
+            // (this scan touches every subtree, so it is hot).
+            let lbd = if id == 0 {
+                root_lbd.eval(subtree.key)
+            } else {
+                mindist_node(ctx, &node.prefixes, &node.bits)
+            };
+            if lbd >= knn.bound() {
+                stats.nodes_pruned.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf { rows } => {
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    let slot = push_counter.fetch_add(1, Ordering::Relaxed) % queues.len();
+                    queues[slot]
+                        .lock()
+                        .push(Reverse(QueueEntry { lbd, subtree: subtree_idx, node: id }));
+                    stats.leaves_collected.fetch_add(1, Ordering::Relaxed);
+                }
+                NodeKind::Inner { left, right, .. } => {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+        }
+    }
+
+    /// Drains queues starting at `worker`'s own queue: pop the minimum
+    /// leaf, abandon the whole queue once its minimum exceeds the bound,
+    /// otherwise refine the leaf's series.
+    #[allow(clippy::too_many_arguments)]
+    fn refine_from_queues(
+        &self,
+        worker: usize,
+        q: &[f32],
+        queues: &[Mutex<BinaryHeap<Reverse<QueueEntry>>>],
+        done: &[AtomicBool],
+        ctx: &QueryContext<'_>,
+        knn: &KnnSet,
+        stats: &AtomicStats,
+    ) {
+        let nq = queues.len();
+        loop {
+            let mut progressed = false;
+            for offset in 0..nq {
+                let qi = (worker + offset) % nq;
+                if done[qi].load(Ordering::Acquire) {
+                    continue;
+                }
+                let entry = queues[qi].lock().pop();
+                let Some(Reverse(entry)) = entry else {
+                    done[qi].store(true, Ordering::Release);
+                    continue;
+                };
+                progressed = true;
+                if entry.lbd >= knn.bound() {
+                    // Everything left in this queue has a larger lower
+                    // bound: abandon it wholesale (paper §IV-C).
+                    done[qi].store(true, Ordering::Release);
+                    stats.queues_abandoned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                self.refine_leaf(entry, q, ctx, knn, stats);
+            }
+            if !progressed && done.iter().all(|d| d.load(Ordering::Acquire)) {
+                break;
+            }
+            if !progressed {
+                // All queues momentarily empty but not flagged: flag them.
+                for d in done {
+                    d.store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    /// Evaluates every series in a leaf: SIMD lower bound first, real
+    /// distance only for survivors; both early-abandon on the bound.
+    fn refine_leaf(
+        &self,
+        entry: QueueEntry,
+        q: &[f32],
+        ctx: &QueryContext<'_>,
+        knn: &KnnSet,
+        stats: &AtomicStats,
+    ) {
+        let subtree = &self.subtrees[entry.subtree as usize];
+        let node = &subtree.nodes[entry.node as usize];
+        stats.leaves_refined.fetch_add(1, Ordering::Relaxed);
+        let mut lbd_checked = 0usize;
+        let mut refined = 0usize;
+        for &row in node.rows() {
+            let bound = knn.bound();
+            lbd_checked += 1;
+            let lbd = mindist_simd(ctx, self.word(row as usize), bound);
+            if lbd >= bound {
+                continue;
+            }
+            refined += 1;
+            let d = euclidean_sq_early_abandon(q, self.series(row as usize), bound);
+            if d < bound {
+                knn.offer(Neighbor { row, dist_sq: d });
+            }
+        }
+        stats.series_lbd_checked.fetch_add(lbd_checked, Ordering::Relaxed);
+        stats.series_refined.fetch_add(refined, Ordering::Relaxed);
+    }
+}

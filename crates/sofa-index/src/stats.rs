@@ -1,0 +1,125 @@
+//! Index-structure statistics (paper Figure 8).
+//!
+//! Figure 8 compares MESSI and SOFA on three structural properties:
+//! average tree depth, average leaf size (fill), and the number of
+//! subtrees hanging off the root. [`IndexStats`] computes all three plus
+//! a few extras the analysis text mentions (node counts, max depth).
+
+use crate::{Index, NodeKind};
+use sofa_summaries::Summarization;
+
+/// Structural statistics of a built index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexStats {
+    /// Number of subtrees under the root (Figure 8 bottom).
+    pub subtrees: usize,
+    /// Total nodes across all subtrees.
+    pub nodes: usize,
+    /// Total leaves.
+    pub leaves: usize,
+    /// Mean leaf depth, root children = depth 0 (Figure 8 top).
+    pub avg_depth: f64,
+    /// Deepest leaf.
+    pub max_depth: usize,
+    /// Mean series per leaf (Figure 8 middle).
+    pub avg_leaf_size: f64,
+    /// Largest leaf.
+    pub max_leaf_size: usize,
+    /// Indexed series.
+    pub n_series: usize,
+}
+
+impl<S: Summarization> Index<S> {
+    /// Computes structural statistics by walking every subtree.
+    #[must_use]
+    pub fn stats(&self) -> IndexStats {
+        let mut nodes = 0usize;
+        let mut leaves = 0usize;
+        let mut depth_sum = 0usize;
+        let mut max_depth = 0usize;
+        let mut size_sum = 0usize;
+        let mut max_leaf = 0usize;
+        for st in &self.subtrees {
+            nodes += st.nodes.len();
+            for node in &st.nodes {
+                if let NodeKind::Leaf { rows } = &node.kind {
+                    leaves += 1;
+                    size_sum += rows.len();
+                    max_leaf = max_leaf.max(rows.len());
+                }
+            }
+            for d in st.leaf_depths() {
+                depth_sum += d;
+                max_depth = max_depth.max(d);
+            }
+        }
+        IndexStats {
+            subtrees: self.subtrees.len(),
+            nodes,
+            leaves,
+            avg_depth: if leaves == 0 { 0.0 } else { depth_sum as f64 / leaves as f64 },
+            max_depth,
+            avg_leaf_size: if leaves == 0 { 0.0 } else { size_sum as f64 / leaves as f64 },
+            max_leaf_size: max_leaf,
+            n_series: self.n_series(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexConfig;
+    use sofa_summaries::{ISax, SaxConfig};
+
+    fn dataset(count: usize, n: usize) -> Vec<f32> {
+        let mut data = Vec::with_capacity(count * n);
+        for r in 0..count {
+            for t in 0..n {
+                let x = t as f32;
+                let r = r as f32;
+                data.push((x * 0.13 + r * 0.7).sin() + 0.5 * (x * (0.3 + r * 0.01)).cos());
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn stats_account_for_every_series() {
+        let sax = ISax::new(64, &SaxConfig { word_len: 8, alphabet: 256 });
+        let idx = Index::build(
+            sax,
+            &dataset(700, 64),
+            IndexConfig::with_threads(2).leaf_capacity(50),
+        )
+        .unwrap();
+        let s = idx.stats();
+        assert_eq!(s.n_series, 700);
+        let total: usize = idx.subtrees().iter().map(|t| t.n_rows()).sum();
+        assert_eq!(total, 700);
+        assert!(s.leaves >= s.subtrees);
+        assert!(s.avg_leaf_size > 0.0);
+        assert!((s.avg_leaf_size * s.leaves as f64 - 700.0).abs() < 1e-9);
+        assert!(s.max_depth as f64 >= s.avg_depth);
+        assert!(s.max_leaf_size <= 50 || s.leaves == 1);
+    }
+
+    #[test]
+    fn smaller_leaves_mean_deeper_trees() {
+        let build = |leaf: usize| {
+            let sax = ISax::new(64, &SaxConfig { word_len: 8, alphabet: 256 });
+            Index::build(
+                sax,
+                &dataset(800, 64),
+                IndexConfig::with_threads(1).leaf_capacity(leaf),
+            )
+            .unwrap()
+            .stats()
+        };
+        let fine = build(10);
+        let coarse = build(400);
+        assert!(fine.leaves > coarse.leaves);
+        assert!(fine.avg_depth >= coarse.avg_depth);
+        assert!(fine.avg_leaf_size < coarse.avg_leaf_size);
+    }
+}

@@ -1,0 +1,37 @@
+//! SIMD kernel layer for SOFA.
+//!
+//! The SOFA paper (§II-B, §IV-H) relies on data-level parallelism for two
+//! hot kernels:
+//!
+//! 1. the **real Euclidean distance** between a query and a candidate series
+//!    (with early abandoning against the best-so-far distance), and
+//! 2. the **lower-bounding distance** between a query's DFT coefficients and
+//!    an SFA word, which requires a three-way conditional per lane
+//!    (above/below/inside the quantization interval) resolved branchlessly
+//!    with masks (Algorithm 3 / Figure 6 of the paper).
+//!
+//! This crate provides a portable fixed-width vector type [`F32x8`] plus the
+//! distance kernels built on it. The type is a plain `[f32; 8]` wrapper whose
+//! lane-wise operations compile to vector instructions on every mainstream
+//! target when optimizations are enabled (the loops are trivially
+//! auto-vectorizable; on x86-64 with AVX they become single `vaddps`-class
+//! instructions). Keeping the abstraction in safe Rust makes the kernels
+//! testable and portable while preserving the blocked, mask-select structure
+//! the paper describes.
+//!
+//! Higher layers (the SFA mindist in `sofa-summaries`, the scan baselines in
+//! `sofa-baselines`, the tree index in `sofa-index`) all funnel their inner
+//! loops through this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod vector;
+pub mod znorm;
+
+pub use distance::{
+    euclidean_sq, euclidean_sq_early_abandon, euclidean_sq_scalar, DistanceKernel,
+};
+pub use vector::{F32x8, Mask8, LANES};
+pub use znorm::{znormalize, znormalize_into, ZNormStats};

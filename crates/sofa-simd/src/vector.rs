@@ -1,0 +1,441 @@
+//! A portable 8-lane `f32` vector with the mask/blend operations required by
+//! the SFA lower-bound kernel.
+//!
+//! The paper's SIMD lower-bound computation (§IV-H) needs, per lane:
+//! comparisons producing masks, mask-controlled blends (`select`), lane-wise
+//! arithmetic, and a horizontal sum for the per-chunk early-abandon test.
+//! All of those are provided here as `#[inline]` methods over `[f32; 8]`,
+//! which LLVM lowers to vector instructions under `-O`.
+
+// Index-based 8-lane loops are deliberate here: they mirror the lane
+// structure the paper's SIMD kernels describe and auto-vectorize cleanly.
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Number of lanes in [`F32x8`]. Matches one AVX/AVX2 256-bit register of
+/// `f32`, the vector width the paper's kernels are written for.
+pub const LANES: usize = 8;
+
+/// An 8-lane single-precision vector.
+///
+/// ```
+/// use sofa_simd::F32x8;
+/// let a = F32x8::splat(2.0);
+/// let b = F32x8::from_array([1.0; 8]);
+/// assert_eq!((a + b).horizontal_sum(), 24.0);
+/// ```
+#[derive(Copy, Clone, PartialEq)]
+#[repr(C, align(32))]
+pub struct F32x8(pub [f32; LANES]);
+
+/// A lane mask produced by [`F32x8`] comparisons.
+///
+/// Each lane is either all-ones (`true`) or all-zeros (`false`); masks
+/// combine with `&`-like semantics through [`Mask8::and`] / [`Mask8::or`]
+/// and drive [`F32x8::select`] blends, mirroring the `Genmask`/`and`/`or`
+/// steps of Algorithm 3 in the paper.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[repr(C, align(32))]
+pub struct Mask8(pub [bool; LANES]);
+
+impl F32x8 {
+    /// Vector with every lane set to `v`.
+    #[inline(always)]
+    #[must_use]
+    pub fn splat(v: f32) -> Self {
+        F32x8([v; LANES])
+    }
+
+    /// Vector of zeros.
+    #[inline(always)]
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::splat(0.0)
+    }
+
+    /// Builds a vector from an array.
+    #[inline(always)]
+    #[must_use]
+    pub fn from_array(a: [f32; LANES]) -> Self {
+        F32x8(a)
+    }
+
+    /// Loads 8 lanes from the start of `slice`.
+    ///
+    /// # Panics
+    /// Panics if `slice.len() < 8`.
+    #[inline(always)]
+    #[must_use]
+    pub fn from_slice(slice: &[f32]) -> Self {
+        let mut a = [0.0f32; LANES];
+        a.copy_from_slice(&slice[..LANES]);
+        F32x8(a)
+    }
+
+    /// Loads up to 8 lanes from `slice`, padding missing lanes with `pad`.
+    ///
+    /// Used for the tail of series whose length is not a multiple of 8; the
+    /// pad value is chosen so the padded lanes contribute nothing to the
+    /// kernel (e.g. `0.0` for sums of squared differences when both sides
+    /// pad identically).
+    #[inline]
+    #[must_use]
+    pub fn from_slice_padded(slice: &[f32], pad: f32) -> Self {
+        let mut a = [pad; LANES];
+        let n = slice.len().min(LANES);
+        a[..n].copy_from_slice(&slice[..n]);
+        F32x8(a)
+    }
+
+    /// Returns the lanes as an array.
+    #[inline(always)]
+    #[must_use]
+    pub fn to_array(self) -> [f32; LANES] {
+        self.0
+    }
+
+    /// Sum of all lanes.
+    ///
+    /// Pairwise reduction keeps the dependency chain short (3 levels instead
+    /// of 7) which both vectorizes and preserves better numerics than a
+    /// strict left fold.
+    #[inline(always)]
+    #[must_use]
+    pub fn horizontal_sum(self) -> f32 {
+        let a = self.0;
+        let s01 = a[0] + a[1];
+        let s23 = a[2] + a[3];
+        let s45 = a[4] + a[5];
+        let s67 = a[6] + a[7];
+        (s01 + s23) + (s45 + s67)
+    }
+
+    /// Minimum across lanes.
+    #[inline(always)]
+    #[must_use]
+    pub fn horizontal_min(self) -> f32 {
+        let a = self.0;
+        let m01 = a[0].min(a[1]);
+        let m23 = a[2].min(a[3]);
+        let m45 = a[4].min(a[5]);
+        let m67 = a[6].min(a[7]);
+        m01.min(m23).min(m45.min(m67))
+    }
+
+    /// Maximum across lanes.
+    #[inline(always)]
+    #[must_use]
+    pub fn horizontal_max(self) -> f32 {
+        let a = self.0;
+        let m01 = a[0].max(a[1]);
+        let m23 = a[2].max(a[3]);
+        let m45 = a[4].max(a[5]);
+        let m67 = a[6].max(a[7]);
+        m01.max(m23).max(m45.max(m67))
+    }
+
+    /// Lane-wise fused multiply-add: `self * b + c`.
+    ///
+    /// Written as separate mul+add so it vectorizes on targets without FMA;
+    /// LLVM contracts it to `vfmadd` where the target allows.
+    #[inline(always)]
+    #[must_use]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        let mut out = [0.0f32; LANES];
+        for i in 0..LANES {
+            out[i] = self.0[i] * b.0[i] + c.0[i];
+        }
+        F32x8(out)
+    }
+
+    /// Lane-wise `self < other`.
+    #[inline(always)]
+    #[must_use]
+    pub fn lt(self, other: Self) -> Mask8 {
+        let mut m = [false; LANES];
+        for i in 0..LANES {
+            m[i] = self.0[i] < other.0[i];
+        }
+        Mask8(m)
+    }
+
+    /// Lane-wise `self > other`.
+    #[inline(always)]
+    #[must_use]
+    pub fn gt(self, other: Self) -> Mask8 {
+        let mut m = [false; LANES];
+        for i in 0..LANES {
+            m[i] = self.0[i] > other.0[i];
+        }
+        Mask8(m)
+    }
+
+    /// Lane-wise `self <= other`.
+    #[inline(always)]
+    #[must_use]
+    pub fn le(self, other: Self) -> Mask8 {
+        let mut m = [false; LANES];
+        for i in 0..LANES {
+            m[i] = self.0[i] <= other.0[i];
+        }
+        Mask8(m)
+    }
+
+    /// Lane-wise `self >= other`.
+    #[inline(always)]
+    #[must_use]
+    pub fn ge(self, other: Self) -> Mask8 {
+        let mut m = [false; LANES];
+        for i in 0..LANES {
+            m[i] = self.0[i] >= other.0[i];
+        }
+        Mask8(m)
+    }
+
+    /// Lane-wise blend: lane `i` of the result is `a[i]` where `mask[i]` is
+    /// set and `b[i]` otherwise.
+    ///
+    /// This is the branch-elimination primitive of Algorithm 3: the three
+    /// candidate distances (to the upper breakpoint, to the lower breakpoint,
+    /// and zero) are combined with their condition masks instead of `if`s.
+    #[inline(always)]
+    #[must_use]
+    pub fn select(mask: Mask8, a: Self, b: Self) -> Self {
+        let mut out = [0.0f32; LANES];
+        for i in 0..LANES {
+            out[i] = if mask.0[i] { a.0[i] } else { b.0[i] };
+        }
+        F32x8(out)
+    }
+
+    /// Lane-wise minimum.
+    #[inline(always)]
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        let mut out = [0.0f32; LANES];
+        for i in 0..LANES {
+            out[i] = self.0[i].min(other.0[i]);
+        }
+        F32x8(out)
+    }
+
+    /// Lane-wise maximum.
+    #[inline(always)]
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        let mut out = [0.0f32; LANES];
+        for i in 0..LANES {
+            out[i] = self.0[i].max(other.0[i]);
+        }
+        F32x8(out)
+    }
+
+    /// Lane-wise square, `self * self`.
+    #[inline(always)]
+    #[must_use]
+    pub fn square(self) -> Self {
+        self * self
+    }
+}
+
+impl Mask8 {
+    /// Mask with every lane set to `v`.
+    #[inline(always)]
+    #[must_use]
+    pub fn splat(v: bool) -> Self {
+        Mask8([v; LANES])
+    }
+
+    /// Lane-wise logical AND.
+    #[inline(always)]
+    #[must_use]
+    pub fn and(self, other: Self) -> Self {
+        let mut m = [false; LANES];
+        for i in 0..LANES {
+            m[i] = self.0[i] && other.0[i];
+        }
+        Mask8(m)
+    }
+
+    /// Lane-wise logical OR.
+    #[inline(always)]
+    #[must_use]
+    pub fn or(self, other: Self) -> Self {
+        let mut m = [false; LANES];
+        for i in 0..LANES {
+            m[i] = self.0[i] || other.0[i];
+        }
+        Mask8(m)
+    }
+
+    /// Lane-wise logical NOT.
+    #[inline(always)]
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // lane semantics, not `!` on the mask value
+    pub fn not(self) -> Self {
+        let mut m = [false; LANES];
+        for i in 0..LANES {
+            m[i] = !self.0[i];
+        }
+        Mask8(m)
+    }
+
+    /// `true` if any lane is set.
+    #[inline(always)]
+    #[must_use]
+    pub fn any(self) -> bool {
+        self.0.iter().any(|&b| b)
+    }
+
+    /// `true` if all lanes are set.
+    #[inline(always)]
+    #[must_use]
+    pub fn all(self) -> bool {
+        self.0.iter().all(|&b| b)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F32x8 {
+            type Output = F32x8;
+            #[inline(always)]
+            fn $method(self, rhs: F32x8) -> F32x8 {
+                let mut out = [0.0f32; LANES];
+                for i in 0..LANES {
+                    out[i] = self.0[i] $op rhs.0[i];
+                }
+                F32x8(out)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+impl_binop!(Mul, mul, *);
+impl_binop!(Div, div, /);
+
+impl AddAssign for F32x8 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: F32x8) {
+        *self = *self + rhs;
+    }
+}
+
+impl Neg for F32x8 {
+    type Output = F32x8;
+    #[inline(always)]
+    fn neg(self) -> F32x8 {
+        let mut out = [0.0f32; LANES];
+        for i in 0..LANES {
+            out[i] = -self.0[i];
+        }
+        F32x8(out)
+    }
+}
+
+impl fmt::Debug for F32x8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F32x8{:?}", self.0)
+    }
+}
+
+impl Default for F32x8 {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_sum() {
+        assert_eq!(F32x8::splat(1.5).horizontal_sum(), 12.0);
+        assert_eq!(F32x8::zero().horizontal_sum(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_lanewise() {
+        let a = F32x8::from_array([1., 2., 3., 4., 5., 6., 7., 8.]);
+        let b = F32x8::splat(2.0);
+        assert_eq!((a + b).0[0], 3.0);
+        assert_eq!((a - b).0[7], 6.0);
+        assert_eq!((a * b).0[3], 8.0);
+        assert_eq!((a / b).0[1], 1.0);
+        assert_eq!((-a).0[2], -3.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut acc = F32x8::zero();
+        acc += F32x8::splat(1.0);
+        acc += F32x8::splat(2.0);
+        assert_eq!(acc.horizontal_sum(), 24.0);
+    }
+
+    #[test]
+    fn comparisons_produce_expected_masks() {
+        let a = F32x8::from_array([1., 2., 3., 4., 5., 6., 7., 8.]);
+        let b = F32x8::splat(4.0);
+        assert_eq!(a.lt(b).0, [true, true, true, false, false, false, false, false]);
+        assert_eq!(a.gt(b).0, [false, false, false, false, true, true, true, true]);
+        assert_eq!(a.le(b).0, [true, true, true, true, false, false, false, false]);
+        assert_eq!(a.ge(b).0, [false, false, false, true, true, true, true, true]);
+    }
+
+    #[test]
+    fn select_blends() {
+        let a = F32x8::splat(1.0);
+        let b = F32x8::splat(-1.0);
+        let m = Mask8([true, false, true, false, true, false, true, false]);
+        let r = F32x8::select(m, a, b);
+        assert_eq!(r.0, [1., -1., 1., -1., 1., -1., 1., -1.]);
+    }
+
+    #[test]
+    fn mask_logic() {
+        let t = Mask8::splat(true);
+        let f = Mask8::splat(false);
+        assert!(t.and(t).all());
+        assert!(!t.and(f).any());
+        assert!(t.or(f).all());
+        assert!(f.not().all());
+        assert!(!t.not().any());
+    }
+
+    #[test]
+    fn horizontal_min_max() {
+        let a = F32x8::from_array([3., 1., 4., 1., 5., 9., 2., 6.]);
+        assert_eq!(a.horizontal_min(), 1.0);
+        assert_eq!(a.horizontal_max(), 9.0);
+    }
+
+    #[test]
+    fn lanewise_min_max_square() {
+        let a = F32x8::from_array([1., -2., 3., -4., 5., -6., 7., -8.]);
+        let z = F32x8::zero();
+        assert_eq!(a.min(z).0[1], -2.0);
+        assert_eq!(a.max(z).0[1], 0.0);
+        assert_eq!(a.square().0[3], 16.0);
+    }
+
+    #[test]
+    fn padded_load() {
+        let v = F32x8::from_slice_padded(&[1.0, 2.0, 3.0], 0.0);
+        assert_eq!(v.0, [1., 2., 3., 0., 0., 0., 0., 0.]);
+        assert_eq!(v.horizontal_sum(), 6.0);
+    }
+
+    #[test]
+    fn mul_add_contracts() {
+        let a = F32x8::splat(2.0);
+        let b = F32x8::splat(3.0);
+        let c = F32x8::splat(1.0);
+        assert_eq!(a.mul_add(b, c).0[0], 7.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests of the SIMD kernels: blocked and early-abandoning paths
+//! must agree with the scalar reference on arbitrary inputs.
+
+use proptest::prelude::*;
+use sofa_simd::{
+    euclidean_sq, euclidean_sq_early_abandon, euclidean_sq_scalar, znormalize, F32x8, Mask8,
+};
+
+fn pair_strategy() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (1usize..300).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-50.0f32..50.0, n),
+            proptest::collection::vec(-50.0f32..50.0, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn simd_distance_matches_scalar((a, b) in pair_strategy()) {
+        let s = euclidean_sq_scalar(&a, &b);
+        let v = euclidean_sq(&a, &b);
+        prop_assert!((s - v).abs() <= 1e-3 * s.max(1.0), "scalar={s} simd={v}");
+    }
+
+    #[test]
+    fn early_abandon_exact_under_infinite_bound((a, b) in pair_strategy()) {
+        let s = euclidean_sq_scalar(&a, &b);
+        let v = euclidean_sq_early_abandon(&a, &b, f32::INFINITY);
+        prop_assert!((s - v).abs() <= 1e-3 * s.max(1.0));
+    }
+
+    /// The early-abandon contract: a return value <= bsf is the exact
+    /// distance; a value > bsf means "pruned" and the exact distance is
+    /// also > bsf (no false prunes).
+    #[test]
+    fn early_abandon_contract((a, b) in pair_strategy(), frac in 0.0f32..2.0) {
+        let exact = euclidean_sq_scalar(&a, &b);
+        let bsf = exact * frac;
+        let r = euclidean_sq_early_abandon(&a, &b, bsf);
+        if r <= bsf {
+            prop_assert!((r - exact).abs() <= 1e-3 * exact.max(1.0));
+        } else {
+            prop_assert!(exact > bsf - 1e-3 * exact.max(1.0), "false prune: exact={exact} bsf={bsf}");
+        }
+    }
+
+    #[test]
+    fn znorm_idempotent(series in proptest::collection::vec(-100.0f32..100.0, 2..200)) {
+        let mut once = series.clone();
+        znormalize(&mut once);
+        let mut twice = once.clone();
+        znormalize(&mut twice);
+        for (x, y) in once.iter().zip(twice.iter()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn select_blend_is_lanewise(
+        a in proptest::collection::vec(-10.0f32..10.0, 8),
+        b in proptest::collection::vec(-10.0f32..10.0, 8),
+        mask in proptest::collection::vec(proptest::bool::ANY, 8),
+    ) {
+        let va = F32x8::from_slice(&a);
+        let vb = F32x8::from_slice(&b);
+        let mut m = [false; 8];
+        m.copy_from_slice(&mask);
+        let r = F32x8::select(Mask8(m), va, vb).to_array();
+        for i in 0..8 {
+            prop_assert_eq!(r[i], if mask[i] { a[i] } else { b[i] });
+        }
+    }
+
+    #[test]
+    fn horizontal_sum_matches_iter(vals in proptest::collection::vec(-100.0f32..100.0, 8)) {
+        let v = F32x8::from_slice(&vals);
+        let expect: f32 = vals.iter().sum();
+        prop_assert!((v.horizontal_sum() - expect).abs() < 1e-2 * expect.abs().max(1.0));
+    }
+}

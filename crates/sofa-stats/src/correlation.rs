@@ -1,0 +1,121 @@
+//! Correlation coefficients.
+//!
+//! Figure 13 of the paper reports a Pearson correlation of 0.51 between the
+//! mean index of the selected Fourier coefficients and the SOFA-over-MESSI
+//! speedup per dataset; the harness recomputes the analogous statistic with
+//! [`pearson`]. [`spearman`] is provided for the rank-based sanity check.
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Returns `0.0` when either sample has zero variance or fewer than two
+/// points (no linear relationship measurable).
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must have equal length");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Spearman rank correlation: Pearson correlation of the mid-ranks.
+#[must_use]
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must have equal length");
+    let rx = midranks(xs);
+    let ry = midranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Mid-ranks (average rank for ties), 1-based.
+fn midranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average of 1-based ranks i+1 ..= j+1.
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let yneg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &yneg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[5.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // Anscombe's quartet, dataset I: r ~= 0.8164
+        let x = [10.0, 8.0, 13.0, 9.0, 11.0, 14.0, 6.0, 4.0, 12.0, 7.0, 5.0];
+        let y = [8.04, 6.95, 7.58, 8.81, 8.33, 9.96, 7.24, 4.26, 10.84, 4.82, 5.68];
+        assert!((pearson(&x, &y) - 0.81642).abs() < 1e-4);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0]; // cubic: monotone
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midranks_average_ties() {
+        let r = midranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn symmetry() {
+        let xs = [3.0, 1.0, 4.0, 1.5, 9.0];
+        let ys = [2.7, 1.8, 2.8, 1.1, 8.2];
+        assert!((pearson(&xs, &ys) - pearson(&ys, &xs)).abs() < 1e-15);
+    }
+}

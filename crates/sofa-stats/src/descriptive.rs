@@ -1,0 +1,159 @@
+//! Descriptive statistics over `f64` samples.
+//!
+//! Query-time experiments report means, medians and quartiles over per-query
+//! timings (Tables II–IV, Figure 10's box plots); these helpers implement
+//! that reporting layer.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for slices with fewer than two elements.
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median via [`percentile`] at p=50.
+#[must_use]
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`), matching numpy's
+/// default `linear` method so harness output is comparable with the paper's
+/// Python analysis scripts. Returns `0.0` for an empty slice.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Five-number-style summary used by the box-plot reproductions (Figure 10).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Smallest observation.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Computes a summary; all fields are zero for an empty slice.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Summary { min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0 };
+        }
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            min,
+            q1: percentile(xs, 25.0),
+            median: percentile(xs, 50.0),
+            q3: percentile(xs, 75.0),
+            max,
+            mean: mean(xs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+        // numpy.percentile([10,20,30,40], 25) == 17.5
+        assert!((percentile(&xs, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -5.0), 1.0);
+        assert_eq!(percentile(&xs, 105.0), 2.0);
+    }
+
+    #[test]
+    fn summary_of_known_data() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn single_element() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Fixed-bin histograms with density normalization.
+//!
+//! Figure 1 (bottom) of the paper contrasts each dataset's raw-value and
+//! PAA-value distributions against the N(0,1) density that SAX assumes.
+//! The `fig1` reproduction builds these densities with [`Histogram`] and
+//! reports the total-variation distance to the normal density as a scalar
+//! "non-Gaussianity" measure.
+
+use crate::normal::normal_cdf;
+
+/// An equi-width histogram over a closed range.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins covering `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "invalid range");
+        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of observations added (including clamped outliers).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Adds one observation; values outside the range clamp to the edge bins.
+    pub fn add(&mut self, x: f64) {
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every value in `xs`.
+    pub fn add_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    fn bin_of(&self, x: f64) -> usize {
+        let n = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        ((t * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize
+    }
+
+    /// Raw counts per bin.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Probability mass per bin (sums to 1 when non-empty).
+    #[must_use]
+    pub fn masses(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Density estimate per bin (mass / bin width).
+    #[must_use]
+    pub fn density(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.masses().into_iter().map(|m| m / w).collect()
+    }
+
+    /// Bin centers, aligned with [`Histogram::density`].
+    #[must_use]
+    pub fn centers(&self) -> Vec<f64> {
+        let n = self.counts.len();
+        let w = (self.hi - self.lo) / n as f64;
+        (0..n).map(|i| self.lo + (i as f64 + 0.5) * w).collect()
+    }
+
+    /// Total-variation distance between this histogram's mass function and
+    /// the N(0,1) mass over the same bins: `0` = identical, `1` = disjoint.
+    ///
+    /// This is the scalar the Figure 1 reproduction reports as
+    /// "non-Gaussianity" of a dataset's value distribution.
+    #[must_use]
+    pub fn tv_distance_to_normal(&self) -> f64 {
+        let n = self.counts.len();
+        let masses = self.masses();
+        let w = (self.hi - self.lo) / n as f64;
+        let mut tv = 0.0;
+        let mut covered = 0.0;
+        for (i, &m) in masses.iter().enumerate() {
+            let a = self.lo + i as f64 * w;
+            let b = a + w;
+            let nm = normal_cdf(b) - normal_cdf(a);
+            covered += nm;
+            tv += (m - nm).abs();
+        }
+        // Mass of the normal outside [lo, hi] counts as discrepancy too.
+        tv += 1.0 - covered;
+        tv / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.5);
+        h.add(9.5);
+        h.add(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn outliers_clamp_to_edges() {
+        let mut h = Histogram::new(-1.0, 1.0, 4);
+        h.add(-100.0);
+        h.add(100.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn masses_sum_to_one() {
+        let mut h = Histogram::new(-5.0, 5.0, 20);
+        for i in 0..1000 {
+            h.add((i as f64 * 0.618).fract() * 8.0 - 4.0);
+        }
+        let total: f64 = h.masses().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::new(-2.0, 2.0, 8);
+        h.add_all(&[-1.5, -0.5, 0.0, 0.5, 1.5, 0.1, -0.1, 0.9]);
+        let w = 4.0 / 8.0;
+        let integral: f64 = h.density().iter().map(|d| d * w).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_sample_close_to_normal() {
+        // Deterministic quasi-normal sample via inverse CDF of a low-
+        // discrepancy sequence.
+        use crate::normal::normal_quantile;
+        let mut h = Histogram::new(-5.0, 5.0, 50);
+        for i in 1..5000 {
+            h.add(normal_quantile(i as f64 / 5000.0));
+        }
+        assert!(h.tv_distance_to_normal() < 0.02, "{}", h.tv_distance_to_normal());
+    }
+
+    #[test]
+    fn uniform_sample_far_from_normal() {
+        let mut h = Histogram::new(-5.0, 5.0, 50);
+        for i in 0..5000 {
+            h.add(i as f64 / 5000.0 * 9.0 - 4.5);
+        }
+        assert!(h.tv_distance_to_normal() > 0.3, "{}", h.tv_distance_to_normal());
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        assert_eq!(h.centers(), vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn empty_histogram_zero_masses() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.masses(), vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Statistics substrate for SOFA.
+//!
+//! Four of the paper's artifacts need statistical machinery beyond basic
+//! descriptive statistics, all implemented here from scratch:
+//!
+//! * **SAX breakpoints** (§IV-D) — equal-depth binning of the standard
+//!   normal distribution requires the normal quantile function; we implement
+//!   Acklam's rational approximation of the inverse normal CDF
+//!   ([`normal::normal_quantile`]).
+//! * **Figure 13** — Pearson correlation between the mean selected Fourier
+//!   coefficient index and the SOFA-over-MESSI speedup
+//!   ([`correlation::pearson`]).
+//! * **Figure 15** — critical-difference diagrams: average ranks across
+//!   datasets ([`ranks::average_ranks`]) plus Wilcoxon signed-rank tests
+//!   with Holm post-hoc correction grouped into statistically
+//!   indistinguishable cliques ([`wilcoxon`]).
+//! * **Figure 1 (bottom)** — value-distribution histograms compared against
+//!   N(0,1) ([`histogram`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod descriptive;
+pub mod histogram;
+pub mod normal;
+pub mod ranks;
+pub mod wilcoxon;
+
+pub use correlation::{pearson, spearman};
+pub use descriptive::{mean, median, percentile, stddev, variance, Summary};
+pub use histogram::Histogram;
+pub use normal::{normal_cdf, normal_pdf, normal_quantile, sax_breakpoints};
+pub use ranks::average_ranks;
+pub use wilcoxon::{cd_cliques, holm_correction, wilcoxon_signed_rank, CdResult};

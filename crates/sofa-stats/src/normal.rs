@@ -1,0 +1,185 @@
+//! Standard-normal distribution functions and SAX breakpoints.
+//!
+//! iSAX quantization (paper §IV-D) divides the N(0,1) distribution into
+//! `alpha` equal-probability bins; the bin boundaries are the normal
+//! quantiles at `i/alpha`. MESSI hard-codes these tables — we compute them
+//! for any alphabet size with Acklam's rational approximation of the inverse
+//! normal CDF (relative error < 1.15e-9 over the full domain), so cardinality
+//! sweeps up to 256 symbols need no lookup tables.
+
+use std::f64::consts::PI;
+
+/// Probability density of N(0,1) at `x`.
+#[must_use]
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * PI).sqrt()
+}
+
+/// Cumulative distribution of N(0,1) via the Abramowitz–Stegun 7.1.26
+/// erf approximation (|error| < 1.5e-7, ample for histogram overlays).
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    // erf on x/sqrt(2)
+    let z = x / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.3275911 * z.abs());
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-z * z).exp();
+    let signed = if z >= 0.0 { erf } else { -erf };
+    0.5 * (1.0 + signed)
+}
+
+/// Inverse CDF (quantile function) of N(0,1), Acklam's algorithm.
+///
+/// # Panics
+/// Panics if `p` is outside the open interval `(0, 1)`.
+#[must_use]
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Equal-depth N(0,1) breakpoints for a SAX alphabet of size `alpha`:
+/// the `alpha - 1` interior quantiles at `i/alpha`, `i = 1..alpha-1`.
+///
+/// Symbol `s` covers the interval `[breakpoints[s-1], breakpoints[s])` with
+/// the conventions `breakpoints[-1] = -inf`, `breakpoints[alpha-1] = +inf`.
+///
+/// # Panics
+/// Panics if `alpha < 2`.
+#[must_use]
+pub fn sax_breakpoints(alpha: usize) -> Vec<f64> {
+    assert!(alpha >= 2, "alphabet size must be at least 2");
+    (1..alpha).map(|i| normal_quantile(i as f64 / alpha as f64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.8413447).abs() < 1e-5);
+        assert!((normal_cdf(-1.0) - 0.1586553).abs() < 1e-5);
+        assert!((normal_cdf(1.959964) - 0.975).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pdf_known_values() {
+        assert!((normal_pdf(0.0) - 0.39894228).abs() < 1e-7);
+        assert!((normal_pdf(1.0) - 0.24197072).abs() < 1e-7);
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.8413447) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p={p}, x={x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires")]
+    fn quantile_rejects_zero() {
+        let _ = normal_quantile(0.0);
+    }
+
+    #[test]
+    fn sax_breakpoints_classic_tables() {
+        // The canonical SAX breakpoint tables from Lin et al.
+        let b4 = sax_breakpoints(4);
+        let expect4 = [-0.6744897, 0.0, 0.6744897];
+        for (a, e) in b4.iter().zip(expect4.iter()) {
+            assert!((a - e).abs() < 1e-5, "{a} vs {e}");
+        }
+        let b8 = sax_breakpoints(8);
+        let expect8 = [-1.15035, -0.67449, -0.31864, 0.0, 0.31864, 0.67449, 1.15035];
+        for (a, e) in b8.iter().zip(expect8.iter()) {
+            assert!((a - e).abs() < 1e-4, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn sax_breakpoints_monotone_and_symmetric() {
+        for alpha in [2usize, 4, 16, 64, 256] {
+            let b = sax_breakpoints(alpha);
+            assert_eq!(b.len(), alpha - 1);
+            for w in b.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            // Symmetric about zero.
+            for i in 0..b.len() {
+                assert!((b[i] + b[b.len() - 1 - i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_depth_property() {
+        // Each bin should hold probability mass 1/alpha.
+        let alpha = 16;
+        let b = sax_breakpoints(alpha);
+        let mut prev = 0.0;
+        for &x in &b {
+            let mass = normal_cdf(x) - prev;
+            assert!((mass - 1.0 / alpha as f64).abs() < 1e-6);
+            prev = normal_cdf(x);
+        }
+    }
+}

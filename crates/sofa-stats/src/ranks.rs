@@ -1,0 +1,105 @@
+//! Average ranks of competing methods across datasets.
+//!
+//! Critical-difference diagrams (paper Figure 15) place each method at its
+//! mean rank over all datasets, lower rank = better. Ranking is per dataset
+//! with mid-ranks for ties, exactly as in the Demšar methodology the paper
+//! follows.
+
+/// Computes the average rank of each method over a score matrix.
+///
+/// `scores[d][m]` is the score of method `m` on dataset `d`. When
+/// `higher_is_better` is true (e.g. TLB), the best method on a dataset gets
+/// rank 1. Ties receive mid-ranks.
+///
+/// Returns one average rank per method.
+///
+/// # Panics
+/// Panics if rows have inconsistent lengths or the matrix is empty.
+#[must_use]
+pub fn average_ranks(scores: &[Vec<f64>], higher_is_better: bool) -> Vec<f64> {
+    assert!(!scores.is_empty(), "need at least one dataset");
+    let m = scores[0].len();
+    assert!(m > 0, "need at least one method");
+    let mut totals = vec![0.0f64; m];
+    for row in scores {
+        assert_eq!(row.len(), m, "all datasets must score all methods");
+        let ranks = rank_row(row, higher_is_better);
+        for (t, r) in totals.iter_mut().zip(ranks.iter()) {
+            *t += r;
+        }
+    }
+    for t in &mut totals {
+        *t /= scores.len() as f64;
+    }
+    totals
+}
+
+/// Ranks one dataset's scores (1 = best), with mid-ranks for ties.
+fn rank_row(row: &[f64], higher_is_better: bool) -> Vec<f64> {
+    let m = row.len();
+    let mut idx: Vec<usize> = (0..m).collect();
+    idx.sort_by(|&a, &b| {
+        let ord = row[a].partial_cmp(&row[b]).expect("NaN score");
+        if higher_is_better {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    let mut ranks = vec![0.0; m];
+    let mut i = 0;
+    while i < m {
+        let mut j = i;
+        while j + 1 < m && row[idx[j + 1]] == row[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranking_lower_better() {
+        // Two datasets, three methods; method 0 always fastest.
+        let scores = vec![vec![1.0, 2.0, 3.0], vec![10.0, 30.0, 20.0]];
+        let r = average_ranks(&scores, false);
+        assert_eq!(r, vec![1.0, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn simple_ranking_higher_better() {
+        let scores = vec![vec![0.9, 0.5, 0.7]];
+        let r = average_ranks(&scores, true);
+        assert_eq!(r, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_get_midranks() {
+        let scores = vec![vec![1.0, 1.0, 2.0]];
+        let r = average_ranks(&scores, false);
+        assert_eq!(r, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn ranks_sum_is_invariant() {
+        // Sum of ranks per dataset is m(m+1)/2 regardless of ties.
+        let scores = vec![vec![3.0, 3.0, 3.0, 1.0], vec![4.0, 2.0, 2.0, 2.0]];
+        let r = average_ranks(&scores, false);
+        let total: f64 = r.iter().sum::<f64>() * scores.len() as f64;
+        assert!((total - 2.0 * 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one dataset")]
+    fn empty_matrix_panics() {
+        let _ = average_ranks(&[], false);
+    }
+}

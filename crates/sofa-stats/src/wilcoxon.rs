@@ -1,0 +1,268 @@
+//! Wilcoxon signed-rank test, Holm correction, and critical-difference
+//! cliques.
+//!
+//! Figure 15 of the paper compares summarization variants with a
+//! critical-difference diagram: methods are placed at their average rank and
+//! joined by a bar when a Wilcoxon signed-rank test with Holm's post-hoc
+//! correction cannot distinguish them at p = 0.05 (the Wilcoxon-Holm
+//! methodology of Ismail Fawaz et al., which the paper cites via its
+//! benchmark tooling). This module implements the full pipeline.
+
+use crate::normal::normal_cdf;
+use crate::ranks::average_ranks;
+
+/// Two-sided Wilcoxon signed-rank test on paired samples.
+///
+/// Zero differences are dropped (Wilcoxon's original treatment); ranks of
+/// tied absolute differences are mid-ranks with the usual tie correction in
+/// the variance term. Uses the normal approximation with continuity
+/// correction, which is standard for n >= 10 and conservative below.
+///
+/// Returns the two-sided p-value, or `1.0` when fewer than one non-zero
+/// difference exists.
+///
+/// # Panics
+/// Panics if the samples have different lengths.
+#[must_use]
+pub fn wilcoxon_signed_rank(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired samples must have equal length");
+    let diffs: Vec<f64> =
+        xs.iter().zip(ys.iter()).map(|(x, y)| x - y).filter(|d| *d != 0.0).collect();
+    let n = diffs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    // Rank |d| with mid-ranks.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| diffs[a].abs().partial_cmp(&diffs[b].abs()).expect("NaN diff"));
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_term = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[idx[j + 1]].abs() == diffs[idx[i]].abs() {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    let w_plus: f64 =
+        diffs.iter().zip(ranks.iter()).filter(|(d, _)| **d > 0.0).map(|(_, r)| r).sum();
+    let w_minus: f64 =
+        diffs.iter().zip(ranks.iter()).filter(|(d, _)| **d < 0.0).map(|(_, r)| r).sum();
+    let t_stat = w_plus.min(w_minus);
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
+    if var <= 0.0 {
+        return 1.0;
+    }
+    // Continuity correction toward the mean.
+    let z = (t_stat - mean + 0.5) / var.sqrt();
+    (2.0 * normal_cdf(z)).min(1.0)
+}
+
+/// Holm's step-down multiple-testing correction.
+///
+/// Takes raw p-values, returns adjusted p-values in the original order.
+#[must_use]
+pub fn holm_correction(pvals: &[f64]) -> Vec<f64> {
+    let m = pvals.len();
+    if m == 0 {
+        return vec![];
+    }
+    let mut idx: Vec<usize> = (0..m).collect();
+    idx.sort_by(|&a, &b| pvals[a].partial_cmp(&pvals[b]).expect("NaN p-value"));
+    let mut adjusted = vec![0.0f64; m];
+    let mut running_max = 0.0f64;
+    for (rank, &orig) in idx.iter().enumerate() {
+        let adj = ((m - rank) as f64 * pvals[orig]).min(1.0);
+        running_max = running_max.max(adj);
+        adjusted[orig] = running_max;
+    }
+    adjusted
+}
+
+/// Result of a critical-difference analysis.
+#[derive(Clone, Debug)]
+pub struct CdResult {
+    /// Method names in the order supplied.
+    pub methods: Vec<String>,
+    /// Average rank per method (lower = better).
+    pub avg_ranks: Vec<f64>,
+    /// Holm-adjusted pairwise p-values; `pairwise[i][j]` for `i < j`.
+    pub pairwise: Vec<Vec<f64>>,
+    /// Cliques of statistically indistinguishable methods, each a sorted
+    /// list of method indices. Only maximal cliques of size >= 2 appear.
+    pub cliques: Vec<Vec<usize>>,
+}
+
+/// Runs the full Wilcoxon–Holm critical-difference analysis.
+///
+/// `scores[d][m]` is the score of method `m` on dataset `d`;
+/// `higher_is_better` selects rank direction; `alpha` is the significance
+/// level (the paper uses 0.05).
+///
+/// # Panics
+/// Panics on an empty or ragged score matrix.
+#[must_use]
+pub fn cd_cliques(
+    methods: &[&str],
+    scores: &[Vec<f64>],
+    higher_is_better: bool,
+    alpha: f64,
+) -> CdResult {
+    let m = methods.len();
+    assert!(scores.iter().all(|r| r.len() == m), "score matrix shape mismatch");
+    let avg_ranks = average_ranks(scores, higher_is_better);
+
+    // Pairwise raw p-values.
+    let mut raw = Vec::new();
+    let mut pairs = Vec::new();
+    for i in 0..m {
+        for j in i + 1..m {
+            let xi: Vec<f64> = scores.iter().map(|r| r[i]).collect();
+            let xj: Vec<f64> = scores.iter().map(|r| r[j]).collect();
+            raw.push(wilcoxon_signed_rank(&xi, &xj));
+            pairs.push((i, j));
+        }
+    }
+    let adjusted = holm_correction(&raw);
+    let mut pairwise = vec![vec![1.0f64; m]; m];
+    let mut not_significant = vec![vec![true; m]; m];
+    for (&(i, j), &p) in pairs.iter().zip(adjusted.iter()) {
+        pairwise[i][j] = p;
+        pairwise[j][i] = p;
+        let ns = p >= alpha;
+        not_significant[i][j] = ns;
+        not_significant[j][i] = ns;
+    }
+
+    // Order methods by average rank; a clique is a maximal run of
+    // consecutively-ranked methods that are pairwise indistinguishable.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| avg_ranks[a].partial_cmp(&avg_ranks[b]).expect("NaN rank"));
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    for start in 0..m {
+        let mut end = start;
+        'grow: while end + 1 < m {
+            let cand = order[end + 1];
+            for &member in &order[start..=end] {
+                if !not_significant[member][cand] {
+                    break 'grow;
+                }
+            }
+            end += 1;
+        }
+        if end > start {
+            let mut clique: Vec<usize> = order[start..=end].to_vec();
+            clique.sort_unstable();
+            // Drop cliques nested in an already-found one.
+            let nested = cliques.iter().any(|c| clique.iter().all(|x| c.contains(x)));
+            if !nested {
+                cliques.push(clique);
+            }
+        }
+    }
+
+    CdResult {
+        methods: methods.iter().map(|s| s.to_string()).collect(),
+        avg_ranks,
+        pairwise,
+        cliques,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilcoxon_identical_samples_p_one() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(wilcoxon_signed_rank(&xs, &xs), 1.0);
+    }
+
+    #[test]
+    fn wilcoxon_detects_consistent_shift() {
+        // 20 pairs, y = x + 1 consistently: strongly significant.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x + 1.0).collect();
+        let p = wilcoxon_signed_rank(&xs, &ys);
+        assert!(p < 0.001, "p={p}");
+    }
+
+    #[test]
+    fn wilcoxon_no_effect_high_p() {
+        // Alternating +/- differences of equal magnitude: W+ == W-.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> =
+            xs.iter().enumerate().map(|(i, x)| x + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let p = wilcoxon_signed_rank(&xs, &ys);
+        assert!(p > 0.5, "p={p}");
+    }
+
+    #[test]
+    fn wilcoxon_symmetric_in_sign() {
+        let xs: Vec<f64> = (0..15).map(|i| (i as f64 * 0.7).sin()).collect();
+        let ys: Vec<f64> = (0..15).map(|i| (i as f64 * 0.3).cos()).collect();
+        let p1 = wilcoxon_signed_rank(&xs, &ys);
+        let p2 = wilcoxon_signed_rank(&ys, &xs);
+        assert!((p1 - p2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn holm_monotone_and_bounded() {
+        let raw = [0.01, 0.04, 0.03, 0.005];
+        let adj = holm_correction(&raw);
+        assert_eq!(adj.len(), 4);
+        for &p in &adj {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        // Smallest raw p gets multiplied by m.
+        assert!((adj[3] - 0.02).abs() < 1e-12);
+        // Adjusted order preserves raw order.
+        assert!(adj[3] <= adj[0] && adj[0] <= adj[2] && adj[2] <= adj[1]);
+    }
+
+    #[test]
+    fn holm_empty() {
+        assert!(holm_correction(&[]).is_empty());
+    }
+
+    #[test]
+    fn cd_separates_clearly_different_methods() {
+        // Method 0 always much better than 1 and 2 across 30 datasets;
+        // methods 1 and 2 are statistically identical coin flips.
+        let mut scores = Vec::new();
+        for d in 0..30 {
+            let jitter = (d as f64 * 0.618).fract() * 0.01;
+            scores.push(vec![
+                1.0 + jitter,
+                10.0 + jitter + if d % 2 == 0 { 0.001 } else { -0.001 },
+                10.0 + jitter + if d % 2 == 0 { -0.001 } else { 0.001 },
+            ]);
+        }
+        let r = cd_cliques(&["fast", "slow-a", "slow-b"], &scores, false, 0.05);
+        assert!(r.avg_ranks[0] < r.avg_ranks[1]);
+        assert!(r.avg_ranks[0] < r.avg_ranks[2]);
+        // slow-a and slow-b should form a clique; fast should not join it.
+        assert!(r.cliques.iter().any(|c| c == &vec![1, 2]));
+        assert!(!r.cliques.iter().any(|c| c.contains(&0) && c.len() > 1));
+    }
+
+    #[test]
+    fn cd_all_identical_forms_one_clique() {
+        let scores: Vec<Vec<f64>> = (0..10).map(|d| vec![d as f64; 3]).collect();
+        let r = cd_cliques(&["a", "b", "c"], &scores, false, 0.05);
+        assert_eq!(r.cliques.len(), 1);
+        assert_eq!(r.cliques[0], vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Numeric DFT summarization (no quantization).
+//!
+//! The un-quantized counterpart of SFA: keep the first `l/2` complex
+//! coefficients as raw floats. Its LBD (paper Eq. 1) is the Parseval-
+//! weighted distance over the retained coefficients. The Figure 1
+//! reproduction uses it to show how closely a truncated Fourier
+//! representation tracks a high-frequency series where PAA flat-lines, and
+//! the ablations use it as the quantization-free upper baseline for TLB
+//! (SFA can at best match DFT; the paper's related-work section makes the
+//! same observation).
+
+use sofa_fft::{coefficient_weight, RealDft};
+
+/// First-`values` DFT summarization of fixed-length series.
+#[derive(Debug)]
+pub struct DftSummary {
+    dft: RealDft,
+    /// Number of retained real values (2 per complex coefficient).
+    values: usize,
+    /// Skip the DC coefficient (true for z-normalized data).
+    skip_dc: bool,
+}
+
+impl DftSummary {
+    /// Keeps the first `values` real/imaginary values (after DC when
+    /// `skip_dc`) of series of length `n`.
+    ///
+    /// # Panics
+    /// Panics if more values are requested than the spectrum holds.
+    #[must_use]
+    pub fn new(n: usize, values: usize, skip_dc: bool) -> Self {
+        let dft = RealDft::new(n);
+        let avail = 2 * dft.num_coefficients() - if skip_dc { 2 } else { 0 };
+        assert!(values <= avail, "requested {values} values, only {avail} available");
+        DftSummary { dft, values, skip_dc }
+    }
+
+    /// Number of retained real values.
+    #[must_use]
+    pub fn values(&self) -> usize {
+        self.values
+    }
+
+    /// Series length.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.dft.len()
+    }
+
+    /// Transforms `series` into its truncated coefficient vector.
+    #[must_use]
+    pub fn transform(&mut self, series: &[f32]) -> Vec<f32> {
+        let spec = self.dft.transform(series);
+        let skip = if self.skip_dc { 2 } else { 0 };
+        spec[skip..skip + self.values].to_vec()
+    }
+
+    /// Squared LBD between two truncated coefficient vectors (Eq. 1).
+    #[must_use]
+    pub fn lower_bound_sq(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), self.values);
+        assert_eq!(b.len(), self.values);
+        let n = self.dft.len();
+        let offset = if self.skip_dc { 2 } else { 0 };
+        let mut sum = 0.0f32;
+        for i in 0..self.values {
+            let flat = offset + i;
+            let coeff = flat / 2;
+            let w = coefficient_weight(coeff, n);
+            let d = a[i] - b[i];
+            sum += w * d * d;
+        }
+        sum
+    }
+
+    /// Time-domain reconstruction from the retained coefficients (Figure 1
+    /// overlay).
+    #[must_use]
+    pub fn reconstruct(&mut self, series: &[f32]) -> Vec<f32> {
+        let spec = self.dft.transform(series);
+        let skip = if self.skip_dc { 1 } else { 0 };
+        let coeffs: Vec<(usize, f32, f32)> = (skip..self.dft.num_coefficients())
+            .take(self.values.div_ceil(2))
+            .map(|k| (k, spec[2 * k], spec[2 * k + 1]))
+            .collect();
+        self.dft.reconstruct(&coeffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofa_simd::euclidean_sq;
+
+    fn znormed(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        let mut s: Vec<f32> = (0..n).map(f).collect();
+        sofa_simd::znormalize(&mut s);
+        s
+    }
+
+    #[test]
+    fn lbd_is_lower_bound() {
+        let n = 128;
+        let a = znormed(n, |t| (t as f32 * 0.37).sin() + 0.4 * (t as f32 * 1.3).cos());
+        let b = znormed(n, |t| (t as f32 * 0.11).cos());
+        for values in [2usize, 8, 16, 32] {
+            let mut d = DftSummary::new(n, values, true);
+            let fa = d.transform(&a);
+            let fb = d.transform(&b);
+            let lbd = d.lower_bound_sq(&fa, &fb);
+            let ed = euclidean_sq(&a, &b);
+            assert!(lbd <= ed * (1.0 + 1e-3), "values={values}: {lbd} > {ed}");
+        }
+    }
+
+    #[test]
+    fn more_values_tighter_bound() {
+        let n = 128;
+        let a = znormed(n, |t| (t as f32 * 0.53).sin());
+        let b = znormed(n, |t| (t as f32 * 0.29).sin());
+        let mut prev = 0.0f32;
+        for values in [2usize, 4, 8, 16, 32, 64] {
+            let mut d = DftSummary::new(n, values, true);
+            let fa = d.transform(&a);
+            let fb = d.transform(&b);
+            let lbd = d.lower_bound_sq(&fa, &fb);
+            assert!(lbd >= prev - 1e-4, "non-monotone at {values}: {lbd} < {prev}");
+            prev = lbd;
+        }
+    }
+
+    #[test]
+    fn reconstruction_beats_paa_on_high_frequency() {
+        // The Figure 1 claim, quantified: on a tone fast enough that PAA
+        // segments average it away, a 16-value DFT summarization (which
+        // retains coefficients 1..=8) reconstructs far better than a
+        // 16-segment PAA.
+        use crate::paa::Paa;
+        let n = 256;
+        let s = znormed(n, |t| (2.0 * std::f32::consts::PI * 7.0 * t as f32 / n as f32).sin());
+        let mut d = DftSummary::new(n, 16, true);
+        let rec_dft = d.reconstruct(&s);
+        let paa = Paa::new(n, 16);
+        let rec_paa = paa.reconstruct(&paa.transform(&s));
+        let err_dft = euclidean_sq(&s, &rec_dft);
+        let err_paa = euclidean_sq(&s, &rec_paa);
+        assert!(
+            err_dft < err_paa * 0.1,
+            "DFT should dominate: dft={err_dft} paa={err_paa}"
+        );
+    }
+
+    #[test]
+    fn transform_skips_dc() {
+        let n = 64;
+        // Not z-normalized: constant offset lands in DC, which is skipped.
+        let mut d = DftSummary::new(n, 4, true);
+        let s = vec![5.0f32; n];
+        let f = d.transform(&s);
+        assert!(f.iter().all(|&x| x.abs() < 1e-4), "{f:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn too_many_values_rejected() {
+        let _ = DftSummary::new(16, 100, true);
+    }
+}

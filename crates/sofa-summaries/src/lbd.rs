@@ -1,0 +1,556 @@
+//! Lower-bounding distance (mindist) kernels — paper §IV-E3 and §IV-H.
+//!
+//! The mindist between a query's exact values and a candidate's word is
+//!
+//! ```text
+//! lbd^2 = sum_j w_j * dist_j(q_j, interval(word_j))^2
+//! dist_j(q, [lo, hi)) = lo - q   if q < lo
+//!                       q - hi   if q > hi      (paper Eq. 2)
+//!                       0        otherwise
+//! ```
+//!
+//! where `interval(word_j)` spans the breakpoints around symbol `word_j`
+//! (learned per position for SFA, fixed N(0,1) quantiles for iSAX), and the
+//! weights `w_j` make the sum a lower bound of the true squared Euclidean
+//! distance (Parseval factors for SFA, segment lengths for SAX).
+//!
+//! Three kernels are provided:
+//!
+//! * [`mindist_scalar`] — reference implementation with per-position `if`s;
+//! * [`mindist_simd`] — Algorithm 3: 8-lane blocks, the three conditions
+//!   evaluated as comparison masks and blended branchlessly, partial sums
+//!   checked against the best-so-far distance after every block (early
+//!   abandoning);
+//! * [`mindist_node`] — variable-cardinality variant for tree nodes, where
+//!   each position carries only a bit-prefix of its symbol and the interval
+//!   is the union of all bins sharing that prefix.
+
+use crate::traits::Summarization;
+use sofa_simd::{F32x8, LANES};
+
+/// Precomputed query-side state for mindist evaluation against many words
+/// of one summarization model. Built once per query.
+pub struct QueryContext<'a> {
+    /// Exact query values per word position.
+    values: Vec<f32>,
+    /// Lower-bound weight per position.
+    weights: Vec<f32>,
+    /// Breakpoint table per position.
+    tables: Vec<&'a [f32]>,
+    /// Alphabet size (shared across positions).
+    alphabet: usize,
+    /// Bits per symbol.
+    bits: u8,
+}
+
+impl<'a> QueryContext<'a> {
+    /// Builds the context: computes the query's exact values through the
+    /// model's transformer and captures breakpoint tables and weights.
+    #[must_use]
+    pub fn new(summarization: &'a dyn Summarization, query: &[f32]) -> Self {
+        let l = summarization.word_len();
+        let mut values = vec![0.0f32; l];
+        summarization.transformer().query_values_into(query, &mut values);
+        let weights = (0..l).map(|j| summarization.weight(j)).collect();
+        let tables = (0..l).map(|j| summarization.breakpoints(j)).collect();
+        QueryContext {
+            values,
+            weights,
+            tables,
+            alphabet: summarization.alphabet(),
+            bits: summarization.symbol_bits(),
+        }
+    }
+
+    /// Word length.
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The query's exact values (PAA means or DFT coefficients).
+    #[must_use]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The query's *word*: each exact value quantized against its
+    /// position's breakpoint table. Identical to running the model's
+    /// transformer on the query, but reuses the values already computed
+    /// here (saves a second DFT per query on the index's hot path).
+    #[must_use]
+    pub fn word(&self) -> Vec<u8> {
+        self.values
+            .iter()
+            .zip(self.tables.iter())
+            .map(|(&v, bp)| bp.partition_point(|&b| b <= v) as u8)
+            .collect()
+    }
+
+    /// Interval `[lo, hi]` covered by symbols `lo_sym ..= hi_sym` at
+    /// position `j`, with infinities at the edges.
+    #[inline]
+    fn interval(&self, j: usize, lo_sym: usize, hi_sym: usize) -> (f32, f32) {
+        let bp = self.tables[j];
+        let lo = if lo_sym == 0 { f32::NEG_INFINITY } else { bp[lo_sym - 1] };
+        let hi = if hi_sym + 1 >= self.alphabet { f32::INFINITY } else { bp[hi_sym] };
+        (lo, hi)
+    }
+}
+
+/// Precomputed lower bounds against *root-level* node summaries.
+///
+/// A subtree root carries exactly one bit per position (its root key), so
+/// its interval at position `j` is one of two half-lines split at the
+/// midpoint breakpoint. The query value lies inside one of them
+/// (contributing 0) and at some distance from the other. Root mindists
+/// therefore reduce to a sum of per-position penalties over the bits where
+/// the root key differs from the query's key — evaluated with a couple of
+/// bit operations per differing bit instead of a full 16-position loop.
+/// The index's collect phase scans *every* subtree root per query, so this
+/// is one of its hottest paths.
+pub struct RootLbd {
+    /// The query's own root key (positions where the penalty is zero).
+    qkey: u64,
+    /// Penalty at position `j` when the root's bit differs from the
+    /// query's: `w_j * dist(q_j, opposite half-line)^2`.
+    penalties: Vec<f32>,
+}
+
+impl RootLbd {
+    /// Builds the table from a query context.
+    ///
+    /// # Panics
+    /// Panics if the word is longer than 64 positions.
+    #[must_use]
+    pub fn new(ctx: &QueryContext<'_>) -> Self {
+        let l = ctx.word_len();
+        assert!(l <= 64, "root keys support at most 64 positions");
+        let half = ctx.alphabet / 2;
+        let mut qkey = 0u64;
+        let mut penalties = Vec::with_capacity(l);
+        for j in 0..l {
+            let mid = ctx.tables[j][half - 1];
+            let q = ctx.values[j];
+            // Query's side of the midpoint = its key bit.
+            let bit = u64::from(q >= mid);
+            qkey |= bit << j;
+            // Distance to the *other* half-line is the distance to `mid`.
+            let d = q - mid;
+            penalties.push(ctx.weights[j] * d * d);
+        }
+        RootLbd { qkey, penalties }
+    }
+
+    /// The query's root key.
+    #[must_use]
+    pub fn query_key(&self) -> u64 {
+        self.qkey
+    }
+
+    /// Squared lower bound between the query and the subtree with root
+    /// key `key` — equal to `mindist_node` over the root's 1-bit prefixes.
+    #[inline]
+    #[must_use]
+    pub fn eval(&self, key: u64) -> f32 {
+        let mut diff = key ^ self.qkey;
+        let mut sum = 0.0f32;
+        while diff != 0 {
+            let j = diff.trailing_zeros() as usize;
+            sum += self.penalties[j];
+            diff &= diff - 1;
+        }
+        sum
+    }
+}
+
+/// Distance from `q` to the closed interval `[lo, hi]` (0 inside).
+#[inline(always)]
+fn interval_dist(q: f32, lo: f32, hi: f32) -> f32 {
+    if q < lo {
+        lo - q
+    } else if q > hi {
+        q - hi
+    } else {
+        0.0
+    }
+}
+
+/// Reference scalar mindist (squared) between the query and a full-
+/// cardinality word.
+///
+/// # Panics
+/// Panics if `word.len() != ctx.word_len()`.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // parallel indexing into word/values/weights
+pub fn mindist_scalar(ctx: &QueryContext<'_>, word: &[u8]) -> f32 {
+    assert_eq!(word.len(), ctx.word_len());
+    let mut sum = 0.0f32;
+    for j in 0..word.len() {
+        let s = word[j] as usize;
+        let (lo, hi) = ctx.interval(j, s, s);
+        let d = interval_dist(ctx.values[j], lo, hi);
+        sum += ctx.weights[j] * d * d;
+    }
+    sum
+}
+
+/// SIMD mindist (squared) with early abandoning — the paper's Algorithm 3.
+///
+/// Processes the word in 8-lane blocks. Per block: gather the lower/upper
+/// breakpoints of each candidate symbol, compute the three candidate
+/// distances (to the lower breakpoint, to the upper breakpoint, zero),
+/// build the `below`/`above` comparison masks, blend branchlessly, square,
+/// weight, and accumulate. After each block the partial sum is compared to
+/// `bsf_sq`; once it exceeds the best-so-far the word can be pruned and the
+/// partial sum is returned (callers treat any value `> bsf_sq` as
+/// "pruned").
+///
+/// # Panics
+/// Panics if `word.len() != ctx.word_len()`.
+#[must_use]
+pub fn mindist_simd(ctx: &QueryContext<'_>, word: &[u8], bsf_sq: f32) -> f32 {
+    assert_eq!(word.len(), ctx.word_len());
+    let l = word.len();
+    let mut sum = 0.0f32;
+    let chunks = l / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        // Scalar gathers of the interval bounds for the 8 candidate
+        // symbols (the paper's Gather_bound step).
+        let mut lo = [0.0f32; LANES];
+        let mut hi = [0.0f32; LANES];
+        for i in 0..LANES {
+            let j = base + i;
+            let s = word[j] as usize;
+            let (l_, h_) = ctx.interval(j, s, s);
+            lo[i] = l_;
+            hi[i] = h_;
+        }
+        let vq = F32x8::from_slice(&ctx.values[base..]);
+        let vlo = F32x8::from_array(lo);
+        let vhi = F32x8::from_array(hi);
+        let vw = F32x8::from_slice(&ctx.weights[base..]);
+        // Caldist: the two non-zero branch results.
+        let d_below = vlo - vq; // positive where q < lo
+        let d_above = vq - vhi; // positive where q > hi
+        // Genmask: the branch conditions.
+        let m_below = vq.lt(vlo);
+        let m_above = vq.gt(vhi);
+        // Blend instead of branching; the zero branch is the fallthrough.
+        let d = F32x8::select(m_below, d_below, F32x8::select(m_above, d_above, F32x8::zero()));
+        sum += (vw * d * d).horizontal_sum();
+        // Early abandoning against the best-so-far (per-block check).
+        if sum > bsf_sq {
+            return sum;
+        }
+    }
+    // Scalar tail for word lengths that are not a multiple of 8.
+    #[allow(clippy::needless_range_loop)] // parallel indexing into word/values
+    for j in chunks * LANES..l {
+        let s = word[j] as usize;
+        let (lo, hi) = ctx.interval(j, s, s);
+        let d = interval_dist(ctx.values[j], lo, hi);
+        sum += ctx.weights[j] * d * d;
+    }
+    sum
+}
+
+/// Mindist (squared) between the query and a *node* summary with variable
+/// cardinality: position `j` stores only the `bits[j]` most significant
+/// bits of its symbol, so the symbol is known only up to the range of
+/// full-cardinality symbols sharing that prefix. Used to order and prune
+/// index subtrees (a superset interval can only shrink the distance, so the
+/// bound stays valid).
+///
+/// # Panics
+/// Panics if slice lengths disagree with the context's word length.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // parallel indexing into prefixes/bits/values
+pub fn mindist_node(ctx: &QueryContext<'_>, prefixes: &[u8], bits: &[u8]) -> f32 {
+    assert_eq!(prefixes.len(), ctx.word_len());
+    assert_eq!(bits.len(), ctx.word_len());
+    let full_bits = ctx.bits;
+    let mut sum = 0.0f32;
+    for j in 0..prefixes.len() {
+        let b = bits[j];
+        debug_assert!(b <= full_bits);
+        if b == 0 {
+            continue; // interval covers everything: distance 0
+        }
+        let shift = full_bits - b;
+        let lo_sym = (prefixes[j] as usize) << shift;
+        let hi_sym = (((prefixes[j] as usize) + 1) << shift) - 1;
+        let (lo, hi) = ctx.interval(j, lo_sym, hi_sym);
+        let d = interval_dist(ctx.values[j], lo, hi);
+        sum += ctx.weights[j] * d * d;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sax::{ISax, SaxConfig};
+    use crate::sfa::{Sfa, SfaConfig};
+    use crate::traits::Summarization;
+    use sofa_simd::euclidean_sq;
+
+    fn dataset(count: usize, n: usize, f: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+        let mut data = Vec::with_capacity(count * n);
+        for r in 0..count {
+            for t in 0..n {
+                data.push(f(r, t));
+            }
+        }
+        for row in data.chunks_mut(n) {
+            sofa_simd::znormalize(row);
+        }
+        data
+    }
+
+    fn mixed_signal(r: usize, t: usize) -> f32 {
+        let x = t as f32;
+        ((x * 0.21 + r as f32).sin())
+            + 0.6 * ((x * 0.83 + (r * 7) as f32).cos())
+            + 0.3 * ((x * (1.0 + (r % 11) as f32 * 0.13)).sin())
+    }
+
+    #[test]
+    fn sfa_mindist_lower_bounds_true_distance() {
+        let n = 64;
+        let data = dataset(400, n, mixed_signal);
+        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 16, ..Default::default() });
+        let mut t = sfa.transformer();
+        let queries = dataset(20, n, |r, t| mixed_signal(r + 1000, t + 3));
+        for q in queries.chunks(n) {
+            let ctx = QueryContext::new(&sfa, q);
+            for c in data.chunks(n).take(100) {
+                let w = t.word(c, 16);
+                let lbd = mindist_scalar(&ctx, &w);
+                let ed = euclidean_sq(q, c);
+                assert!(lbd <= ed * (1.0 + 1e-3) + 1e-3, "lbd={lbd} > ed={ed}");
+            }
+        }
+    }
+
+    #[test]
+    fn sax_mindist_lower_bounds_true_distance() {
+        let n = 96;
+        let data = dataset(300, n, mixed_signal);
+        let sax = ISax::new(n, &SaxConfig { word_len: 16, alphabet: 256 });
+        let mut t = sax.transformer();
+        let queries = dataset(15, n, |r, t| mixed_signal(r + 500, t + 1));
+        for q in queries.chunks(n) {
+            let ctx = QueryContext::new(&sax, q);
+            for c in data.chunks(n).take(100) {
+                let w = t.word(c, 16);
+                let lbd = mindist_scalar(&ctx, &w);
+                let ed = euclidean_sq(q, c);
+                assert!(lbd <= ed * (1.0 + 1e-3) + 1e-3, "lbd={lbd} > ed={ed}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_matches_scalar_without_abandoning() {
+        let n = 64;
+        let data = dataset(300, n, mixed_signal);
+        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 64, ..Default::default() });
+        let mut t = sfa.transformer();
+        let q = &data[7 * n..8 * n];
+        let ctx = QueryContext::new(&sfa, q);
+        for c in data.chunks(n).take(200) {
+            let w = t.word(c, 16);
+            let s = mindist_scalar(&ctx, &w);
+            let v = mindist_simd(&ctx, &w, f32::INFINITY);
+            assert!((s - v).abs() <= 1e-4 * s.max(1.0), "scalar={s} simd={v}");
+        }
+    }
+
+    #[test]
+    fn simd_handles_ragged_word_lengths() {
+        let n = 64;
+        let data = dataset(300, n, mixed_signal);
+        for l in [3usize, 7, 9, 12, 15] {
+            let sfa =
+                Sfa::learn(&data, n, &SfaConfig { word_len: l, alphabet: 8, ..Default::default() });
+            let mut t = sfa.transformer();
+            let q = &data[n..2 * n];
+            let ctx = QueryContext::new(&sfa, q);
+            for c in data.chunks(n).take(50) {
+                let w = t.word(c, l);
+                let s = mindist_scalar(&ctx, &w);
+                let v = mindist_simd(&ctx, &w, f32::INFINITY);
+                assert!((s - v).abs() <= 1e-4 * s.max(1.0), "l={l}: {s} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_early_abandon_returns_excess() {
+        let n = 64;
+        let data = dataset(200, n, mixed_signal);
+        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 256, ..Default::default() });
+        let mut t = sfa.transformer();
+        // A query very different from a candidate: tiny BSF forces pruning.
+        let q = &data[..n];
+        let ctx = QueryContext::new(&sfa, q);
+        let c = &data[50 * n..51 * n];
+        let w = t.word(c, 16);
+        let full = mindist_scalar(&ctx, &w);
+        if full > 0.0 {
+            let r = mindist_simd(&ctx, &w, full * 1e-6);
+            assert!(r > full * 1e-6, "must signal pruning");
+        }
+    }
+
+    #[test]
+    fn mindist_to_own_word_is_zero() {
+        let n = 64;
+        let data = dataset(300, n, mixed_signal);
+        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 32, ..Default::default() });
+        let mut t = sfa.transformer();
+        for c in data.chunks(n).take(50) {
+            let ctx = QueryContext::new(&sfa, c);
+            let w = t.word(c, 16);
+            assert_eq!(mindist_scalar(&ctx, &w), 0.0);
+            assert_eq!(mindist_simd(&ctx, &w, f32::INFINITY), 0.0);
+        }
+    }
+
+    #[test]
+    fn node_mindist_lower_bounds_leaf_mindist() {
+        // Coarsening the cardinality must never increase the distance.
+        let n = 64;
+        let data = dataset(300, n, mixed_signal);
+        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 8, alphabet: 256, ..Default::default() });
+        let mut t = sfa.transformer();
+        let q = &data[3 * n..4 * n];
+        let ctx = QueryContext::new(&sfa, q);
+        for c in data.chunks(n).take(100) {
+            let w = t.word(c, 8);
+            let leaf = mindist_scalar(&ctx, &w);
+            for bits in 0u8..=8 {
+                let prefixes: Vec<u8> =
+                    if bits == 0 { vec![0; 8] } else { w.iter().map(|&s| s >> (8 - bits)).collect() };
+                let bvec = vec![bits; 8];
+                let node = mindist_node(&ctx, &prefixes, &bvec);
+                assert!(
+                    node <= leaf * (1.0 + 1e-4) + 1e-5,
+                    "bits={bits}: node={node} > leaf={leaf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_lbd_matches_mindist_node_on_one_bit_prefixes() {
+        let n = 64;
+        let data = dataset(300, n, mixed_signal);
+        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 256, ..Default::default() });
+        let mut t = sfa.transformer();
+        let q = &data[4 * n..5 * n];
+        let ctx = QueryContext::new(&sfa, q);
+        let root = RootLbd::new(&ctx);
+        for c in data.chunks(n).take(100) {
+            let w = t.word(c, 16);
+            // Root key: top bit of each symbol; compare the fast XOR
+            // evaluation with the generic node mindist at bits = 1.
+            let mut key = 0u64;
+            let prefixes: Vec<u8> = w.iter().map(|&s| s >> 7).collect();
+            for (j, &p) in prefixes.iter().enumerate() {
+                key |= u64::from(p) << j;
+            }
+            let fast = root.eval(key);
+            let generic = mindist_node(&ctx, &prefixes, &[1u8; 16]);
+            assert!(
+                (fast - generic).abs() <= 1e-4 * generic.max(1.0),
+                "fast={fast} generic={generic}"
+            );
+        }
+    }
+
+    #[test]
+    fn root_lbd_query_key_matches_query_word() {
+        let n = 64;
+        let data = dataset(300, n, mixed_signal);
+        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 8, alphabet: 64, ..Default::default() });
+        let q = &data[n..2 * n];
+        let ctx = QueryContext::new(&sfa, q);
+        let root = RootLbd::new(&ctx);
+        let qword = ctx.word();
+        let mut expect = 0u64;
+        for (j, &s) in qword.iter().enumerate() {
+            expect |= u64::from(s >> 5) << j;
+        }
+        assert_eq!(root.query_key(), expect);
+        // Zero penalty against the query's own key.
+        assert_eq!(root.eval(expect), 0.0);
+    }
+
+    #[test]
+    fn ctx_word_matches_transformer_word() {
+        let n = 96;
+        let data = dataset(200, n, mixed_signal);
+        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 12, alphabet: 32, ..Default::default() });
+        let mut t = sfa.transformer();
+        for c in data.chunks(n).take(40) {
+            let ctx = QueryContext::new(&sfa, c);
+            assert_eq!(ctx.word(), t.word(c, 12));
+        }
+    }
+
+    #[test]
+    fn node_mindist_zero_bits_is_zero() {
+        let n = 32;
+        let data = dataset(300, n, mixed_signal);
+        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 4, alphabet: 16, ..Default::default() });
+        let q = &data[..n];
+        let ctx = QueryContext::new(&sfa, q);
+        assert_eq!(mindist_node(&ctx, &[0, 0, 0, 0], &[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn node_mindist_full_bits_equals_leaf() {
+        let n = 64;
+        let data = dataset(300, n, mixed_signal);
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let mut t = sax.transformer();
+        let q = &data[2 * n..3 * n];
+        let ctx = QueryContext::new(&sax, q);
+        for c in data.chunks(n).take(30) {
+            let w = t.word(c, 8);
+            let leaf = mindist_scalar(&ctx, &w);
+            let node = mindist_node(&ctx, &w, &[8; 8]);
+            assert!((leaf - node).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn tighter_alphabet_tightens_bound() {
+        // Larger alphabets give narrower intervals, so mindist grows (or
+        // stays equal) with alphabet size on average.
+        let n = 64;
+        let data = dataset(400, n, mixed_signal);
+        let q = &data[9 * n..10 * n];
+        let mut means = Vec::new();
+        for alpha in [4usize, 16, 64, 256] {
+            let sfa =
+                Sfa::learn(&data, n, &SfaConfig { word_len: 8, alphabet: alpha, ..Default::default() });
+            let mut t = sfa.transformer();
+            let ctx = QueryContext::new(&sfa, q);
+            let mut total = 0.0f64;
+            let mut count = 0usize;
+            for c in data.chunks(n).skip(10).take(200) {
+                let w = t.word(c, 8);
+                total += f64::from(mindist_scalar(&ctx, &w));
+                count += 1;
+            }
+            means.push(total / count as f64);
+        }
+        for pair in means.windows(2) {
+            assert!(pair[1] >= pair[0] * 0.99, "means not monotone: {means:?}");
+        }
+    }
+}

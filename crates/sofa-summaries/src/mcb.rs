@@ -1,0 +1,493 @@
+//! Multiple Coefficient Binning (MCB) — the learning step of SFA.
+//!
+//! Algorithm 1 of the paper: sample a fraction of the dataset, transform
+//! the sample with the DFT, pick the `l` real/imaginary coefficient values
+//! with the highest variance (the paper's novel feature-selection strategy,
+//! §IV-E2), and learn one breakpoint table per selected value from the
+//! sample's empirical distribution — equi-width binning by default, which
+//! the ablation (§V-E) shows yields the tightest lower bounds, or
+//! equi-depth as originally proposed for SFA.
+//!
+//! Rationale recorded in the paper: maximizing the lower-bound distance
+//! requires maximizing quantization-interval width; picking coefficients by
+//! variance maximizes the value range available to the bins, and equi-width
+//! binning avoids the many tiny central bins equi-depth creates on
+//! z-normalized data.
+
+use sofa_fft::{coefficient_weight, RealDft};
+
+/// How breakpoints are derived from the sampled coefficient distribution.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BinningStrategy {
+    /// Quantile (equal-frequency) bins — SFA's original choice.
+    EquiDepth,
+    /// Uniform-width bins over the sampled value range — the paper's
+    /// recommendation (tighter lower bounds; §V-E).
+    EquiWidth,
+}
+
+/// How the `l` coefficient values are chosen from the candidate pool.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CoefficientSelection {
+    /// Keep the first `l` values (low-pass) — the classic SFA choice.
+    FirstL,
+    /// Keep the `l` values with the highest sample variance — the paper's
+    /// contribution, decisive on high-frequency data.
+    HighestVariance,
+}
+
+/// Configuration for MCB learning.
+#[derive(Clone, Debug)]
+pub struct McbConfig {
+    /// Number of real/imaginary values retained (`l`). Paper default 16
+    /// (= 8 complex coefficients).
+    pub word_len: usize,
+    /// Alphabet size per value; power of two up to 256. Paper default 256.
+    pub alphabet: usize,
+    /// Bin-derivation strategy. Paper default equi-width.
+    pub binning: BinningStrategy,
+    /// Value-selection strategy. Paper default highest variance.
+    pub selection: CoefficientSelection,
+    /// Fraction of the dataset sampled for learning. Paper default 1%.
+    pub sample_ratio: f64,
+    /// Lower bound on the number of sampled series, so small datasets
+    /// still learn from something.
+    pub min_sample: usize,
+    /// Number of leading complex DFT coefficients forming the candidate
+    /// pool for variance selection (the paper's setup draws from the first
+    /// 16–32 coefficients; Figure 13 caps the selectable index at 32).
+    pub candidate_coefficients: usize,
+    /// Whether the DC coefficient may be selected. `false` for
+    /// z-normalized data, where it is identically zero.
+    pub include_dc: bool,
+    /// Seed for the sampling RNG (deterministic learning).
+    pub seed: u64,
+}
+
+impl Default for McbConfig {
+    fn default() -> Self {
+        McbConfig {
+            word_len: 16,
+            alphabet: 256,
+            binning: BinningStrategy::EquiWidth,
+            selection: CoefficientSelection::HighestVariance,
+            sample_ratio: 0.01,
+            min_sample: 256,
+            candidate_coefficients: 32,
+            include_dc: false,
+            seed: 0x50FA,
+        }
+    }
+}
+
+/// One selected DFT value: coefficient index and real/imaginary part.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CoeffPos {
+    /// Complex coefficient index `k` (0 = DC).
+    pub coeff: u16,
+    /// `false` = real part, `true` = imaginary part.
+    pub imag: bool,
+}
+
+impl CoeffPos {
+    /// Index of this value within the interleaved `[re0, im0, re1, ...]`
+    /// spectrum layout produced by [`RealDft::transform_into`].
+    #[inline]
+    #[must_use]
+    pub fn flat_index(self) -> usize {
+        2 * self.coeff as usize + usize::from(self.imag)
+    }
+}
+
+/// A learned MCB model: the selected coefficient values, their breakpoint
+/// tables, and their Parseval lower-bound weights.
+#[derive(Clone, Debug)]
+pub struct McbModel {
+    /// Selected values, ordered by decreasing sample variance (so early
+    /// abandoning sees the highest-contribution values first).
+    pub positions: Vec<CoeffPos>,
+    /// `positions.len()` breakpoint tables of `alphabet - 1` ascending
+    /// values each.
+    pub bins: Vec<Vec<f32>>,
+    /// Parseval weight per position: 2, or 1 for DC / Nyquist.
+    pub weights: Vec<f32>,
+    /// Series length the model was learned for.
+    pub series_len: usize,
+    /// Alphabet size.
+    pub alphabet: usize,
+    /// Sample variance of each selected value (diagnostics, Figure 13).
+    pub variances: Vec<f32>,
+}
+
+impl McbModel {
+    /// Learns an MCB model from `data`, a row-major flat buffer of
+    /// `data.len() / series_len` z-normalized series.
+    ///
+    /// # Panics
+    /// Panics if `data` is not a multiple of `series_len`, the dataset is
+    /// empty, or the configuration is inconsistent (see inline asserts).
+    #[must_use]
+    pub fn learn(data: &[f32], series_len: usize, config: &McbConfig) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        assert_eq!(data.len() % series_len, 0, "data must be whole series");
+        let n_series = data.len() / series_len;
+        assert!(n_series > 0, "cannot learn from an empty dataset");
+        assert!(
+            config.alphabet.is_power_of_two() && (2..=256).contains(&config.alphabet),
+            "alphabet must be a power of two in [2, 256]"
+        );
+
+        let sample_rows = sample_rows(n_series, config);
+        let positions = candidate_positions(series_len, config);
+        assert!(
+            positions.len() >= config.word_len,
+            "candidate pool ({}) smaller than word length ({})",
+            positions.len(),
+            config.word_len
+        );
+
+        // Transform the sample; collect per-candidate columns.
+        let mut dft = RealDft::new(series_len);
+        let mut spectrum = vec![0.0f32; 2 * dft.num_coefficients()];
+        let mut columns: Vec<Vec<f32>> =
+            vec![Vec::with_capacity(sample_rows.len()); positions.len()];
+        for &row in &sample_rows {
+            let series = &data[row * series_len..(row + 1) * series_len];
+            dft.transform_into(series, &mut spectrum);
+            for (col, pos) in columns.iter_mut().zip(positions.iter()) {
+                col.push(spectrum[pos.flat_index()]);
+            }
+        }
+
+        // Rank candidates by variance; keep the top `word_len` (or the
+        // first `word_len` in FirstL mode).
+        let variances: Vec<f32> = columns.iter().map(|c| variance(c)).collect();
+        let chosen: Vec<usize> = match config.selection {
+            CoefficientSelection::FirstL => (0..config.word_len).collect(),
+            CoefficientSelection::HighestVariance => {
+                let mut idx: Vec<usize> = (0..positions.len()).collect();
+                idx.sort_by(|&a, &b| {
+                    variances[b].partial_cmp(&variances[a]).expect("NaN variance")
+                });
+                idx.truncate(config.word_len);
+                idx
+            }
+        };
+
+        let mut model = McbModel {
+            positions: Vec::with_capacity(config.word_len),
+            bins: Vec::with_capacity(config.word_len),
+            weights: Vec::with_capacity(config.word_len),
+            series_len,
+            alphabet: config.alphabet,
+            variances: Vec::with_capacity(config.word_len),
+        };
+        for &c in &chosen {
+            let pos = positions[c];
+            model.positions.push(pos);
+            model.bins.push(learn_bins(&mut columns[c].clone(), config));
+            model.weights.push(coefficient_weight(pos.coeff as usize, series_len));
+            model.variances.push(variances[c]);
+        }
+        model
+    }
+
+    /// Word length `l`.
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Quantizes `value` at word position `j`.
+    #[inline]
+    #[must_use]
+    pub fn symbol_of(&self, j: usize, value: f32) -> u8 {
+        self.bins[j].partition_point(|&b| b <= value) as u8
+    }
+
+    /// Mean selected complex-coefficient index — the x-axis of Figure 13.
+    #[must_use]
+    pub fn mean_selected_coefficient(&self) -> f64 {
+        if self.positions.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.positions.iter().map(|p| f64::from(p.coeff)).sum();
+        sum / self.positions.len() as f64
+    }
+}
+
+/// Bernoulli-samples row indices at `config.sample_ratio`, topping up with
+/// strided rows when the draw comes in below `config.min_sample`.
+fn sample_rows(n_series: usize, config: &McbConfig) -> Vec<usize> {
+    let target = ((n_series as f64 * config.sample_ratio).round() as usize)
+        .max(config.min_sample.min(n_series));
+    if target >= n_series {
+        return (0..n_series).collect();
+    }
+    // Deterministic splitmix-style hash per row: include row i when its
+    // hash, mapped to [0,1), falls under the ratio. Stable across runs and
+    // thread counts (no RNG state threading).
+    let mut rows: Vec<usize> = (0..n_series)
+        .filter(|&i| {
+            let h = splitmix64(config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            (h >> 11) as f64 / (1u64 << 53) as f64 * (n_series as f64) < target as f64
+        })
+        .collect();
+    if rows.len() < config.min_sample.min(n_series) {
+        let need = config.min_sample.min(n_series);
+        let stride = (n_series / need).max(1);
+        rows = (0..n_series).step_by(stride).take(need).collect();
+    }
+    rows
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Candidate pool: real and imaginary parts of the first
+/// `candidate_coefficients` complex coefficients (DC excluded unless
+/// requested, Nyquist included only when it exists).
+fn candidate_positions(series_len: usize, config: &McbConfig) -> Vec<CoeffPos> {
+    let max_coeff = series_len / 2;
+    let start = usize::from(!config.include_dc);
+    let end = config.candidate_coefficients.min(max_coeff);
+    let mut out = Vec::new();
+    for k in start..=end {
+        if k > max_coeff {
+            break;
+        }
+        out.push(CoeffPos { coeff: k as u16, imag: false });
+        // Nyquist (even n) and DC have identically-zero imaginary parts.
+        let is_nyquist = series_len % 2 == 0 && k == max_coeff;
+        if k != 0 && !is_nyquist {
+            out.push(CoeffPos { coeff: k as u16, imag: true });
+        }
+    }
+    out
+}
+
+fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().map(|&x| f64::from(x)).sum::<f64>() / n;
+    let var = xs.iter().map(|&x| (f64::from(x) - mean).powi(2)).sum::<f64>() / n;
+    var as f32
+}
+
+/// Learns `alphabet - 1` ascending breakpoints from a sample column.
+fn learn_bins(column: &mut [f32], config: &McbConfig) -> Vec<f32> {
+    let alpha = config.alphabet;
+    match config.binning {
+        BinningStrategy::EquiWidth => {
+            let lo = column.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = column.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let width = (hi - lo) / alpha as f32;
+            (1..alpha).map(|i| lo + i as f32 * width).collect()
+        }
+        BinningStrategy::EquiDepth => {
+            column.sort_by(|a, b| a.partial_cmp(b).expect("NaN coefficient"));
+            (1..alpha)
+                .map(|i| {
+                    let rank = i * column.len() / alpha;
+                    column[rank.min(column.len() - 1)]
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flat dataset: `count` series of length `n` built by `f(row, t)`.
+    fn dataset(count: usize, n: usize, f: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+        let mut data = Vec::with_capacity(count * n);
+        for r in 0..count {
+            for t in 0..n {
+                data.push(f(r, t));
+            }
+        }
+        data
+    }
+
+    fn znorm_rows(data: &mut [f32], n: usize) {
+        for row in data.chunks_mut(n) {
+            sofa_simd::znormalize(row);
+        }
+    }
+
+    #[test]
+    fn learns_requested_shape() {
+        let n = 64;
+        let mut data = dataset(300, n, |r, t| ((t * (1 + r % 5)) as f32 * 0.2).sin());
+        znorm_rows(&mut data, n);
+        let cfg = McbConfig { word_len: 8, alphabet: 16, ..Default::default() };
+        let m = McbModel::learn(&data, n, &cfg);
+        assert_eq!(m.word_len(), 8);
+        assert_eq!(m.bins.len(), 8);
+        for b in &m.bins {
+            assert_eq!(b.len(), 15);
+            for w in b.windows(2) {
+                assert!(w[0] <= w[1], "breakpoints must ascend: {b:?}");
+            }
+        }
+        assert_eq!(m.weights.len(), 8);
+    }
+
+    #[test]
+    fn variance_selection_prefers_high_frequency_on_hf_data() {
+        // Signal energy concentrated at coefficient 12 of 32: variance
+        // selection must pick positions at k=12 (its real and imaginary
+        // values carry all the variance), not the low-pass front.
+        let n = 64;
+        let mut data = dataset(500, n, |r, t| {
+            let phase = r as f32 * 0.77;
+            (2.0 * std::f32::consts::PI * 12.0 * t as f32 / n as f32 + phase).sin()
+        });
+        znorm_rows(&mut data, n);
+        let cfg = McbConfig { word_len: 2, alphabet: 8, ..Default::default() };
+        let m = McbModel::learn(&data, n, &cfg);
+        for p in &m.positions {
+            assert_eq!(p.coeff, 12, "selected {:?}", m.positions);
+        }
+    }
+
+    #[test]
+    fn first_l_takes_leading_values() {
+        let n = 32;
+        let mut data = dataset(300, n, |r, t| ((t + r) as f32 * 0.31).sin());
+        znorm_rows(&mut data, n);
+        let cfg = McbConfig {
+            word_len: 4,
+            alphabet: 8,
+            selection: CoefficientSelection::FirstL,
+            ..Default::default()
+        };
+        let m = McbModel::learn(&data, n, &cfg);
+        assert_eq!(
+            m.positions,
+            vec![
+                CoeffPos { coeff: 1, imag: false },
+                CoeffPos { coeff: 1, imag: true },
+                CoeffPos { coeff: 2, imag: false },
+                CoeffPos { coeff: 2, imag: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn equi_width_bins_are_uniform() {
+        let n = 32;
+        let mut data = dataset(400, n, |r, t| ((t * r) as f32 * 0.013).sin());
+        znorm_rows(&mut data, n);
+        let cfg = McbConfig { word_len: 4, alphabet: 8, ..Default::default() };
+        let m = McbModel::learn(&data, n, &cfg);
+        for b in &m.bins {
+            let w0 = b[1] - b[0];
+            for w in b.windows(2) {
+                assert!((w[1] - w[0] - w0).abs() < 1e-4, "non-uniform widths: {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn equi_depth_bins_balance_counts() {
+        let n = 32;
+        let mut data = dataset(512, n, |r, t| ((t as f32 + (r % 97) as f32) * 0.31).sin());
+        znorm_rows(&mut data, n);
+        let cfg = McbConfig {
+            word_len: 2,
+            alphabet: 4,
+            binning: BinningStrategy::EquiDepth,
+            sample_ratio: 1.0,
+            ..Default::default()
+        };
+        let m = McbModel::learn(&data, n, &cfg);
+        // Re-derive the column for position 0 and check bin occupancies.
+        let mut dft = RealDft::new(n);
+        let mut counts = [0usize; 4];
+        for row in data.chunks(n) {
+            let spec = dft.transform(row);
+            let v = spec[m.positions[0].flat_index()];
+            counts[m.symbol_of(0, v) as usize] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        for &c in &counts {
+            // Each quartile bin should hold roughly a quarter of the data.
+            assert!(
+                (c as f64 - total as f64 / 4.0).abs() < total as f64 * 0.15,
+                "unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_follow_parseval() {
+        let n = 64;
+        let mut data = dataset(300, n, |r, t| ((t + r * 3) as f32 * 0.4).sin());
+        znorm_rows(&mut data, n);
+        let cfg = McbConfig { word_len: 8, alphabet: 16, ..Default::default() };
+        let m = McbModel::learn(&data, n, &cfg);
+        for (pos, &w) in m.positions.iter().zip(m.weights.iter()) {
+            let expect = if pos.coeff == 0 || pos.coeff as usize == n / 2 { 1.0 } else { 2.0 };
+            assert_eq!(w, expect);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let n = 32;
+        let mut data = dataset(1000, n, |r, t| ((t * (r % 7 + 1)) as f32 * 0.17).cos());
+        znorm_rows(&mut data, n);
+        let cfg = McbConfig { word_len: 6, alphabet: 32, sample_ratio: 0.2, ..Default::default() };
+        let a = McbModel::learn(&data, n, &cfg);
+        let b = McbModel::learn(&data, n, &cfg);
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.bins, b.bins);
+    }
+
+    #[test]
+    fn symbol_of_respects_bins() {
+        let n = 32;
+        let mut data = dataset(300, n, |r, t| ((t + r) as f32 * 0.23).sin());
+        znorm_rows(&mut data, n);
+        let cfg = McbConfig { word_len: 2, alphabet: 4, ..Default::default() };
+        let m = McbModel::learn(&data, n, &cfg);
+        let b = &m.bins[0];
+        assert_eq!(m.symbol_of(0, b[0] - 1.0), 0);
+        assert_eq!(m.symbol_of(0, b[2] + 1.0), 3);
+        let mid = (b[0] + b[1]) / 2.0;
+        assert_eq!(m.symbol_of(0, mid), 1);
+    }
+
+    #[test]
+    fn small_dataset_uses_all_rows() {
+        let n = 16;
+        let mut data = dataset(10, n, |r, t| (t as f32 * (r + 1) as f32 * 0.1).sin());
+        znorm_rows(&mut data, n);
+        let cfg = McbConfig { word_len: 4, alphabet: 4, sample_ratio: 0.01, ..Default::default() };
+        // min_sample (256) > 10 rows: must fall back to the full dataset
+        // without panicking.
+        let m = McbModel::learn(&data, n, &cfg);
+        assert_eq!(m.word_len(), 4);
+    }
+
+    #[test]
+    fn mean_selected_coefficient_reported() {
+        let n = 64;
+        let mut data = dataset(300, n, |r, t| {
+            (2.0 * std::f32::consts::PI * 8.0 * t as f32 / n as f32 + r as f32).sin()
+        });
+        znorm_rows(&mut data, n);
+        let cfg = McbConfig { word_len: 2, alphabet: 4, ..Default::default() };
+        let m = McbModel::learn(&data, n, &cfg);
+        assert!((m.mean_selected_coefficient() - 8.0).abs() < 1e-9);
+    }
+}

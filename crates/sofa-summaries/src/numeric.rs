@@ -1,0 +1,518 @@
+//! The classic *numeric* summarizations of the GEMINI literature: PLA,
+//! APCA and Chebyshev-style polynomials.
+//!
+//! The paper's related-work section (§III) surveys these and leans on the
+//! pruning-power study of Schäfer & Högqvist: "they compared APCA, PAA,
+//! PLA, CHEBY and DFT … none outperformed DFT". This module implements the
+//! three summarizations the rest of the workspace did not already have, so
+//! the `ext-numeric` experiment can re-run that comparison:
+//!
+//! * [`Pla`] — Piecewise Linear Approximation (Chen et al.): least-squares
+//!   line per segment. We store each segment's *orthonormal-basis
+//!   coefficients* (constant + centered-ramp components), which makes the
+//!   plain Euclidean distance between summaries a valid lower bound: least
+//!   squares is an orthogonal projection, and projections contract
+//!   distances (Bessel's inequality).
+//! * [`OrthoPoly`] — global polynomial summarization in the spirit of
+//!   Cai & Ng's Chebyshev indexing. Instead of continuous Chebyshev
+//!   polynomials (whose discrete inner products are only approximately
+//!   orthogonal, making the original bound approximate), we orthonormalize
+//!   the monomial basis over the sample points (discrete orthogonal
+//!   polynomials via modified Gram–Schmidt), which preserves the *exact*
+//!   lower-bounding property. Documented as a substitution in DESIGN.md.
+//! * [`Apca`] — Adaptive Piecewise Constant Approximation (Keogh et al.):
+//!   per-series variable-length segments, bottom-up merged. Its lower
+//!   bound is query-side: the query is averaged over the *candidate's*
+//!   segment boundaries, then compared per segment (Cauchy–Schwarz per
+//!   segment, as for PAA).
+
+/// Piecewise Linear Approximation over `segments` equal-length segments.
+///
+/// Each segment contributes two summary values: the inner products of the
+/// series with that segment's orthonormal constant and ramp vectors, so a
+/// summary has `2 * segments` values and
+/// `|summary(A) - summary(B)|^2 <= |A - B|^2`.
+#[derive(Clone, Debug)]
+pub struct Pla {
+    n: usize,
+    bounds: Vec<usize>,
+    /// Per segment: `1/sqrt(len)` (normalized constant vector).
+    inv_sqrt_len: Vec<f32>,
+    /// Per segment: normalized centered ramp `(t - mean) / norm`.
+    ramps: Vec<Vec<f32>>,
+}
+
+impl Pla {
+    /// Creates a PLA over `segments` segments of series of length `n`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < segments` and `2 * segments <= n`.
+    #[must_use]
+    pub fn new(n: usize, segments: usize) -> Self {
+        assert!(segments > 0 && 2 * segments <= n, "need 0 < 2*segments <= n");
+        let bounds: Vec<usize> = (0..=segments).map(|j| j * n / segments).collect();
+        let mut inv_sqrt_len = Vec::with_capacity(segments);
+        let mut ramps = Vec::with_capacity(segments);
+        for j in 0..segments {
+            let len = bounds[j + 1] - bounds[j];
+            inv_sqrt_len.push(1.0 / (len as f32).sqrt());
+            let mean = (len as f32 - 1.0) / 2.0;
+            let mut ramp: Vec<f32> = (0..len).map(|t| t as f32 - mean).collect();
+            let norm = ramp.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for x in &mut ramp {
+                    *x /= norm;
+                }
+            }
+            ramps.push(ramp);
+        }
+        Pla { n, bounds, inv_sqrt_len, ramps }
+    }
+
+    /// Number of summary values (`2 * segments`).
+    #[must_use]
+    pub fn values(&self) -> usize {
+        2 * (self.bounds.len() - 1)
+    }
+
+    /// Series length.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.n
+    }
+
+    /// Projects `series` onto the piecewise-linear basis.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn transform(&self, series: &[f32]) -> Vec<f32> {
+        assert_eq!(series.len(), self.n, "series length mismatch");
+        let segments = self.bounds.len() - 1;
+        let mut out = Vec::with_capacity(2 * segments);
+        for j in 0..segments {
+            let seg = &series[self.bounds[j]..self.bounds[j + 1]];
+            let c0: f32 = seg.iter().sum::<f32>() * self.inv_sqrt_len[j];
+            let c1: f32 = seg.iter().zip(self.ramps[j].iter()).map(|(x, r)| x * r).sum();
+            out.push(c0);
+            out.push(c1);
+        }
+        out
+    }
+
+    /// Squared lower bound: plain Euclidean distance between summaries.
+    #[must_use]
+    pub fn lower_bound_sq(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), self.values());
+        debug_assert_eq!(b.len(), self.values());
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Reconstructs the piecewise-linear approximation (for inspection).
+    #[must_use]
+    pub fn reconstruct(&self, summary: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        let segments = self.bounds.len() - 1;
+        for j in 0..segments {
+            let (a, b) = (self.bounds[j], self.bounds[j + 1]);
+            for (t, slot) in out[a..b].iter_mut().enumerate() {
+                *slot = summary[2 * j] * self.inv_sqrt_len[j]
+                    + summary[2 * j + 1] * self.ramps[j][t];
+            }
+        }
+        out
+    }
+}
+
+/// Global polynomial summarization with a discrete-orthonormal basis
+/// (exact-lower-bounding stand-in for Chebyshev indexing).
+#[derive(Clone, Debug)]
+pub struct OrthoPoly {
+    n: usize,
+    /// Orthonormal basis rows, one per degree.
+    basis: Vec<Vec<f32>>,
+}
+
+impl OrthoPoly {
+    /// Builds a degree-`(values - 1)` polynomial basis over `n` points via
+    /// modified Gram–Schmidt on the monomials (computed in `f64`; the
+    /// Vandermonde system is notoriously ill-conditioned, so degrees much
+    /// beyond ~20 would need a different construction).
+    ///
+    /// # Panics
+    /// Panics unless `0 < values <= n` and `values <= 24`.
+    #[must_use]
+    pub fn new(n: usize, values: usize) -> Self {
+        assert!(values > 0 && values <= n, "need 0 < values <= n");
+        assert!(values <= 24, "monomial Gram-Schmidt unstable beyond degree ~24");
+        // x positions scaled to [-1, 1] to tame the conditioning.
+        let xs: Vec<f64> = (0..n)
+            .map(|t| if n == 1 { 0.0 } else { 2.0 * t as f64 / (n - 1) as f64 - 1.0 })
+            .collect();
+        let mut basis: Vec<Vec<f64>> = Vec::with_capacity(values);
+        for degree in 0..values {
+            let mut v: Vec<f64> = xs.iter().map(|x| x.powi(degree as i32)).collect();
+            // Two MGS passes for numerical hygiene.
+            for _ in 0..2 {
+                for b in &basis {
+                    let dot: f64 = v.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+                    for (x, y) in v.iter_mut().zip(b.iter()) {
+                        *x -= dot * y;
+                    }
+                }
+            }
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!(norm > 1e-12, "degenerate polynomial basis at degree {degree}");
+            for x in &mut v {
+                *x /= norm;
+            }
+            basis.push(v);
+        }
+        OrthoPoly {
+            n,
+            basis: basis
+                .into_iter()
+                .map(|row| row.into_iter().map(|x| x as f32).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of summary values.
+    #[must_use]
+    pub fn values(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Series length.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.n
+    }
+
+    /// Projects `series` onto the polynomial basis.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn transform(&self, series: &[f32]) -> Vec<f32> {
+        assert_eq!(series.len(), self.n, "series length mismatch");
+        self.basis
+            .iter()
+            .map(|b| b.iter().zip(series.iter()).map(|(x, y)| x * y).sum())
+            .collect()
+    }
+
+    /// Squared lower bound: Euclidean distance between coefficient vectors.
+    #[must_use]
+    pub fn lower_bound_sq(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), self.values());
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Reconstructs the polynomial approximation.
+    #[must_use]
+    pub fn reconstruct(&self, summary: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        for (c, b) in summary.iter().zip(self.basis.iter()) {
+            for (o, x) in out.iter_mut().zip(b.iter()) {
+                *o += c * x;
+            }
+        }
+        out
+    }
+}
+
+/// One APCA segment: exclusive end offset and segment mean.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ApcaSegment {
+    /// Exclusive end index of the segment.
+    pub end: u32,
+    /// Mean value over the segment.
+    pub mean: f32,
+}
+
+/// Adaptive Piecewise Constant Approximation with bottom-up merging.
+#[derive(Clone, Debug)]
+pub struct Apca {
+    n: usize,
+    segments: usize,
+}
+
+impl Apca {
+    /// Creates an APCA producing `segments` adaptive segments
+    /// (`2 * segments` stored values: boundary + mean each, the standard
+    /// APCA budget accounting).
+    ///
+    /// # Panics
+    /// Panics unless `0 < segments <= n`.
+    #[must_use]
+    pub fn new(n: usize, segments: usize) -> Self {
+        assert!(segments > 0 && segments <= n, "need 0 < segments <= n");
+        Apca { n, segments }
+    }
+
+    /// Series length.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.n
+    }
+
+    /// Summarizes `series` by greedy bottom-up merging: start from
+    /// fine uniform pieces and repeatedly merge the adjacent pair whose
+    /// merge increases the squared error least, until `segments` remain.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn transform(&self, series: &[f32]) -> Vec<ApcaSegment> {
+        assert_eq!(series.len(), self.n, "series length mismatch");
+        // Start from ~4x the target resolution (classic practical choice:
+        // fine enough to adapt, coarse enough to stay O(n log n)-ish).
+        let start = (self.segments * 4).min(self.n);
+        let mut segs: Vec<(usize, usize, f64, f64)> = Vec::with_capacity(start);
+        for j in 0..start {
+            let a = j * self.n / start;
+            let b = (j + 1) * self.n / start;
+            let sum: f64 = series[a..b].iter().map(|&x| f64::from(x)).sum();
+            let sum_sq: f64 = series[a..b].iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+            segs.push((a, b, sum, sum_sq));
+        }
+        // Greedy merging (quadratic in segment count, which is ~64: fine).
+        while segs.len() > self.segments {
+            let mut best = (f64::INFINITY, 0usize);
+            for j in 0..segs.len() - 1 {
+                let cost = merge_cost(&segs[j], &segs[j + 1]);
+                if cost < best.0 {
+                    best = (cost, j);
+                }
+            }
+            let j = best.1;
+            let (a, _, s1, q1) = segs[j];
+            let (_, b, s2, q2) = segs[j + 1];
+            segs[j] = (a, b, s1 + s2, q1 + q2);
+            segs.remove(j + 1);
+        }
+        segs.iter()
+            .map(|&(a, b, sum, _)| ApcaSegment {
+                end: b as u32,
+                mean: (sum / (b - a) as f64) as f32,
+            })
+            .collect()
+    }
+
+    /// Squared lower bound between a *raw query* and a candidate's APCA:
+    /// the query is averaged over the candidate's segments and compared
+    /// per segment, weighted by segment length (Cauchy–Schwarz per
+    /// segment — the PAA argument applied to adaptive boundaries).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn lower_bound_sq(&self, query: &[f32], candidate: &[ApcaSegment]) -> f32 {
+        assert_eq!(query.len(), self.n, "query length mismatch");
+        let mut sum = 0.0f32;
+        let mut start = 0usize;
+        for seg in candidate {
+            let end = seg.end as usize;
+            let len = (end - start) as f32;
+            let qmean: f32 = query[start..end].iter().sum::<f32>() / len;
+            let d = qmean - seg.mean;
+            sum += len * d * d;
+            start = end;
+        }
+        sum
+    }
+
+    /// Piecewise-constant reconstruction.
+    #[must_use]
+    pub fn reconstruct(&self, summary: &[ApcaSegment]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        let mut start = 0usize;
+        for seg in summary {
+            out[start..seg.end as usize].fill(seg.mean);
+            start = seg.end as usize;
+        }
+        out
+    }
+}
+
+fn merge_cost(a: &(usize, usize, f64, f64), b: &(usize, usize, f64, f64)) -> f64 {
+    let err = |s: &(usize, usize, f64, f64)| {
+        let len = (s.1 - s.0) as f64;
+        s.3 - s.2 * s.2 / len
+    };
+    let merged = (a.0, b.1, a.2 + b.2, a.3 + b.3);
+    err(&merged) - err(a) - err(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofa_simd::euclidean_sq;
+
+    fn znormed(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        let mut s: Vec<f32> = (0..n).map(f).collect();
+        sofa_simd::znormalize(&mut s);
+        s
+    }
+
+    fn pair(n: usize) -> (Vec<f32>, Vec<f32>) {
+        (
+            znormed(n, |t| (t as f32 * 0.23).sin() + 0.4 * (t as f32 * 1.1).cos()),
+            znormed(n, |t| (t as f32 * 0.31).cos() + 0.2 * (t as f32 * 0.05).sin()),
+        )
+    }
+
+    #[test]
+    fn pla_lower_bounds_euclidean() {
+        for (n, segs) in [(64, 8), (100, 8), (128, 16)] {
+            let pla = Pla::new(n, segs);
+            let (a, b) = pair(n);
+            let lb = pla.lower_bound_sq(&pla.transform(&a), &pla.transform(&b));
+            let ed = euclidean_sq(&a, &b);
+            assert!(lb <= ed * (1.0 + 1e-4) + 1e-4, "n={n}: {lb} > {ed}");
+        }
+    }
+
+    #[test]
+    fn pla_exact_on_piecewise_linear_input() {
+        let n = 64;
+        let pla = Pla::new(n, 4);
+        // Input that is linear within each of the 4 segments.
+        let mut a = vec![0.0f32; n];
+        let mut b = vec![0.0f32; n];
+        for t in 0..n {
+            let seg = t / 16;
+            let local = (t % 16) as f32;
+            a[t] = seg as f32 + 0.1 * local;
+            b[t] = -(seg as f32) + 0.05 * local + 1.0;
+        }
+        let lb = pla.lower_bound_sq(&pla.transform(&a), &pla.transform(&b));
+        let ed = euclidean_sq(&a, &b);
+        assert!((lb - ed).abs() < 1e-2 * ed.max(1.0), "should be tight: {lb} vs {ed}");
+    }
+
+    #[test]
+    fn pla_reconstruction_is_projection() {
+        // Projection property: reconstruct(transform(x)) is the closest
+        // piecewise-linear series, so transforming it again is identity.
+        let n = 64;
+        let pla = Pla::new(n, 8);
+        let (a, _) = pair(n);
+        let rec = pla.reconstruct(&pla.transform(&a));
+        let re2 = pla.reconstruct(&pla.transform(&rec));
+        for (x, y) in rec.iter().zip(re2.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        // And it reconstructs at least as well as PAA (strictly more basis).
+        let paa = crate::paa::Paa::new(n, 8);
+        let rec_paa = paa.reconstruct(&paa.transform(&a));
+        assert!(euclidean_sq(&a, &rec) <= euclidean_sq(&a, &rec_paa) + 1e-4);
+    }
+
+    #[test]
+    fn orthopoly_basis_is_orthonormal() {
+        let op = OrthoPoly::new(100, 12);
+        for i in 0..12 {
+            for j in 0..12 {
+                let dot: f32 = op.basis[i].iter().zip(op.basis[j].iter()).map(|(x, y)| x * y).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-3, "({i},{j}): {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn orthopoly_lower_bounds_euclidean() {
+        for n in [64usize, 100, 256] {
+            let op = OrthoPoly::new(n, 16);
+            let (a, b) = pair(n);
+            let lb = op.lower_bound_sq(&op.transform(&a), &op.transform(&b));
+            let ed = euclidean_sq(&a, &b);
+            assert!(lb <= ed * (1.0 + 1e-3) + 1e-3, "n={n}: {lb} > {ed}");
+        }
+    }
+
+    #[test]
+    fn orthopoly_exact_on_polynomials() {
+        let n = 64;
+        let op = OrthoPoly::new(n, 4);
+        let poly = |t: usize, c: [f32; 3]| {
+            let x = t as f32 / n as f32;
+            c[0] + c[1] * x + c[2] * x * x
+        };
+        let a: Vec<f32> = (0..n).map(|t| poly(t, [1.0, -2.0, 3.0])).collect();
+        let b: Vec<f32> = (0..n).map(|t| poly(t, [0.0, 1.0, -1.0])).collect();
+        let lb = op.lower_bound_sq(&op.transform(&a), &op.transform(&b));
+        let ed = euclidean_sq(&a, &b);
+        assert!((lb - ed).abs() < 1e-2 * ed.max(1.0), "{lb} vs {ed}");
+    }
+
+    #[test]
+    fn apca_segments_cover_series() {
+        let n = 128;
+        let apca = Apca::new(n, 8);
+        let (a, _) = pair(n);
+        let segs = apca.transform(&a);
+        assert_eq!(segs.len(), 8);
+        assert_eq!(segs.last().unwrap().end as usize, n);
+        let mut prev = 0u32;
+        for s in &segs {
+            assert!(s.end > prev);
+            prev = s.end;
+        }
+    }
+
+    #[test]
+    fn apca_lower_bounds_euclidean() {
+        for n in [64usize, 100, 256] {
+            let apca = Apca::new(n, 8);
+            let (a, b) = pair(n);
+            let lb = apca.lower_bound_sq(&a, &apca.transform(&b));
+            let ed = euclidean_sq(&a, &b);
+            assert!(lb <= ed * (1.0 + 1e-4) + 1e-4, "n={n}: {lb} > {ed}");
+        }
+    }
+
+    #[test]
+    fn apca_adapts_boundaries_to_steps() {
+        // A step function with unequal plateau lengths: APCA should
+        // reconstruct it (near) perfectly, while uniform PAA with the same
+        // segment budget cannot.
+        let n = 128;
+        let mut s = vec![0.0f32; n];
+        for (t, v) in s.iter_mut().enumerate() {
+            *v = match t {
+                0..=10 => 2.0,
+                11..=90 => -1.0,
+                91..=100 => 3.0,
+                _ => 0.5,
+            };
+        }
+        let apca = Apca::new(n, 8);
+        let rec = apca.reconstruct(&apca.transform(&s));
+        let err_apca = euclidean_sq(&s, &rec);
+        let paa = crate::paa::Paa::new(n, 8);
+        let err_paa = euclidean_sq(&s, &paa.reconstruct(&paa.transform(&s)));
+        assert!(
+            err_apca < err_paa * 0.25,
+            "APCA should adapt: apca={err_apca} paa={err_paa}"
+        );
+    }
+
+    #[test]
+    fn apca_self_distance_zero() {
+        let n = 64;
+        let apca = Apca::new(n, 8);
+        let (a, _) = pair(n);
+        let segs = apca.transform(&a);
+        // The query averaged over its own segments equals the means.
+        assert!(apca.lower_bound_sq(&a, &segs) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < 2*segments <= n")]
+    fn pla_rejects_oversized_budget() {
+        let _ = Pla::new(8, 5);
+    }
+}

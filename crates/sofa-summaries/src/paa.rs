@@ -1,0 +1,181 @@
+//! Piecewise Aggregate Approximation (PAA).
+//!
+//! PAA (Keogh et al., paper §IV-D step 2) represents a series by the mean
+//! of each of `l` segments. It is the numeric front end of SAX and also a
+//! summarization in its own right with the lower bound
+//! `sum_j len_j * (paa(A)_j - paa(B)_j)^2 <= ED^2(A, B)` (Cauchy–Schwarz
+//! per segment), which is what makes SAX's mindist a valid LBD.
+//!
+//! Segments may be ragged when `l` does not divide `n` (several paper
+//! datasets have length 100); segment `j` covers
+//! `[floor(j*n/l), floor((j+1)*n/l))` and its LBD weight is its length.
+
+/// PAA transformer for fixed series length `n` and word length `l`.
+#[derive(Clone, Debug)]
+pub struct Paa {
+    n: usize,
+    bounds: Vec<usize>,
+}
+
+impl Paa {
+    /// Creates a PAA over `l` segments of series of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `l == 0` or `l > n`.
+    #[must_use]
+    pub fn new(n: usize, l: usize) -> Self {
+        assert!(l > 0 && l <= n, "need 0 < l <= n (l={l}, n={n})");
+        let bounds = (0..=l).map(|j| j * n / l).collect();
+        Paa { n, bounds }
+    }
+
+    /// Number of segments `l`.
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Series length `n`.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.n
+    }
+
+    /// Length of segment `j` — the LBD weight of that position.
+    #[must_use]
+    pub fn segment_len(&self, j: usize) -> usize {
+        self.bounds[j + 1] - self.bounds[j]
+    }
+
+    /// Computes segment means into `out` (`out.len() == segments()`).
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    #[allow(clippy::needless_range_loop)] // bounds pairs drive the loop
+    pub fn transform_into(&self, series: &[f32], out: &mut [f32]) {
+        assert_eq!(series.len(), self.n, "series length mismatch");
+        assert_eq!(out.len(), self.segments(), "output length mismatch");
+        for j in 0..self.segments() {
+            let (a, b) = (self.bounds[j], self.bounds[j + 1]);
+            let sum: f32 = series[a..b].iter().sum();
+            out[j] = sum / (b - a) as f32;
+        }
+    }
+
+    /// Allocating convenience wrapper.
+    #[must_use]
+    pub fn transform(&self, series: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; self.segments()];
+        self.transform_into(series, &mut out);
+        out
+    }
+
+    /// Squared PAA lower-bound distance between two PAA vectors:
+    /// `sum_j len_j * (a_j - b_j)^2`.
+    #[must_use]
+    pub fn lower_bound_sq(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), self.segments());
+        assert_eq!(b.len(), self.segments());
+        let mut sum = 0.0;
+        for j in 0..a.len() {
+            let d = a[j] - b[j];
+            sum += self.segment_len(j) as f32 * d * d;
+        }
+        sum
+    }
+
+    /// Piecewise-constant reconstruction (used by the Figure 1/2
+    /// reproductions to show PAA flat-lining on high-frequency series).
+    #[must_use]
+    pub fn reconstruct(&self, paa: &[f32]) -> Vec<f32> {
+        assert_eq!(paa.len(), self.segments());
+        let mut out = vec![0.0; self.n];
+        for j in 0..self.segments() {
+            out[self.bounds[j]..self.bounds[j + 1]].fill(paa[j]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ed_sq(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn means_of_even_segments() {
+        let paa = Paa::new(8, 4);
+        let s = [1.0, 3.0, 2.0, 4.0, 5.0, 7.0, 0.0, 2.0];
+        assert_eq!(paa.transform(&s), vec![2.0, 3.0, 6.0, 1.0]);
+    }
+
+    #[test]
+    fn ragged_segments_cover_everything() {
+        let paa = Paa::new(100, 16);
+        let total: usize = (0..16).map(|j| paa.segment_len(j)).sum();
+        assert_eq!(total, 100);
+        for j in 0..16 {
+            let len = paa.segment_len(j);
+            assert!(len == 6 || len == 7, "segment {j} has length {len}");
+        }
+    }
+
+    #[test]
+    fn constant_series_constant_paa() {
+        let paa = Paa::new(64, 8);
+        let s = vec![3.5f32; 64];
+        assert!(paa.transform(&s).iter().all(|&x| (x - 3.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn lower_bound_property() {
+        // PAA LBD <= true squared ED for assorted signals, including ragged.
+        for (n, l) in [(64, 8), (100, 16), (96, 16), (128, 12)] {
+            let paa = Paa::new(n, l);
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.9).cos() * 1.3).collect();
+            let pa = paa.transform(&a);
+            let pb = paa.transform(&b);
+            let lb = paa.lower_bound_sq(&pa, &pb);
+            let ed = ed_sq(&a, &b);
+            assert!(lb <= ed * (1.0 + 1e-5) + 1e-5, "n={n} l={l}: lb={lb} ed={ed}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_tight_for_piecewise_constant() {
+        // If both series are constant per segment, the bound is exact.
+        let paa = Paa::new(8, 4);
+        let a = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0];
+        let b = [0.0, 0.0, 1.0, 1.0, 5.0, 5.0, 2.0, 2.0];
+        let lb = paa.lower_bound_sq(&paa.transform(&a), &paa.transform(&b));
+        assert!((lb - ed_sq(&a, &b)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reconstruct_roundtrip_on_step_function() {
+        let paa = Paa::new(8, 4);
+        let s = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0];
+        assert_eq!(paa.reconstruct(&paa.transform(&s)), s.to_vec());
+    }
+
+    #[test]
+    fn high_frequency_flatlines() {
+        // The Figure 1 phenomenon: an alternating series has PAA ~= 0
+        // everywhere even though the signal has unit amplitude.
+        let n = 64;
+        let paa = Paa::new(n, 8);
+        let s: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let p = paa.transform(&s);
+        assert!(p.iter().all(|&x| x.abs() < 1e-6), "{p:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < l <= n")]
+    fn zero_segments_rejected() {
+        let _ = Paa::new(10, 0);
+    }
+}

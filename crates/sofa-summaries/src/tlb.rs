@@ -1,0 +1,233 @@
+//! Tightness of lower bound (TLB) — the ablation metric of §V-E.
+//!
+//! `TLB = mean over (query, candidate) pairs of LBD / true distance`
+//! (both unsquared). Higher is better; 1.0 means the summarization's lower
+//! bound is exact. The paper's Tables V/VI and Figure 14 sweep TLB over
+//! alphabet sizes for iSAX and four SFA variants; Figure 15 feeds the same
+//! per-dataset TLB values into the critical-difference analysis.
+
+use crate::lbd::{mindist_scalar, QueryContext};
+use crate::traits::Summarization;
+use sofa_simd::euclidean_sq;
+
+/// TLB of one summarization on one dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TlbReport {
+    /// Mean of `lbd / ed` over all evaluated pairs (pairs with zero true
+    /// distance are skipped).
+    pub mean_tlb: f64,
+    /// Number of (query, candidate) pairs evaluated.
+    pub pairs: usize,
+}
+
+/// Computes the TLB of `summarization` for `queries` against `data` (both
+/// row-major flat buffers of z-normalized series of the model's length).
+///
+/// `max_candidates` caps the candidates per query (0 = all), keeping the
+/// quadratic pair count tractable on large datasets — the sampling the
+/// paper's TLB experiments also apply.
+///
+/// # Panics
+/// Panics if buffer lengths are not multiples of the series length.
+#[must_use]
+pub fn tlb_of(
+    summarization: &dyn Summarization,
+    data: &[f32],
+    queries: &[f32],
+    max_candidates: usize,
+) -> TlbReport {
+    let n = summarization.series_len();
+    assert_eq!(data.len() % n, 0, "data must be whole series");
+    assert_eq!(queries.len() % n, 0, "queries must be whole series");
+    let l = summarization.word_len();
+    let mut transformer = summarization.transformer();
+
+    // Pre-transform candidate words once.
+    let cand_count = data.len() / n;
+    let take = if max_candidates == 0 { cand_count } else { max_candidates.min(cand_count) };
+    // Stride so capped evaluation still spans the whole dataset.
+    let stride = (cand_count / take).max(1);
+    let mut words = Vec::with_capacity(take);
+    let mut rows = Vec::with_capacity(take);
+    for i in (0..cand_count).step_by(stride).take(take) {
+        let series = &data[i * n..(i + 1) * n];
+        words.push(transformer.word(series, l));
+        rows.push(i);
+    }
+
+    let mut total = 0.0f64;
+    let mut pairs = 0usize;
+    for q in queries.chunks(n) {
+        let ctx = QueryContext::new(summarization, q);
+        for (word, &row) in words.iter().zip(rows.iter()) {
+            let candidate = &data[row * n..(row + 1) * n];
+            let ed_sq = euclidean_sq(q, candidate);
+            if ed_sq <= 0.0 {
+                continue;
+            }
+            let lbd_sq = mindist_scalar(&ctx, word);
+            total += f64::from((lbd_sq.max(0.0)).sqrt() / ed_sq.sqrt());
+            pairs += 1;
+        }
+    }
+    TlbReport { mean_tlb: if pairs == 0 { 0.0 } else { total / pairs as f64 }, pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcb::{BinningStrategy, CoefficientSelection};
+    use crate::sax::{ISax, SaxConfig};
+    use crate::sfa::{Sfa, SfaConfig};
+
+    fn dataset(count: usize, n: usize, seed: usize) -> Vec<f32> {
+        let mut data = Vec::with_capacity(count * n);
+        for r in 0..count {
+            for t in 0..n {
+                let x = t as f32;
+                let r = (r + seed) as f32;
+                data.push(
+                    (x * 0.21 + r).sin()
+                        + 0.7 * (x * (0.9 + (r % 13.0) * 0.05)).cos()
+                        + 0.2 * (x * 2.3 + r * 0.5).sin(),
+                );
+            }
+        }
+        for row in data.chunks_mut(n) {
+            sofa_simd::znormalize(row);
+        }
+        data
+    }
+
+    #[test]
+    fn tlb_in_unit_interval() {
+        let n = 64;
+        let data = dataset(200, n, 0);
+        let queries = dataset(10, n, 777);
+        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 16, ..Default::default() });
+        let r = tlb_of(&sfa, &data, &queries, 50);
+        assert!(r.pairs > 0);
+        assert!(r.mean_tlb > 0.0 && r.mean_tlb <= 1.0 + 1e-6, "tlb={}", r.mean_tlb);
+    }
+
+    #[test]
+    fn tlb_grows_with_alphabet() {
+        let n = 64;
+        let data = dataset(300, n, 3);
+        let queries = dataset(8, n, 999);
+        let mut prev = 0.0;
+        for alpha in [4usize, 16, 64, 256] {
+            let sfa = Sfa::learn(
+                &data,
+                n,
+                &SfaConfig { word_len: 8, alphabet: alpha, ..Default::default() },
+            );
+            let r = tlb_of(&sfa, &data, &queries, 60);
+            assert!(
+                r.mean_tlb >= prev - 0.02,
+                "TLB should grow with alphabet: alpha={alpha} tlb={} prev={prev}",
+                r.mean_tlb
+            );
+            prev = r.mean_tlb;
+        }
+    }
+
+    #[test]
+    fn sfa_beats_sax_on_high_frequency_data() {
+        // The paper's core claim at summarization level: on series whose
+        // energy sits in high frequencies, SFA's TLB dominates iSAX's.
+        let n = 64;
+        let count = 300;
+        let mut data = Vec::with_capacity(count * n);
+        for r in 0..count {
+            for t in 0..n {
+                // Energy at coefficients ~14-16 of 32.
+                let phase = r as f32 * 1.3;
+                data.push(
+                    (2.0 * std::f32::consts::PI * 14.0 * t as f32 / n as f32 + phase).sin()
+                        + 0.5 * (2.0 * std::f32::consts::PI * 16.0 * t as f32 / n as f32
+                            - phase)
+                            .cos(),
+                );
+            }
+        }
+        for row in data.chunks_mut(n) {
+            sofa_simd::znormalize(row);
+        }
+        let queries = data[..8 * n].to_vec();
+        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 64, ..Default::default() });
+        let sax = ISax::new(n, &SaxConfig { word_len: 16, alphabet: 64 });
+        let tlb_sfa = tlb_of(&sfa, &data, &queries, 80).mean_tlb;
+        let tlb_sax = tlb_of(&sax, &data, &queries, 80).mean_tlb;
+        assert!(
+            tlb_sfa > tlb_sax + 0.1,
+            "SFA should dominate on HF data: sfa={tlb_sfa} sax={tlb_sax}"
+        );
+    }
+
+    #[test]
+    fn variance_selection_helps_on_high_frequency_data() {
+        let n = 64;
+        let count = 300;
+        let mut data = Vec::with_capacity(count * n);
+        for r in 0..count {
+            for t in 0..n {
+                let phase = r as f32 * 0.9;
+                data.push(
+                    (2.0 * std::f32::consts::PI * 20.0 * t as f32 / n as f32 + phase).sin(),
+                );
+            }
+        }
+        for row in data.chunks_mut(n) {
+            sofa_simd::znormalize(row);
+        }
+        let queries = data[..6 * n].to_vec();
+        let with_var = Sfa::learn(
+            &data,
+            n,
+            &SfaConfig { word_len: 8, alphabet: 16, ..Default::default() },
+        );
+        let first_l = Sfa::learn(
+            &data,
+            n,
+            &SfaConfig {
+                word_len: 8,
+                alphabet: 16,
+                selection: CoefficientSelection::FirstL,
+                ..Default::default()
+            },
+        );
+        let t_var = tlb_of(&with_var, &data, &queries, 60).mean_tlb;
+        let t_first = tlb_of(&first_l, &data, &queries, 60).mean_tlb;
+        assert!(
+            t_var > t_first + 0.2,
+            "+VAR must dominate low-pass on HF data: var={t_var} first={t_first}"
+        );
+    }
+
+    #[test]
+    fn equi_width_vs_equi_depth_both_valid() {
+        let n = 64;
+        let data = dataset(300, n, 11);
+        let queries = dataset(6, n, 1234);
+        for binning in [BinningStrategy::EquiWidth, BinningStrategy::EquiDepth] {
+            let sfa = Sfa::learn(
+                &data,
+                n,
+                &SfaConfig { word_len: 8, alphabet: 32, binning, ..Default::default() },
+            );
+            let r = tlb_of(&sfa, &data, &queries, 40);
+            assert!(r.mean_tlb > 0.0 && r.mean_tlb <= 1.0 + 1e-6, "{binning:?}: {}", r.mean_tlb);
+        }
+    }
+
+    #[test]
+    fn candidate_cap_limits_pairs() {
+        let n = 32;
+        let data = dataset(100, n, 0);
+        let queries = dataset(3, n, 1000);
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 16 });
+        let r = tlb_of(&sax, &data, &queries, 10);
+        assert_eq!(r.pairs, 30);
+    }
+}

@@ -1,0 +1,117 @@
+//! The summarization abstraction shared by the tree index.
+//!
+//! The paper observes that "all SAX-based indices use the same
+//! summarization technique, \[so\] they will all benefit from the
+//! improvements introduced here" — i.e. the index machinery is orthogonal
+//! to the summarization. We encode that orthogonality as a trait: MESSI is
+//! the generic tree instantiated with [`crate::ISax`], SOFA is the same
+//! tree instantiated with [`crate::Sfa`].
+//!
+//! The contract rests on a single representation: **every summarization is
+//! a vector of `l` quantized values**, where position `j` has
+//!
+//! * an ordered breakpoint table `breakpoints(j)` of `alphabet - 1` values
+//!   splitting the reals into `alphabet` intervals (symbol `s` covers
+//!   `[bp[s-1], bp[s])`, unbounded at the edges),
+//! * a weight `weight(j)` such that
+//!   `sum_j weight(j) * d(q_j, interval(word_j))^2` lower-bounds the true
+//!   squared Euclidean distance between the original series, where `q_j`
+//!   are the query's *exact* (unquantized) values at the same positions.
+//!
+//! For iSAX the positions are PAA segments, the tables are the fixed N(0,1)
+//! quantiles and the weight is the segment length. For SFA the positions
+//! are selected DFT real/imaginary values, the tables are learned by MCB
+//! and the weight is the Parseval factor (2, or 1 for DC/Nyquist).
+
+/// Number of symbols used by both SAX and SFA by default (8 bits — the
+/// paper's choice: "as few as 256 symbols, which can be represented by
+/// 8 bits").
+pub const DEFAULT_ALPHABET: usize = 256;
+
+/// A learned or fixed summarization model. Immutable once built; shared
+/// across index worker threads.
+pub trait Summarization: Send + Sync {
+    /// Word length `l` (number of symbols per series).
+    fn word_len(&self) -> usize;
+
+    /// Number of bits per symbol; alphabet size is `2^bits` (max 8).
+    fn symbol_bits(&self) -> u8;
+
+    /// Alphabet size `2^symbol_bits()`.
+    fn alphabet(&self) -> usize {
+        1usize << self.symbol_bits()
+    }
+
+    /// Length of the series this model was built for.
+    fn series_len(&self) -> usize;
+
+    /// Breakpoint table for position `j`: `alphabet - 1` ascending values.
+    fn breakpoints(&self, j: usize) -> &[f32];
+
+    /// Lower-bound weight for position `j` (see module docs).
+    fn weight(&self, j: usize) -> f32;
+
+    /// Creates a per-thread transformer holding whatever scratch the
+    /// transform needs (FFT buffers, PAA accumulators). The model itself
+    /// stays shared and immutable.
+    fn transformer(&self) -> Box<dyn SeriesTransformer + '_>;
+
+    /// Human-readable name for reports ("iSAX", "SFA EW +VAR", ...).
+    fn name(&self) -> &str;
+}
+
+/// Per-thread transformation state for one [`Summarization`] model.
+pub trait SeriesTransformer: Send {
+    /// Summarizes `series` into `word` (`word.len() == word_len()`).
+    ///
+    /// The series must already be z-normalized if the model was learned on
+    /// z-normalized data (the index normalizes at ingestion).
+    fn word_into(&mut self, series: &[f32], word: &mut [u8]);
+
+    /// Computes the query-side *exact* values `q_j` at each word position
+    /// (`out.len() == word_len()`): the PAA means for SAX, the selected DFT
+    /// coefficient values for SFA. These feed the mindist kernels.
+    fn query_values_into(&mut self, query: &[f32], out: &mut [f32]);
+
+    /// Convenience allocating wrapper over [`Self::word_into`].
+    fn word(&mut self, series: &[f32], word_len: usize) -> Vec<u8> {
+        let mut w = vec![0u8; word_len];
+        self.word_into(series, &mut w);
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl Summarization for Dummy {
+        fn word_len(&self) -> usize {
+            4
+        }
+        fn symbol_bits(&self) -> u8 {
+            3
+        }
+        fn series_len(&self) -> usize {
+            16
+        }
+        fn breakpoints(&self, _j: usize) -> &[f32] {
+            &[]
+        }
+        fn weight(&self, _j: usize) -> f32 {
+            1.0
+        }
+        fn transformer(&self) -> Box<dyn SeriesTransformer + '_> {
+            unimplemented!("not needed for this test")
+        }
+        fn name(&self) -> &str {
+            "dummy"
+        }
+    }
+
+    #[test]
+    fn alphabet_derived_from_bits() {
+        assert_eq!(Dummy.alphabet(), 8);
+    }
+}

@@ -1,0 +1,444 @@
+//! # SOFA — fast and exact data-series similarity search
+//!
+//! A from-scratch Rust reproduction of *"Fast and Exact Similarity Search
+//! in less than a Blink of an Eye"* (Schäfer, Brand, Leser, Peng,
+//! Palpanas — ICDE 2025): the **SOFA** index, which combines the learned
+//! **Symbolic Fourier Approximation** (SFA) summarization with a
+//! MESSI-style parallel tree index to answer *exact* 1-NN and k-NN queries
+//! under z-normalized Euclidean distance.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sofa::SofaIndex;
+//!
+//! // 1000 series of length 128, row-major.
+//! let n = 128;
+//! let data: Vec<f32> = (0..1000 * n)
+//!     .map(|i| ((i / n) as f32 * 0.7 + (i % n) as f32 * 0.21).sin())
+//!     .collect();
+//!
+//! let index = SofaIndex::build(&data, n).expect("build");
+//! let query: Vec<f32> = (0..n).map(|t| (t as f32 * 0.21).sin()).collect();
+//! let nearest = index.nn(&query).expect("query");
+//! println!("row {} at squared distance {}", nearest.row, nearest.dist_sq);
+//!
+//! // Exact k-NN:
+//! let top5 = index.knn(&query, 5).expect("query");
+//! assert_eq!(top5.len(), 5);
+//! ```
+//!
+//! ## What's in the box
+//!
+//! * [`SofaIndex`] — the paper's contribution: SFA + tree index.
+//! * [`MessiIndex`] — the same tree over iSAX: the MESSI baseline.
+//! * [`baselines::UcrScan`] / [`baselines::FlatL2`] — the paper's other
+//!   competitors (parallel SIMD scan; FAISS-flat-style brute force).
+//! * [`data`] — synthetic analogues of the paper's 17-dataset benchmark
+//!   and UCR-like ablation families.
+//! * Lower layers re-exported under [`summaries`], [`fft`], [`stats`],
+//!   [`simd`], [`index`] for direct use.
+//!
+//! All methods return *exact* answers; the index only prunes candidates
+//! whose lower-bound distance already exceeds the best result, per the
+//! GEMINI framework.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sofa_baselines as baselines;
+pub use sofa_data as data;
+pub use sofa_fft as fft;
+pub use sofa_index as index;
+pub use sofa_simd as simd;
+pub use sofa_stats as stats;
+pub use sofa_summaries as summaries;
+
+pub use sofa_index::{IndexConfig, IndexError, IndexStats, Neighbor, QueryStats};
+pub use sofa_summaries::{BinningStrategy, CoefficientSelection};
+
+use sofa_index::Index;
+use sofa_summaries::{ISax, SaxConfig, Sfa, SfaConfig};
+
+/// Builder for [`SofaIndex`] and [`MessiIndex`] with the paper's defaults.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    word_len: usize,
+    alphabet: usize,
+    leaf_capacity: usize,
+    threads: usize,
+    sample_ratio: f64,
+    min_sample: usize,
+    binning: BinningStrategy,
+    selection: CoefficientSelection,
+    seed: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Builder {
+            word_len: 16,
+            alphabet: 256,
+            leaf_capacity: 20_000,
+            threads,
+            sample_ratio: 0.01,
+            min_sample: 256,
+            binning: BinningStrategy::EquiWidth,
+            selection: CoefficientSelection::HighestVariance,
+            seed: 0x50FA,
+        }
+    }
+}
+
+impl Builder {
+    /// Word length `l` (default 16).
+    #[must_use]
+    pub fn word_len(mut self, l: usize) -> Self {
+        self.word_len = l;
+        self
+    }
+
+    /// Alphabet size (power of two up to 256; default 256).
+    #[must_use]
+    pub fn alphabet(mut self, alpha: usize) -> Self {
+        self.alphabet = alpha;
+        self
+    }
+
+    /// Leaf capacity (default 20,000).
+    #[must_use]
+    pub fn leaf_capacity(mut self, cap: usize) -> Self {
+        self.leaf_capacity = cap;
+        self
+    }
+
+    /// Worker threads (default: available parallelism).
+    #[must_use]
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t.max(1);
+        self
+    }
+
+    /// MCB sampling ratio (default 1%).
+    #[must_use]
+    pub fn sample_ratio(mut self, r: f64) -> Self {
+        self.sample_ratio = r;
+        self
+    }
+
+    /// Minimum MCB sample size regardless of ratio (default 256). Lower it
+    /// to make small-scale sampling-rate sweeps meaningful.
+    #[must_use]
+    pub fn min_sample(mut self, m: usize) -> Self {
+        self.min_sample = m.max(1);
+        self
+    }
+
+    /// SFA binning strategy (default equi-width).
+    #[must_use]
+    pub fn binning(mut self, b: BinningStrategy) -> Self {
+        self.binning = b;
+        self
+    }
+
+    /// SFA coefficient selection (default highest variance).
+    #[must_use]
+    pub fn selection(mut self, s: CoefficientSelection) -> Self {
+        self.selection = s;
+        self
+    }
+
+    /// Sampling seed for deterministic learning.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn index_config(&self) -> IndexConfig {
+        IndexConfig::with_threads(self.threads).leaf_capacity(self.leaf_capacity)
+    }
+
+    /// Builds a [`SofaIndex`] over row-major `data` of `series_len`.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
+    pub fn build_sofa(&self, data: &[f32], series_len: usize) -> Result<SofaIndex, IndexError> {
+        if series_len == 0 || data.is_empty() || data.len() % series_len != 0 {
+            return Err(IndexError::BadDataset(
+                "data must be a non-empty whole number of series".into(),
+            ));
+        }
+        // SFA learns from the z-normalized view of the data, because the
+        // index stores (and measures distances between) z-normalized
+        // series. Normalization is idempotent, so handing the normalized
+        // copy to the index builder is safe.
+        let mut znormed = data.to_vec();
+        for row in znormed.chunks_mut(series_len) {
+            sofa_simd::znormalize(row);
+        }
+        let cfg = SfaConfig {
+            word_len: self.word_len,
+            alphabet: self.alphabet,
+            binning: self.binning,
+            selection: self.selection,
+            sample_ratio: self.sample_ratio,
+            min_sample: self.min_sample,
+            seed: self.seed,
+            ..Default::default()
+        };
+        let sfa = Sfa::learn(&znormed, series_len, &cfg);
+        let inner = Index::build(sfa, &znormed, self.index_config())?;
+        Ok(SofaIndex { inner })
+    }
+
+    /// Builds a [`MessiIndex`] over row-major `data` of `series_len`.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
+    pub fn build_messi(&self, data: &[f32], series_len: usize) -> Result<MessiIndex, IndexError> {
+        if series_len == 0 || data.is_empty() || data.len() % series_len != 0 {
+            return Err(IndexError::BadDataset(
+                "data must be a non-empty whole number of series".into(),
+            ));
+        }
+        let sax = ISax::new(
+            series_len,
+            &SaxConfig { word_len: self.word_len, alphabet: self.alphabet },
+        );
+        let inner = Index::build(sax, data, self.index_config())?;
+        Ok(MessiIndex { inner })
+    }
+}
+
+macro_rules! forward_index_api {
+    ($ty:ident, $summ:ty) => {
+        impl $ty {
+            /// Exact 1-NN under z-normalized Euclidean distance.
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] on a length mismatch.
+            pub fn nn(&self, query: &[f32]) -> Result<Neighbor, IndexError> {
+                self.inner.nn(query)
+            }
+
+            /// Exact k-NN, best first.
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] on a length mismatch or `k == 0`.
+            pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, IndexError> {
+                self.inner.knn(query, k)
+            }
+
+            /// Exact k-NN with per-query work counters.
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] on a length mismatch or `k == 0`.
+            pub fn knn_with_stats(
+                &self,
+                query: &[f32],
+                k: usize,
+            ) -> Result<(Vec<Neighbor>, QueryStats), IndexError> {
+                self.inner.knn_with_stats(query, k)
+            }
+
+            /// Fast approximate 1-NN (tree descent only; not exact).
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] on a length mismatch.
+            pub fn approximate_nn(&self, query: &[f32]) -> Result<Neighbor, IndexError> {
+                self.inner.approximate_nn(query)
+            }
+
+            /// Inserts one series online (iSAX-2.0-style leaf splitting),
+            /// returning its row id.
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] on a length mismatch.
+            pub fn insert(&mut self, series: &[f32]) -> Result<u32, IndexError> {
+                self.inner.insert(series)
+            }
+
+            /// Inserts a row-major buffer of series, returning the first
+            /// new row id.
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadDataset`] on an empty/ragged buffer.
+            pub fn insert_all(&mut self, buffer: &[f32]) -> Result<u32, IndexError> {
+                self.inner.insert_all(buffer)
+            }
+
+            /// Structural statistics (Figure 8).
+            #[must_use]
+            pub fn stats(&self) -> IndexStats {
+                self.inner.stats()
+            }
+
+            /// Number of indexed series.
+            #[must_use]
+            pub fn n_series(&self) -> usize {
+                self.inner.n_series()
+            }
+
+            /// Indexed series length.
+            #[must_use]
+            pub fn series_len(&self) -> usize {
+                self.inner.series_len()
+            }
+
+            /// Build-phase timing breakdown `(transform_secs, tree_secs)`.
+            #[must_use]
+            pub fn build_breakdown(&self) -> (f64, f64) {
+                self.inner.build_breakdown()
+            }
+
+            /// Access to the generic index for advanced use.
+            #[must_use]
+            pub fn raw(&self) -> &Index<$summ> {
+                &self.inner
+            }
+        }
+    };
+}
+
+/// The SOFA index: SFA summarization + MESSI-style tree (the paper's
+/// contribution). Build with [`SofaIndex::build`] or [`SofaIndex::builder`].
+pub struct SofaIndex {
+    inner: Index<Sfa>,
+}
+
+impl SofaIndex {
+    /// Builds with the paper's default parameters.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
+    pub fn build(data: &[f32], series_len: usize) -> Result<Self, IndexError> {
+        Builder::default().build_sofa(data, series_len)
+    }
+
+    /// A configuration builder.
+    #[must_use]
+    pub fn builder() -> Builder {
+        Builder::default()
+    }
+
+    /// Mean selected DFT coefficient index (Figure 13 diagnostics).
+    #[must_use]
+    pub fn mean_selected_coefficient(&self) -> f64 {
+        self.inner.summarization().mean_selected_coefficient()
+    }
+
+    /// The learned SFA model.
+    #[must_use]
+    pub fn sfa(&self) -> &Sfa {
+        self.inner.summarization()
+    }
+}
+
+/// The MESSI baseline: iSAX summarization + the same tree.
+pub struct MessiIndex {
+    inner: Index<ISax>,
+}
+
+impl MessiIndex {
+    /// Builds with the paper's default parameters.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
+    pub fn build(data: &[f32], series_len: usize) -> Result<Self, IndexError> {
+        Builder::default().build_messi(data, series_len)
+    }
+
+    /// A configuration builder.
+    #[must_use]
+    pub fn builder() -> Builder {
+        Builder::default()
+    }
+
+    /// The iSAX model.
+    #[must_use]
+    pub fn isax(&self) -> &ISax {
+        self.inner.summarization()
+    }
+}
+
+forward_index_api!(SofaIndex, Sfa);
+forward_index_api!(MessiIndex, ISax);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(count: usize, n: usize, seed: usize) -> Vec<f32> {
+        let mut data = Vec::with_capacity(count * n);
+        for r in 0..count {
+            for t in 0..n {
+                let x = t as f32;
+                let r = (r + seed) as f32;
+                data.push((x * 0.19 + r).sin() + 0.5 * (x * 1.2 - r * 0.4).cos());
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn sofa_and_messi_agree() {
+        let n = 64;
+        let data = dataset(500, n, 0);
+        let sofa = SofaIndex::builder()
+            .leaf_capacity(50)
+            .threads(2)
+            .sample_ratio(0.5)
+            .build_sofa(&data, n)
+            .unwrap();
+        let messi =
+            MessiIndex::builder().leaf_capacity(50).threads(2).build_messi(&data, n).unwrap();
+        let queries = dataset(5, n, 700);
+        for q in queries.chunks(n) {
+            let a = sofa.nn(q).unwrap();
+            let b = messi.nn(q).unwrap();
+            assert!((a.dist_sq - b.dist_sq).abs() < 1e-3 * a.dist_sq.max(1.0));
+        }
+    }
+
+    #[test]
+    fn builder_parameters_apply() {
+        let n = 64;
+        let data = dataset(300, n, 0);
+        let sofa = SofaIndex::builder()
+            .word_len(8)
+            .alphabet(64)
+            .leaf_capacity(25)
+            .threads(1)
+            .build_sofa(&data, n)
+            .unwrap();
+        assert_eq!(sofa.sfa().model().word_len(), 8);
+        assert_eq!(sofa.sfa().model().alphabet, 64);
+        assert!(sofa.stats().max_leaf_size <= 25 || sofa.stats().leaves == 1);
+    }
+
+    #[test]
+    fn build_rejects_bad_input() {
+        assert!(SofaIndex::build(&[], 64).is_err());
+        assert!(SofaIndex::build(&vec![0.0; 65], 64).is_err());
+        assert!(MessiIndex::build(&vec![0.0; 65], 64).is_err());
+    }
+
+    #[test]
+    fn facade_surface() {
+        let n = 64;
+        let data = dataset(200, n, 3);
+        let sofa =
+            SofaIndex::builder().threads(2).leaf_capacity(30).build_sofa(&data, n).unwrap();
+        assert_eq!(sofa.n_series(), 200);
+        assert_eq!(sofa.series_len(), n);
+        assert!(sofa.mean_selected_coefficient() >= 0.0);
+        let (t, b) = sofa.build_breakdown();
+        assert!(t >= 0.0 && b >= 0.0);
+        let q = dataset(1, n, 50);
+        let (nn, stats) = sofa.knn_with_stats(&q, 3).unwrap();
+        assert_eq!(nn.len(), 3);
+        assert!(stats.series_lbd_checked <= 200);
+    }
+}

@@ -1,0 +1,81 @@
+//! Tightness-of-lower-bound ablation — a miniature of the paper's §V-E.
+//!
+//! Computes the TLB (lower bound / true distance; higher is better, 1.0 is
+//! exact) of iSAX and four SFA variants over a slice of the UCR-like
+//! archive, sweeping the alphabet size. Reproduces the shape of Tables
+//! V/VI and Figure 14: SFA dominates iSAX, equi-width binning plus
+//! variance selection is the best variant, and the gap is largest at small
+//! alphabets.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p sofa --example tlb_ablation
+//! ```
+
+use sofa::data::ucr_like_archive;
+use sofa::summaries::{
+    tlb_of, BinningStrategy, CoefficientSelection, ISax, SaxConfig, Sfa, SfaConfig,
+};
+
+fn main() {
+    let series_len = 128;
+    let archive = ucr_like_archive(series_len, 200, 20);
+    let word_len = 16;
+    let alphabets = [4usize, 8, 16, 64, 256];
+
+    let variants: Vec<(&str, BinningStrategy, CoefficientSelection)> = vec![
+        ("SFA EW +VAR", BinningStrategy::EquiWidth, CoefficientSelection::HighestVariance),
+        ("SFA EW     ", BinningStrategy::EquiWidth, CoefficientSelection::FirstL),
+        ("SFA ED +VAR", BinningStrategy::EquiDepth, CoefficientSelection::HighestVariance),
+        ("SFA ED     ", BinningStrategy::EquiDepth, CoefficientSelection::FirstL),
+    ];
+
+    println!(
+        "mean TLB over {} UCR-like datasets (l = {word_len}, {} candidates/query)\n",
+        archive.len(),
+        100
+    );
+    print!("{:<14}", "method");
+    for a in alphabets {
+        print!("  alpha={a:<4}");
+    }
+    println!();
+
+    for (name, binning, selection) in &variants {
+        print!("{name:<14}");
+        for &alpha in &alphabets {
+            let mut total = 0.0;
+            for ds in &archive {
+                let sfa = Sfa::learn(
+                    &ds.train,
+                    series_len,
+                    &SfaConfig {
+                        word_len,
+                        alphabet: alpha,
+                        binning: *binning,
+                        selection: *selection,
+                        sample_ratio: 1.0,
+                        ..Default::default()
+                    },
+                );
+                total += tlb_of(&sfa, &ds.train, &ds.test, 100).mean_tlb;
+            }
+            print!("  {:<10.3}", total / archive.len() as f64);
+        }
+        println!();
+    }
+
+    print!("{:<14}", "iSAX");
+    for &alpha in &alphabets {
+        let mut total = 0.0;
+        for ds in &archive {
+            let sax = ISax::new(series_len, &SaxConfig { word_len, alphabet: alpha });
+            total += tlb_of(&sax, &ds.train, &ds.test, 100).mean_tlb;
+        }
+        print!("  {:<10.3}", total / archive.len() as f64);
+    }
+    println!();
+
+    println!("\npaper Table V (UCR archive): SFA EW+VAR 0.62..0.82, iSAX 0.48..0.76 —");
+    println!("the ordering (SFA EW+VAR >= SFA ED+VAR > iSAX) should reproduce above.");
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the system's core invariants.
+//!
+//! 1. Lower-bounding: for arbitrary data, every summarization's mindist
+//!    never exceeds the true z-normalized Euclidean distance (the property
+//!    GEMINI's exactness rests on).
+//! 2. Index exactness: the SOFA index returns the same 1-NN distance as a
+//!    brute-force scan for arbitrary datasets.
+//! 3. Z-normalization: output has mean ~0 / std ~1 and is shift/scale
+//!    invariant.
+
+use proptest::prelude::*;
+use sofa::baselines::UcrScan;
+use sofa::simd::{euclidean_sq, znormalize};
+use sofa::summaries::{
+    mindist_scalar, mindist_simd, ISax, QueryContext, SaxConfig, Sfa, SfaConfig, Summarization,
+};
+use sofa::SofaIndex;
+
+/// Arbitrary dataset: `rows` series of length `n`, values in [-10, 10],
+/// with enough per-row structure to avoid constant series.
+fn dataset_strategy(max_rows: usize, n: usize) -> impl Strategy<Value = Vec<f32>> {
+    (8..max_rows).prop_flat_map(move |rows| {
+        proptest::collection::vec(-10.0f32..10.0, rows * n)
+    })
+}
+
+fn znorm_rows(data: &[f32], n: usize) -> Vec<f32> {
+    let mut out = data.to_vec();
+    for row in out.chunks_mut(n) {
+        znormalize(row);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sfa_mindist_is_a_lower_bound(data in dataset_strategy(40, 32)) {
+        let n = 32;
+        let z = znorm_rows(&data, n);
+        let sfa = Sfa::learn(
+            &z,
+            n,
+            &SfaConfig { word_len: 8, alphabet: 16, sample_ratio: 1.0, ..Default::default() },
+        );
+        let mut tr = sfa.transformer();
+        let query = &z[..n];
+        let ctx = QueryContext::new(&sfa, query);
+        for cand in z.chunks(n) {
+            let word = tr.word(cand, 8);
+            let lbd = mindist_scalar(&ctx, &word);
+            let ed = euclidean_sq(query, cand);
+            prop_assert!(lbd <= ed * (1.0 + 1e-3) + 1e-3, "lbd={lbd} > ed={ed}");
+        }
+    }
+
+    #[test]
+    fn sax_mindist_is_a_lower_bound(data in dataset_strategy(40, 32)) {
+        let n = 32;
+        let z = znorm_rows(&data, n);
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 64 });
+        let mut tr = sax.transformer();
+        let query = &z[n..2 * n];
+        let ctx = QueryContext::new(&sax, query);
+        for cand in z.chunks(n) {
+            let word = tr.word(cand, 8);
+            let lbd = mindist_scalar(&ctx, &word);
+            let ed = euclidean_sq(query, cand);
+            prop_assert!(lbd <= ed * (1.0 + 1e-3) + 1e-3, "lbd={lbd} > ed={ed}");
+        }
+    }
+
+    #[test]
+    fn simd_mindist_matches_scalar(data in dataset_strategy(30, 32)) {
+        let n = 32;
+        let z = znorm_rows(&data, n);
+        let sfa = Sfa::learn(
+            &z,
+            n,
+            &SfaConfig { word_len: 16, alphabet: 32, sample_ratio: 1.0, ..Default::default() },
+        );
+        let mut tr = sfa.transformer();
+        let query = &z[..n];
+        let ctx = QueryContext::new(&sfa, query);
+        for cand in z.chunks(n) {
+            let word = tr.word(cand, 16);
+            let s = mindist_scalar(&ctx, &word);
+            let v = mindist_simd(&ctx, &word, f32::INFINITY);
+            prop_assert!((s - v).abs() <= 1e-4 * s.max(1.0), "scalar={s} simd={v}");
+        }
+    }
+
+    #[test]
+    fn index_matches_scan_exactly(data in dataset_strategy(60, 32)) {
+        let n = 32;
+        let index = SofaIndex::builder()
+            .word_len(8)
+            .leaf_capacity(8)
+            .threads(2)
+            .sample_ratio(1.0)
+            .build_sofa(&data, n);
+        // Constant series degrade to all-zero rows; the index must still
+        // build and agree with the scan.
+        let index = index.expect("build should not fail on valid shapes");
+        let scan = UcrScan::new(&data, n, 2);
+        let query = &data[..n];
+        let a = index.nn(query).expect("query").dist_sq;
+        let b = scan.nn(query).dist_sq;
+        prop_assert!((a - b).abs() <= 2e-3 * a.max(1.0), "index={a} scan={b}");
+    }
+
+    #[test]
+    fn znormalization_invariants(
+        series in proptest::collection::vec(-100.0f32..100.0, 16..128),
+        shift in -50.0f32..50.0,
+        scale in 0.1f32..20.0,
+    ) {
+        let mut a = series.clone();
+        znormalize(&mut a);
+        // mean ~ 0, std ~ 1 (or all zeros for constant input)
+        let mean: f32 = a.iter().sum::<f32>() / a.len() as f32;
+        prop_assert!(mean.abs() < 1e-3, "mean={mean}");
+        let var: f32 = a.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / a.len() as f32;
+        prop_assert!(var < 1e-3 || (var - 1.0).abs() < 1e-2, "var={var}");
+
+        // shift/scale invariance
+        let mut b: Vec<f32> = series.iter().map(|&x| x * scale + shift).collect();
+        znormalize(&mut b);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn knn_results_sorted_and_bounded(data in dataset_strategy(50, 32), k in 1usize..12) {
+        let n = 32;
+        let index = SofaIndex::builder()
+            .word_len(8)
+            .leaf_capacity(10)
+            .threads(2)
+            .sample_ratio(1.0)
+            .build_sofa(&data, n)
+            .expect("build");
+        let query = &data[..n];
+        let got = index.knn(query, k).expect("query");
+        prop_assert_eq!(got.len(), k.min(data.len() / n));
+        for w in got.windows(2) {
+            prop_assert!(w[0].dist_sq <= w[1].dist_sq);
+            prop_assert!(w[0].row != w[1].row);
+        }
+    }
+}
