@@ -67,21 +67,18 @@ impl FlatL2 {
         }
         let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n_queries];
         let per_thread = n_queries.div_ceil(self.threads);
-        crossbeam::thread::scope(|scope| {
-            for (chunk_idx, (qchunk, rchunk)) in queries
-                .chunks(per_thread * n)
-                .zip(results.chunks_mut(per_thread))
-                .enumerate()
+        std::thread::scope(|scope| {
+            for (chunk_idx, (qchunk, rchunk)) in
+                queries.chunks(per_thread * n).zip(results.chunks_mut(per_thread)).enumerate()
             {
                 let _ = chunk_idx;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (q, out) in qchunk.chunks(n).zip(rchunk.iter_mut()) {
                         *out = self.knn_one(q, k);
                     }
                 });
             }
-        })
-        .expect("flat scan worker panicked");
+        });
         results
     }
 

@@ -66,11 +66,11 @@ impl UcrScan {
         let n_series = self.n_series();
         let rows_per_chunk = n_series.div_ceil(self.threads);
         let merged = KnnSet::new(k);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (chunk_idx, chunk) in self.data.chunks(rows_per_chunk * n).enumerate() {
                 let q = &q[..];
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     // Thread-local best set: independent segments, merge at
                     // the end (the paper's synchronization model).
                     let local = KnnSet::new(k);
@@ -90,8 +90,7 @@ impl UcrScan {
                     merged.offer(nb);
                 }
             }
-        })
-        .expect("scan scope failed");
+        });
         merged.into_sorted()
     }
 }

@@ -3,10 +3,10 @@
 //! dataset profile — the Criterion companion to Table II.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use sofa::baselines::{FlatL2, UcrScan};
 use sofa::data::registry;
 use sofa::{MessiIndex, SofaIndex};
+use std::hint::black_box;
 
 fn bench_profile(c: &mut Criterion, name: &str) {
     let spec = registry().into_iter().find(|s| s.name == name).expect("registry");

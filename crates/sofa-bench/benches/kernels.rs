@@ -3,9 +3,9 @@
 //! scalar-vs-SIMD SFA mindist.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
 use sofa_simd::{euclidean_sq, euclidean_sq_early_abandon, euclidean_sq_scalar};
 use sofa_summaries::{mindist_scalar, mindist_simd, QueryContext, Sfa, SfaConfig, Summarization};
+use std::hint::black_box;
 
 fn series(n: usize, seed: usize) -> Vec<f32> {
     let mut s: Vec<f32> = (0..n)

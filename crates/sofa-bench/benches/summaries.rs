@@ -3,16 +3,15 @@
 //! higher SOFA transform bar — plus MCB learning itself (Algorithm 1).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 use sofa_summaries::{ISax, SaxConfig, Sfa, SfaConfig, Summarization};
+use std::hint::black_box;
 
 fn dataset(count: usize, n: usize) -> Vec<f32> {
     let mut data = Vec::with_capacity(count * n);
     for r in 0..count {
         for t in 0..n {
             data.push(
-                (t as f32 * 0.23 + r as f32).sin()
-                    + 0.5 * (t as f32 * 1.9 - r as f32 * 0.7).cos(),
+                (t as f32 * 0.23 + r as f32).sin() + 0.5 * (t as f32 * 1.9 - r as f32 * 0.7).cos(),
             );
         }
     }

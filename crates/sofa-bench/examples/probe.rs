@@ -25,11 +25,8 @@ fn main() {
             .sample_ratio(0.05)
             .build_sofa(d.data(), n)
             .unwrap();
-        let messi = MessiIndex::builder()
-            .threads(1)
-            .leaf_capacity(500)
-            .build_messi(d.data(), n)
-            .unwrap();
+        let messi =
+            MessiIndex::builder().threads(1).leaf_capacity(500).build_messi(d.data(), n).unwrap();
         let mut st = 0.0;
         let mut mt = 0.0;
         let mut sr = 0;

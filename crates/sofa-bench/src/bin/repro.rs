@@ -39,7 +39,9 @@ fn main() {
                 let list: String = parse(it.next(), "--threads");
                 cfg.threads = list
                     .split(',')
-                    .map(|t| t.trim().parse().unwrap_or_else(|_| die(&format!("bad thread count: {t}"))))
+                    .map(|t| {
+                        t.trim().parse().unwrap_or_else(|_| die(&format!("bad thread count: {t}")))
+                    })
                     .collect();
             }
             "--write" => write_path = Some(parse(it.next(), "--write")),

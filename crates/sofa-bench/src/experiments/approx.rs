@@ -16,7 +16,8 @@ use sofa::{MessiIndex, SofaIndex};
 
 /// Runs the approximate-quality extension experiment (`ext-approx`).
 pub fn ext_approx(suite: &Suite) -> Report {
-    let mut r = Report::new("ext-approx", "Extension: approximate search quality (paper §VI future work)");
+    let mut r =
+        Report::new("ext-approx", "Extension: approximate search quality (paper §VI future work)");
     r.para(
         "One-leaf approximate answering vs exact answering. `recall@1` is \
          the fraction of queries whose approximate answer equals the exact \

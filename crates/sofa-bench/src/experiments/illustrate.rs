@@ -55,8 +55,17 @@ pub fn fig1(suite: &Suite) -> Report {
          from the N(0,1) SAX assumes.",
     );
     let fig1_names = [
-        "LenDB", "SCEDC", "Meier2019JGR", "SIFT1b", "OBS", "BigANN", "Iquique", "Astro",
-        "ETHZ", "OBST2024", "ISC_EHB_DepthPhases",
+        "LenDB",
+        "SCEDC",
+        "Meier2019JGR",
+        "SIFT1b",
+        "OBS",
+        "BigANN",
+        "Iquique",
+        "Astro",
+        "ETHZ",
+        "OBST2024",
+        "ISC_EHB_DepthPhases",
     ];
     let mut rows = Vec::new();
     for spec in suite.specs().iter().filter(|s| fig1_names.contains(&s.name)) {
@@ -76,9 +85,8 @@ pub fn fig1(suite: &Suite) -> Report {
             // Adaptive Fourier summary: keep the 8 largest-magnitude
             // coefficients (DC excluded), like SFA's variance selection.
             let spec_flat = dft.transform(&z);
-            let mut coeffs: Vec<(usize, f32, f32)> = (1..=n / 2)
-                .map(|k| (k, spec_flat[2 * k], spec_flat[2 * k + 1]))
-                .collect();
+            let mut coeffs: Vec<(usize, f32, f32)> =
+                (1..=n / 2).map(|k| (k, spec_flat[2 * k], spec_flat[2 * k + 1])).collect();
             coeffs.sort_by(|a, b| {
                 let ea = a.1 * a.1 + a.2 * a.2;
                 let eb = b.1 * b.1 + b.2 * b.2;
@@ -102,10 +110,7 @@ pub fn fig1(suite: &Suite) -> Report {
             f3(hist.tv_distance_to_normal()),
         ]);
     }
-    r.table(
-        &["dataset", "PAA RMSE", "DFT RMSE", "PAA/DFT ratio", "TV dist to N(0,1)"],
-        &rows,
-    );
+    r.table(&["dataset", "PAA RMSE", "DFT RMSE", "PAA/DFT ratio", "TV dist to N(0,1)"], &rows);
     r
 }
 
@@ -124,9 +129,7 @@ pub fn fig2_3(suite: &Suite) -> Report {
     let mut z = dataset.series(0).to_vec();
     sofa::simd::znormalize(&mut z);
 
-    let letters = |word: &[u8]| -> String {
-        word.iter().map(|&s| (b'a' + s) as char).collect()
-    };
+    let letters = |word: &[u8]| -> String { word.iter().map(|&s| (b'a' + s) as char).collect() };
 
     let mut rows = Vec::new();
     for l in [4usize, 8, 12] {

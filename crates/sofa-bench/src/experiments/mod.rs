@@ -118,22 +118,62 @@ pub struct Experiment {
 #[must_use]
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        Experiment { id: "tab1", title: "Table I: benchmark characteristics", run: illustrate::tab1 },
-        Experiment { id: "fig1", title: "Figure 1: PAA vs DFT on high-frequency series", run: illustrate::fig1 },
-        Experiment { id: "fig2-3", title: "Figures 2-3: SAX vs SFA words", run: illustrate::fig2_3 },
+        Experiment {
+            id: "tab1",
+            title: "Table I: benchmark characteristics",
+            run: illustrate::tab1,
+        },
+        Experiment {
+            id: "fig1",
+            title: "Figure 1: PAA vs DFT on high-frequency series",
+            run: illustrate::fig1,
+        },
+        Experiment {
+            id: "fig2-3",
+            title: "Figures 2-3: SAX vs SFA words",
+            run: illustrate::fig2_3,
+        },
         Experiment { id: "fig4", title: "Figure 4: mindist worked example", run: illustrate::fig4 },
         Experiment { id: "fig7", title: "Figure 7: index creation times", run: structure::fig7 },
         Experiment { id: "fig8", title: "Figure 8: index structure", run: structure::fig8 },
         Experiment { id: "tab2", title: "Table II: 1-NN query times", run: queries::tab2 },
-        Experiment { id: "tab3", title: "Table III / Figure 9: k-NN query times", run: queries::tab3 },
-        Experiment { id: "fig10", title: "Figure 10: query-time distribution by cores", run: queries::fig10 },
+        Experiment {
+            id: "tab3",
+            title: "Table III / Figure 9: k-NN query times",
+            run: queries::tab3,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Figure 10: query-time distribution by cores",
+            run: queries::fig10,
+        },
         Experiment { id: "fig11", title: "Figure 11: leaf-size sweep", run: sweeps::fig11 },
-        Experiment { id: "fig12", title: "Figure 12: relative query time per dataset", run: queries::fig12 },
-        Experiment { id: "fig13", title: "Figure 13: coefficient index vs speedup", run: queries::fig13 },
+        Experiment {
+            id: "fig12",
+            title: "Figure 12: relative query time per dataset",
+            run: queries::fig12,
+        },
+        Experiment {
+            id: "fig13",
+            title: "Figure 13: coefficient index vs speedup",
+            run: queries::fig13,
+        },
         Experiment { id: "tab4", title: "Table IV: sampling-rate sweep", run: sweeps::tab4 },
-        Experiment { id: "tab5", title: "Table V / Figure 14 left: TLB on UCR-like data", run: tlb::tab5 },
-        Experiment { id: "tab6", title: "Table VI / Figure 14 right: TLB on SOFA datasets", run: tlb::tab6 },
-        Experiment { id: "fig15", title: "Figure 15: critical-difference analysis", run: tlb::fig15 },
+        Experiment {
+            id: "tab5",
+            title: "Table V / Figure 14 left: TLB on UCR-like data",
+            run: tlb::tab5,
+        },
+        Experiment {
+            id: "tab6",
+            title: "Table VI / Figure 14 right: TLB on SOFA datasets",
+            run: tlb::tab6,
+        },
+        Experiment {
+            id: "fig15",
+            title: "Figure 15: critical-difference analysis",
+            run: tlb::fig15,
+        },
         Experiment {
             id: "ext-approx",
             title: "Extension: approximate search quality",
@@ -162,8 +202,24 @@ mod tests {
     fn registry_covers_all_paper_artifacts() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         for required in [
-            "tab1", "fig1", "fig2-3", "fig4", "fig7", "fig8", "tab2", "tab3", "fig10",
-            "fig11", "fig12", "fig13", "tab4", "tab5", "tab6", "fig15", "ext-approx", "ext-numeric",
+            "tab1",
+            "fig1",
+            "fig2-3",
+            "fig4",
+            "fig7",
+            "fig8",
+            "tab2",
+            "tab3",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "tab4",
+            "tab5",
+            "tab6",
+            "fig15",
+            "ext-approx",
+            "ext-numeric",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

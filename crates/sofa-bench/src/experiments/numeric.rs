@@ -49,11 +49,15 @@ fn numeric_tlb(train: &[f32], queries: &[f32], n: usize, candidates: usize) -> V
     let rows: Vec<usize> = (0..cand_count).step_by(stride).take(take).collect();
 
     // Pre-transform candidates per method.
-    let paa_c: Vec<Vec<f32>> = rows.iter().map(|&r| paa.transform(&train[r * n..(r + 1) * n])).collect();
-    let pla_c: Vec<Vec<f32>> = rows.iter().map(|&r| pla.transform(&train[r * n..(r + 1) * n])).collect();
+    let paa_c: Vec<Vec<f32>> =
+        rows.iter().map(|&r| paa.transform(&train[r * n..(r + 1) * n])).collect();
+    let pla_c: Vec<Vec<f32>> =
+        rows.iter().map(|&r| pla.transform(&train[r * n..(r + 1) * n])).collect();
     let apca_c: Vec<_> = rows.iter().map(|&r| apca.transform(&train[r * n..(r + 1) * n])).collect();
-    let chb_c: Vec<Vec<f32>> = rows.iter().map(|&r| cheby.transform(&train[r * n..(r + 1) * n])).collect();
-    let dft_c: Vec<Vec<f32>> = rows.iter().map(|&r| dft.transform(&train[r * n..(r + 1) * n])).collect();
+    let chb_c: Vec<Vec<f32>> =
+        rows.iter().map(|&r| cheby.transform(&train[r * n..(r + 1) * n])).collect();
+    let dft_c: Vec<Vec<f32>> =
+        rows.iter().map(|&r| dft.transform(&train[r * n..(r + 1) * n])).collect();
 
     let mut sums = vec![0.0f64; 5];
     let mut pairs = 0usize;
@@ -132,8 +136,7 @@ pub fn ext_numeric(suite: &Suite) -> Report {
     }
     let sofa_row: Vec<f64> = totals.iter().map(|t| t / suite.specs().len() as f64).collect();
 
-    let methods =
-        ["PAA", "PLA", "APCA", "CHEBY", "DFT", "SFA classic (first-l)", "SFA EW +VAR"];
+    let methods = ["PAA", "PLA", "APCA", "CHEBY", "DFT", "SFA classic (first-l)", "SFA EW +VAR"];
     let rows: Vec<Vec<String>> = methods
         .iter()
         .enumerate()

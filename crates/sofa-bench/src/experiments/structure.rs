@@ -52,10 +52,7 @@ pub fn fig7(suite: &Suite) -> Report {
                 Sfa::learn(
                     &z,
                     n,
-                    &SfaConfig {
-                        sample_ratio: suite.cfg.sample_ratio,
-                        ..Default::default()
-                    },
+                    &SfaConfig { sample_ratio: suite.cfg.sample_ratio, ..Default::default() },
                 )
             });
             let (sofa_ix, _) = timed(|| {

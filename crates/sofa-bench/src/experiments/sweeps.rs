@@ -18,8 +18,7 @@ pub fn fig11(suite: &Suite) -> Report {
     ));
     let threads = suite.cfg.max_threads();
     let base = suite.cfg.leaf_capacity;
-    let leaf_sizes: Vec<usize> =
-        [base / 8, base / 4, base / 2, base, base * 2, base * 4].to_vec();
+    let leaf_sizes: Vec<usize> = [base / 8, base / 4, base / 2, base, base * 2, base * 4].to_vec();
     let mut rows = Vec::new();
     for leaf in leaf_sizes {
         let leaf = leaf.max(2);
@@ -98,11 +97,7 @@ pub fn tab4(suite: &Suite) -> Report {
                 times.push(crate::ms(s));
             }
         }
-        rows.push(vec![
-            format!("{:.1}%", rate * 100.0),
-            f2(mean(&times)),
-            f2(median(&times)),
-        ]);
+        rows.push(vec![format!("{:.1}%", rate * 100.0), f2(mean(&times)), f2(median(&times))]);
     }
     r.table(&["sampling rate", "mean (ms)", "median (ms)"], &rows);
     r

@@ -16,8 +16,7 @@ pub const ALPHABETS: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
 pub const WORD_LEN: usize = 16;
 
 /// The five summarization variants of §V-E, in the paper's order.
-pub const VARIANTS: [&str; 5] =
-    ["SFA EW +VAR", "SFA EW", "SFA ED +VAR", "SFA ED", "iSAX"];
+pub const VARIANTS: [&str; 5] = ["SFA EW +VAR", "SFA EW", "SFA ED +VAR", "SFA ED", "iSAX"];
 
 fn variant_config(name: &str, alphabet: usize) -> Option<SfaConfig> {
     let (binning, selection) = match name {
@@ -71,8 +70,10 @@ fn measure_matrix(label: &'static str, datasets: &[TlbDataset], candidates: usiz
                     let sfa = Sfa::learn(&ds.train, ds.series_len, &cfg);
                     tlb_of(&sfa, &ds.train, &ds.queries, candidates).mean_tlb
                 } else {
-                    let sax =
-                        ISax::new(ds.series_len, &SaxConfig { word_len: WORD_LEN, alphabet: alpha });
+                    let sax = ISax::new(
+                        ds.series_len,
+                        &SaxConfig { word_len: WORD_LEN, alphabet: alpha },
+                    );
                     tlb_of(&sax, &ds.train, &ds.queries, candidates).mean_tlb
                 };
                 total += tlb;
@@ -95,8 +96,7 @@ fn measure_matrix(label: &'static str, datasets: &[TlbDataset], candidates: usiz
 #[must_use]
 pub fn compute_ucr_matrix(suite: &Suite) -> TlbMatrix {
     let quick = suite.cfg.n_queries <= 5;
-    let (train_size, test_size, candidates) =
-        if quick { (80, 5, 40) } else { (300, 15, 120) };
+    let (train_size, test_size, candidates) = if quick { (80, 5, 40) } else { (300, 15, 120) };
     let archive = ucr_like_archive(128, train_size, test_size);
     let datasets: Vec<TlbDataset> = archive
         .into_iter()

@@ -133,7 +133,8 @@ impl Generator {
                 instance_noise * var.sqrt().max(1e-3)
             })
             .collect();
-        let rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15 ^ stream.wrapping_mul(0xA5A5_A5A5));
+        let rng =
+            StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15 ^ stream.wrapping_mul(0xA5A5_A5A5));
         Generator { kind, series_len, protos, noise_scales, rng }
     }
 
@@ -222,7 +223,7 @@ fn seismic(rng: &mut StdRng, n: usize, hf: f32, snr: f32) -> Vec<f32> {
     // the resolution of a 16-segment PAA (DFT coefficient ~8 of n/2) but
     // within SFA's candidate pool (the first ~32 coefficients, Figure 13).
     // `hf` sweeps the carrier across 2..28 cycles per window accordingly.
-    let carrier = 2.0 + 26.0 * hf + rng.random_range(-1.0..1.0);
+    let carrier = 2.0 + 26.0 * hf + rng.random_range(-1.0f32..1.0);
     let p_onset = n / 6 + rng.random_range(0..n / 6);
     let s_onset = p_onset + n / 8 + rng.random_range(0..n / 8);
     let phase: f32 = rng.random_range(0.0..std::f32::consts::TAU);
@@ -278,7 +279,7 @@ fn light_curve(rng: &mut StdRng, n: usize) -> Vec<f32> {
     // variability study) — without it the spectrum would be a few delta
     // tones no summarization could generalize from.
     let mut s = vec![0.0f32; n];
-    let drift_freq = rng.random_range(0.5..2.5);
+    let drift_freq: f32 = rng.random_range(0.5..2.5);
     let phase: f32 = rng.random_range(0.0..std::f32::consts::TAU);
     let mut red = 0.0f32;
     for (t, x) in s.iter_mut().enumerate() {
@@ -289,7 +290,7 @@ fn light_curve(rng: &mut StdRng, n: usize) -> Vec<f32> {
     for _ in 0..flares {
         let onset = rng.random_range(0..n);
         let amp = 1.0 + 2.0 * rng.random::<f32>();
-        let decay = rng.random_range(0.05..0.3);
+        let decay: f32 = rng.random_range(0.05..0.3);
         for t in onset..n {
             s[t] += amp * (-decay * (t - onset) as f32).exp();
         }
@@ -304,7 +305,7 @@ fn smooth_oscillation(rng: &mut StdRng, n: usize) -> Vec<f32> {
     // instance noise, which no summarization could exploit.
     let mut s = vec![0.0f32; n];
     for _ in 0..4 {
-        let k = rng.random_range(0.8..8.0);
+        let k: f32 = rng.random_range(0.8..8.0);
         let amp = 0.5 + rng.random::<f32>();
         let phase: f32 = rng.random_range(0.0..std::f32::consts::TAU);
         for (t, x) in s.iter_mut().enumerate() {

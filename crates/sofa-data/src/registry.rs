@@ -98,7 +98,9 @@ impl DatasetSpec {
 #[must_use]
 pub fn registry() -> Vec<DatasetSpec> {
     use FrequencyProfile::{High, Low, Mixed};
-    use SignalKind::{Broadband, Descriptor, Embedding, LightCurve, RandomWalk, Seismic, SmoothOscillation};
+    use SignalKind::{
+        Broadband, Descriptor, Embedding, LightCurve, RandomWalk, Seismic, SmoothOscillation,
+    };
     let specs = [
         // name, paper_count, len, profile, kind, fig12 rank, instance noise
         ("LenDB", 37_345_260, 256, High, Broadband { hf: 0.95 }, 0, 0.25),
@@ -123,20 +125,18 @@ pub fn registry() -> Vec<DatasetSpec> {
     specs
         .into_iter()
         .enumerate()
-        .map(
-            |(i, (name, paper_count, series_len, profile, kind, rank, instance_noise))| {
-                DatasetSpec {
-                    name,
-                    paper_count,
-                    series_len,
-                    profile,
-                    kind,
-                    expected_speedup_rank: rank,
-                    instance_noise,
-                    seed: 0x50FA_0000 + i as u64,
-                }
-            },
-        )
+        .map(|(i, (name, paper_count, series_len, profile, kind, rank, instance_noise))| {
+            DatasetSpec {
+                name,
+                paper_count,
+                series_len,
+                profile,
+                kind,
+                expected_speedup_rank: rank,
+                instance_noise,
+                seed: 0x50FA_0000 + i as u64,
+            }
+        })
         .collect()
 }
 

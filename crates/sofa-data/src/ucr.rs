@@ -54,9 +54,9 @@ fn sample(family: Family, n: usize, rng: &mut StdRng) -> Vec<f32> {
         Family::Sine(k) => {
             (0..n).map(|t| (tau * k * warp * t as f32 / n as f32 + phase).sin()).collect()
         }
-        Family::Square(k) => (0..n)
-            .map(|t| (tau * k * warp * t as f32 / n as f32 + phase).sin().signum())
-            .collect(),
+        Family::Square(k) => {
+            (0..n).map(|t| (tau * k * warp * t as f32 / n as f32 + phase).sin().signum()).collect()
+        }
         Family::Triangle(k) => (0..n)
             .map(|t| {
                 let x = (k * warp * t as f32 / n as f32 + phase / tau).fract();
@@ -90,7 +90,7 @@ fn sample(family: Family, n: usize, rng: &mut StdRng) -> Vec<f32> {
             for _ in 0..count {
                 let center = rng.random_range(0.0..n as f32);
                 let width = rng.random_range(n as f32 / 40.0..n as f32 / 10.0);
-                let amp = rng.random_range(0.5..2.0);
+                let amp: f32 = rng.random_range(0.5..2.0);
                 for (t, v) in s.iter_mut().enumerate() {
                     *v += amp * (-((t as f32 - center) / width).powi(2)).exp();
                 }
@@ -99,7 +99,7 @@ fn sample(family: Family, n: usize, rng: &mut StdRng) -> Vec<f32> {
         }
         Family::Burst => {
             let onset = rng.random_range(n / 4..3 * n / 4);
-            let carrier = rng.random_range(0.25..0.45) * n as f32;
+            let carrier = rng.random_range(0.25f32..0.45) * n as f32;
             (0..n)
                 .map(|t| {
                     if t < onset {

@@ -220,8 +220,7 @@ mod tests {
             .map(|k| {
                 let mut acc = Complex32::ZERO;
                 for (t, &x) in input.iter().enumerate() {
-                    let theta =
-                        -2.0 * std::f64::consts::PI * (k as f64) * (t as f64) / (n as f64);
+                    let theta = -2.0 * std::f64::consts::PI * (k as f64) * (t as f64) / (n as f64);
                     acc += x * Complex32::from_angle(theta);
                 }
                 acc
@@ -241,12 +240,7 @@ mod tests {
 
     fn test_signal(n: usize) -> Vec<Complex32> {
         (0..n)
-            .map(|t| {
-                Complex32::new(
-                    (t as f32 * 0.31).sin() + 0.5 * (t as f32 * 1.7).cos(),
-                    0.0,
-                )
-            })
+            .map(|t| Complex32::new((t as f32 * 0.31).sin() + 0.5 * (t as f32 * 1.7).cos(), 0.0))
             .collect()
     }
 
@@ -350,8 +344,7 @@ mod tests {
             let time_energy: f32 = sig.iter().map(|x| x.norm_sq()).sum();
             let mut freq = sig.clone();
             FftPlan::new(n).forward(&mut freq);
-            let freq_energy: f32 =
-                freq.iter().map(|x| x.norm_sq()).sum::<f32>() / n as f32;
+            let freq_energy: f32 = freq.iter().map(|x| x.norm_sq()).sum::<f32>() / n as f32;
             assert!(
                 (time_energy - freq_energy).abs() < 1e-2 * time_energy.max(1.0),
                 "n={n}: {time_energy} vs {freq_energy}"

@@ -48,9 +48,7 @@ impl RealDftPlan {
         let packed = (n >= 2 && n % 2 == 0).then(|| {
             let half = FftPlan::new(n / 2);
             let twiddles = (0..=n / 2)
-                .map(|k| {
-                    Complex32::from_angle(-2.0 * std::f64::consts::PI * k as f64 / n as f64)
-                })
+                .map(|k| Complex32::from_angle(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
                 .collect();
             (half, twiddles)
         });
@@ -255,10 +253,7 @@ mod tests {
             let fb = dft.transform(&b);
             let time = ed_sq(&a, &b);
             let freq = full_spectrum_distance_sq(&fa, &fb, n);
-            assert!(
-                (time - freq).abs() < 1e-2 * time.max(1.0),
-                "n={n}: time={time} freq={freq}"
-            );
+            assert!((time - freq).abs() < 1e-2 * time.max(1.0), "n={n}: time={time} freq={freq}");
         }
     }
 
@@ -280,10 +275,7 @@ mod tests {
                 let dim = fa[2 * k + 1] - fb[2 * k + 1];
                 lb += w * (dre * dre + dim * dim);
             }
-            assert!(
-                lb <= time * (1.0 + 1e-4) + 1e-4,
-                "keep={keep}: lb={lb} > time={time}"
-            );
+            assert!(lb <= time * (1.0 + 1e-4) + 1e-4, "keep={keep}: lb={lb} > time={time}");
         }
     }
 

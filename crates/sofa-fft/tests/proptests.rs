@@ -5,8 +5,7 @@ use proptest::prelude::*;
 use sofa_fft::{coefficient_weight, Complex32, FftPlan, RealDft};
 
 fn signal_strategy(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f32>> {
-    (min_len..=max_len)
-        .prop_flat_map(|n| proptest::collection::vec(-100.0f32..100.0, n))
+    (min_len..=max_len).prop_flat_map(|n| proptest::collection::vec(-100.0f32..100.0, n))
 }
 
 proptest! {

@@ -87,9 +87,7 @@ impl Eq for Neighbor {}
 
 impl Ord for Neighbor {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist_sq
-            .total_cmp(&other.dist_sq)
-            .then_with(|| self.row.cmp(&other.row))
+        self.dist_sq.total_cmp(&other.dist_sq).then_with(|| self.row.cmp(&other.row))
     }
 }
 

@@ -56,14 +56,14 @@ impl<S: Summarization> Index<S> {
         let mut keys = vec![0u64; n_series];
         let threads = config.num_threads.max(1);
         let rows_per_chunk = n_series.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let summarization = &summarization;
             for ((data_chunk, words_chunk), keys_chunk) in data
                 .chunks_mut(rows_per_chunk * n)
                 .zip(words.chunks_mut(rows_per_chunk * l))
                 .zip(keys.chunks_mut(rows_per_chunk))
             {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut transformer = summarization.transformer();
                     for ((series, word), key) in data_chunk
                         .chunks_mut(n)
@@ -76,8 +76,7 @@ impl<S: Summarization> Index<S> {
                     }
                 });
             }
-        })
-        .expect("build worker panicked");
+        });
         let transform_secs = t0.elapsed().as_secs_f64();
 
         // --- Phase 2: group rows by root key.
@@ -91,26 +90,24 @@ impl<S: Summarization> Index<S> {
         // --- Phase 3: build subtrees in parallel (Figure 7 "Indexing").
         let next_group = AtomicUsize::new(0);
         let done = parking_lot::Mutex::new(Vec::with_capacity(groups.len()));
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let groups = &groups;
             let words = &words[..];
             let next_group = &next_group;
             let done = &done;
             let config = &config;
             for _ in 0..threads {
-                scope.spawn(move |_| loop {
+                scope.spawn(move || loop {
                     let g = next_group.fetch_add(1, Ordering::Relaxed);
                     if g >= groups.len() {
                         break;
                     }
                     let (key, rows) = &groups[g];
-                    let subtree =
-                        build_subtree(*key, rows.clone(), words, l, symbol_bits, config);
+                    let subtree = build_subtree(*key, rows.clone(), words, l, symbol_bits, config);
                     done.lock().push(subtree);
                 });
             }
-        })
-        .expect("subtree worker panicked");
+        });
         let mut subtrees = done.into_inner();
         subtrees.sort_by_key(|s| s.key);
         let tree_secs = t1.elapsed().as_secs_f64();
@@ -177,8 +174,7 @@ fn build_node(
             continue;
         }
         let shift = symbol_bits - bits[j] - 1;
-        let ones =
-            rows.iter().filter(|&&r| (words[r as usize * l + j] >> shift) & 1 == 1).count();
+        let ones = rows.iter().filter(|&&r| (words[r as usize * l + j] >> shift) & 1 == 1).count();
         let zeros = rows.len() - ones;
         if ones == 0 || zeros == 0 {
             continue;
@@ -186,9 +182,7 @@ fn build_node(
         let imbalance = ones.abs_diff(zeros);
         let better = match best {
             None => true,
-            Some((bi, bj)) => {
-                imbalance < bi || (imbalance == bi && bits[j] < bits[bj])
-            }
+            Some((bi, bj)) => imbalance < bi || (imbalance == bi && bits[j] < bits[bj]),
         };
         if better {
             best = Some((imbalance, j));
@@ -202,9 +196,8 @@ fn build_node(
     };
 
     let shift = symbol_bits - bits[split_pos] - 1;
-    let (zeros, ones): (Vec<u32>, Vec<u32>) = rows
-        .iter()
-        .partition(|&&r| (words[r as usize * l + split_pos] >> shift) & 1 == 0);
+    let (zeros, ones): (Vec<u32>, Vec<u32>) =
+        rows.iter().partition(|&&r| (words[r as usize * l + split_pos] >> shift) & 1 == 0);
 
     // Reserve the inner node's slot before recursing so children ids are
     // stable.

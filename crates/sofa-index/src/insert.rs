@@ -163,9 +163,8 @@ fn split_while_overfull(
         };
 
         let shift = symbol_bits - bits[split_pos] - 1;
-        let (zeros, ones): (Vec<u32>, Vec<u32>) = rows
-            .iter()
-            .partition(|&&r| (words[r as usize * l + split_pos] >> shift) & 1 == 0);
+        let (zeros, ones): (Vec<u32>, Vec<u32>) =
+            rows.iter().partition(|&&r| (words[r as usize * l + split_pos] >> shift) & 1 == 0);
 
         let child = |bit: u8, rows: Vec<u32>| {
             let mut p = prefixes.clone();
@@ -207,12 +206,9 @@ mod tests {
     fn empty_then_insert(data: &[f32], n: usize, leaf: usize) -> Index<ISax> {
         // Bootstrap with the first series, then insert the rest online.
         let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
-        let mut idx = Index::build(
-            sax,
-            &data[..n],
-            IndexConfig::with_threads(1).leaf_capacity(leaf),
-        )
-        .expect("build");
+        let mut idx =
+            Index::build(sax, &data[..n], IndexConfig::with_threads(1).leaf_capacity(leaf))
+                .expect("build");
         idx.insert_all(&data[n..]).expect("insert");
         idx
     }
@@ -223,8 +219,8 @@ mod tests {
         let data = dataset(500, n, 0);
         let incremental = empty_then_insert(&data, n, 30);
         let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
-        let bulk =
-            Index::build(sax, &data, IndexConfig::with_threads(1).leaf_capacity(30)).expect("build");
+        let bulk = Index::build(sax, &data, IndexConfig::with_threads(1).leaf_capacity(30))
+            .expect("build");
         let queries = dataset(6, n, 900);
         for q in queries.chunks(n) {
             let a = incremental.nn(q).expect("query");
@@ -255,8 +251,7 @@ mod tests {
             for leaf in st.leaves() {
                 for &r in leaf.rows() {
                     let w = idx.word(r as usize);
-                    for (j, (&prefix, &b)) in
-                        leaf.prefixes.iter().zip(leaf.bits.iter()).enumerate()
+                    for (j, (&prefix, &b)) in leaf.prefixes.iter().zip(leaf.bits.iter()).enumerate()
                     {
                         if b == 0 {
                             continue;
@@ -278,12 +273,8 @@ mod tests {
         let base = dataset(100, n, 0);
         let extra = dataset(50, n, 5000);
         let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
-        let mut idx = Index::build(
-            sax,
-            &base,
-            IndexConfig::with_threads(1).leaf_capacity(16),
-        )
-        .expect("build");
+        let mut idx = Index::build(sax, &base, IndexConfig::with_threads(1).leaf_capacity(16))
+            .expect("build");
         let first = idx.insert_all(&extra).expect("insert");
         assert_eq!(first, 100);
         // Each inserted series must find itself as its own 1-NN.
@@ -310,9 +301,8 @@ mod tests {
         // whose root key should differ.
         let smooth: Vec<f32> = (0..n).map(|t| (t as f32 * 0.1).sin()).collect();
         let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
-        let mut idx =
-            Index::build(sax, &smooth, IndexConfig::with_threads(1).leaf_capacity(4))
-                .expect("build");
+        let mut idx = Index::build(sax, &smooth, IndexConfig::with_threads(1).leaf_capacity(4))
+            .expect("build");
         let before = idx.subtrees().len();
         let spiky: Vec<f32> =
             (0..n).map(|t| if t % 2 == 0 { 1.0 } else { -1.0 } * (t as f32 * 0.9).cos()).collect();

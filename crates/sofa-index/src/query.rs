@@ -164,32 +164,29 @@ impl<S: Summarization> Index<S> {
             return Ok((knn.into_sorted(), stats.snapshot()));
         }
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| {
-                    loop {
-                        let s = next_subtree.fetch_add(1, Ordering::Relaxed);
-                        if s >= self.subtrees.len() {
-                            break;
-                        }
-                        self.collect_subtree(
-                            &self.subtrees[s],
-                            s as u32,
-                            &ctx,
-                            &root_lbd,
-                            &knn,
-                            &queues,
-                            &push_counter,
-                            &stats,
-                        );
+                scope.spawn(|| loop {
+                    let s = next_subtree.fetch_add(1, Ordering::Relaxed);
+                    if s >= self.subtrees.len() {
+                        break;
                     }
+                    self.collect_subtree(
+                        &self.subtrees[s],
+                        s as u32,
+                        &ctx,
+                        &root_lbd,
+                        &knn,
+                        &queues,
+                        &push_counter,
+                        &stats,
+                    );
                 });
             }
-        })
-        .expect("collect worker panicked");
+        });
 
         // --- Phase 3: refine from the queues.
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for worker in 0..threads {
                 let queues = &queues;
                 let done = &done;
@@ -197,12 +194,11 @@ impl<S: Summarization> Index<S> {
                 let ctx = &ctx;
                 let stats = &stats;
                 let q = &q[..];
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     self.refine_from_queues(worker, q, queues, done, ctx, knn, stats);
                 });
             }
-        })
-        .expect("refine worker panicked");
+        });
 
         Ok((knn.into_sorted(), stats.snapshot()))
     }
@@ -227,10 +223,7 @@ impl<S: Summarization> Index<S> {
         let qword = ctx.word();
         let knn = KnnSet::new(1);
         self.approximate_into(&q, &qword, &ctx, &knn);
-        knn.sorted()
-            .first()
-            .copied()
-            .ok_or_else(|| IndexError::BadQuery("index is empty".into()))
+        knn.sorted().first().copied().ok_or_else(|| IndexError::BadQuery("index is empty".into()))
     }
 
     /// Approximate search (paper §IV-C): identify the leaf with the
@@ -316,9 +309,11 @@ impl<S: Summarization> Index<S> {
                         continue;
                     }
                     let slot = push_counter.fetch_add(1, Ordering::Relaxed) % queues.len();
-                    queues[slot]
-                        .lock()
-                        .push(Reverse(QueueEntry { lbd, subtree: subtree_idx, node: id }));
+                    queues[slot].lock().push(Reverse(QueueEntry {
+                        lbd,
+                        subtree: subtree_idx,
+                        node: id,
+                    }));
                     stats.leaves_collected.fetch_add(1, Ordering::Relaxed);
                 }
                 NodeKind::Inner { left, right, .. } => {

@@ -87,12 +87,9 @@ mod tests {
     #[test]
     fn stats_account_for_every_series() {
         let sax = ISax::new(64, &SaxConfig { word_len: 8, alphabet: 256 });
-        let idx = Index::build(
-            sax,
-            &dataset(700, 64),
-            IndexConfig::with_threads(2).leaf_capacity(50),
-        )
-        .unwrap();
+        let idx =
+            Index::build(sax, &dataset(700, 64), IndexConfig::with_threads(2).leaf_capacity(50))
+                .unwrap();
         let s = idx.stats();
         assert_eq!(s.n_series, 700);
         let total: usize = idx.subtrees().iter().map(|t| t.n_rows()).sum();
@@ -108,13 +105,9 @@ mod tests {
     fn smaller_leaves_mean_deeper_trees() {
         let build = |leaf: usize| {
             let sax = ISax::new(64, &SaxConfig { word_len: 8, alphabet: 256 });
-            Index::build(
-                sax,
-                &dataset(800, 64),
-                IndexConfig::with_threads(1).leaf_capacity(leaf),
-            )
-            .unwrap()
-            .stats()
+            Index::build(sax, &dataset(800, 64), IndexConfig::with_threads(1).leaf_capacity(leaf))
+                .unwrap()
+                .stats()
         };
         let fine = build(10);
         let coarse = build(400);

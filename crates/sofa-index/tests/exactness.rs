@@ -96,12 +96,8 @@ fn exact_across_thread_counts() {
     let queries = znormed_dataset(4, n, 700);
     for threads in [1usize, 2, 4] {
         let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
-        let index = Index::build(
-            sax,
-            &data,
-            IndexConfig::with_threads(threads).leaf_capacity(40),
-        )
-        .expect("build");
+        let index = Index::build(sax, &data, IndexConfig::with_threads(threads).leaf_capacity(40))
+            .expect("build");
         check_exactness(&index, &data, n, &queries);
     }
 }
@@ -113,9 +109,8 @@ fn exact_across_leaf_sizes() {
     let queries = znormed_dataset(4, n, 4321);
     for leaf in [5usize, 17, 100, 2000] {
         let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
-        let index =
-            Index::build(sax, &data, IndexConfig::with_threads(2).leaf_capacity(leaf))
-                .expect("build");
+        let index = Index::build(sax, &data, IndexConfig::with_threads(2).leaf_capacity(leaf))
+            .expect("build");
         check_exactness(&index, &data, n, &queries);
     }
 }

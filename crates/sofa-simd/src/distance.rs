@@ -72,8 +72,7 @@ pub fn euclidean_sq_early_abandon(a: &[f32], b: &[f32], bsf_sq: f32) -> f32 {
     while c + 1 < chunks {
         let off = c * LANES;
         let d0 = F32x8::from_slice(&a[off..]) - F32x8::from_slice(&b[off..]);
-        let d1 =
-            F32x8::from_slice(&a[off + LANES..]) - F32x8::from_slice(&b[off + LANES..]);
+        let d1 = F32x8::from_slice(&a[off + LANES..]) - F32x8::from_slice(&b[off + LANES..]);
         sum += (d0 * d0 + d1 * d1).horizontal_sum();
         if sum > bsf_sq {
             return sum;
@@ -191,11 +190,7 @@ mod tests {
     fn kernel_selector_dispatches() {
         let a = series(32, |i| i as f32);
         let b = series(32, |i| i as f32 + 1.0);
-        for k in [
-            DistanceKernel::Scalar,
-            DistanceKernel::Simd,
-            DistanceKernel::SimdEarlyAbandon,
-        ] {
+        for k in [DistanceKernel::Scalar, DistanceKernel::Simd, DistanceKernel::SimdEarlyAbandon] {
             assert!((k.distance_sq(&a, &b, f32::INFINITY) - 32.0).abs() < 1e-4);
         }
     }

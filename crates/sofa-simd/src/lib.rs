@@ -30,8 +30,6 @@ pub mod distance;
 pub mod vector;
 pub mod znorm;
 
-pub use distance::{
-    euclidean_sq, euclidean_sq_early_abandon, euclidean_sq_scalar, DistanceKernel,
-};
+pub use distance::{euclidean_sq, euclidean_sq_early_abandon, euclidean_sq_scalar, DistanceKernel};
 pub use vector::{F32x8, Mask8, LANES};
 pub use znorm::{znormalize, znormalize_into, ZNormStats};

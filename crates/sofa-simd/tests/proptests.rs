@@ -8,10 +8,7 @@ use sofa_simd::{
 
 fn pair_strategy() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
     (1usize..300).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(-50.0f32..50.0, n),
-            proptest::collection::vec(-50.0f32..50.0, n),
-        )
+        (proptest::collection::vec(-50.0f32..50.0, n), proptest::collection::vec(-50.0f32..50.0, n))
     })
 }
 

@@ -144,10 +144,7 @@ mod tests {
         let rec_paa = paa.reconstruct(&paa.transform(&s));
         let err_dft = euclidean_sq(&s, &rec_dft);
         let err_paa = euclidean_sq(&s, &rec_paa);
-        assert!(
-            err_dft < err_paa * 0.1,
-            "DFT should dominate: dft={err_dft} paa={err_paa}"
-        );
+        assert!(err_dft < err_paa * 0.1, "DFT should dominate: dft={err_dft} paa={err_paa}");
     }
 
     #[test]

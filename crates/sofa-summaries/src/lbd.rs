@@ -234,7 +234,7 @@ pub fn mindist_simd(ctx: &QueryContext<'_>, word: &[u8], bsf_sq: f32) -> f32 {
         // Caldist: the two non-zero branch results.
         let d_below = vlo - vq; // positive where q < lo
         let d_above = vq - vhi; // positive where q > hi
-        // Genmask: the branch conditions.
+                                // Genmask: the branch conditions.
         let m_below = vq.lt(vlo);
         let m_above = vq.gt(vhi);
         // Blend instead of branching; the zero branch is the fallthrough.
@@ -320,7 +320,8 @@ mod tests {
     fn sfa_mindist_lower_bounds_true_distance() {
         let n = 64;
         let data = dataset(400, n, mixed_signal);
-        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 16, ..Default::default() });
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 16, ..Default::default() });
         let mut t = sfa.transformer();
         let queries = dataset(20, n, |r, t| mixed_signal(r + 1000, t + 3));
         for q in queries.chunks(n) {
@@ -356,7 +357,8 @@ mod tests {
     fn simd_matches_scalar_without_abandoning() {
         let n = 64;
         let data = dataset(300, n, mixed_signal);
-        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 64, ..Default::default() });
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 64, ..Default::default() });
         let mut t = sfa.transformer();
         let q = &data[7 * n..8 * n];
         let ctx = QueryContext::new(&sfa, q);
@@ -391,7 +393,8 @@ mod tests {
     fn simd_early_abandon_returns_excess() {
         let n = 64;
         let data = dataset(200, n, mixed_signal);
-        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 256, ..Default::default() });
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 256, ..Default::default() });
         let mut t = sfa.transformer();
         // A query very different from a candidate: tiny BSF forces pruning.
         let q = &data[..n];
@@ -409,7 +412,8 @@ mod tests {
     fn mindist_to_own_word_is_zero() {
         let n = 64;
         let data = dataset(300, n, mixed_signal);
-        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 32, ..Default::default() });
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 32, ..Default::default() });
         let mut t = sfa.transformer();
         for c in data.chunks(n).take(50) {
             let ctx = QueryContext::new(&sfa, c);
@@ -424,7 +428,8 @@ mod tests {
         // Coarsening the cardinality must never increase the distance.
         let n = 64;
         let data = dataset(300, n, mixed_signal);
-        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 8, alphabet: 256, ..Default::default() });
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 8, alphabet: 256, ..Default::default() });
         let mut t = sfa.transformer();
         let q = &data[3 * n..4 * n];
         let ctx = QueryContext::new(&sfa, q);
@@ -432,8 +437,11 @@ mod tests {
             let w = t.word(c, 8);
             let leaf = mindist_scalar(&ctx, &w);
             for bits in 0u8..=8 {
-                let prefixes: Vec<u8> =
-                    if bits == 0 { vec![0; 8] } else { w.iter().map(|&s| s >> (8 - bits)).collect() };
+                let prefixes: Vec<u8> = if bits == 0 {
+                    vec![0; 8]
+                } else {
+                    w.iter().map(|&s| s >> (8 - bits)).collect()
+                };
                 let bvec = vec![bits; 8];
                 let node = mindist_node(&ctx, &prefixes, &bvec);
                 assert!(
@@ -448,7 +456,8 @@ mod tests {
     fn root_lbd_matches_mindist_node_on_one_bit_prefixes() {
         let n = 64;
         let data = dataset(300, n, mixed_signal);
-        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 256, ..Default::default() });
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 256, ..Default::default() });
         let mut t = sfa.transformer();
         let q = &data[4 * n..5 * n];
         let ctx = QueryContext::new(&sfa, q);
@@ -475,7 +484,8 @@ mod tests {
     fn root_lbd_query_key_matches_query_word() {
         let n = 64;
         let data = dataset(300, n, mixed_signal);
-        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 8, alphabet: 64, ..Default::default() });
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 8, alphabet: 64, ..Default::default() });
         let q = &data[n..2 * n];
         let ctx = QueryContext::new(&sfa, q);
         let root = RootLbd::new(&ctx);
@@ -493,7 +503,8 @@ mod tests {
     fn ctx_word_matches_transformer_word() {
         let n = 96;
         let data = dataset(200, n, mixed_signal);
-        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 12, alphabet: 32, ..Default::default() });
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 12, alphabet: 32, ..Default::default() });
         let mut t = sfa.transformer();
         for c in data.chunks(n).take(40) {
             let ctx = QueryContext::new(&sfa, c);
@@ -505,7 +516,8 @@ mod tests {
     fn node_mindist_zero_bits_is_zero() {
         let n = 32;
         let data = dataset(300, n, mixed_signal);
-        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 4, alphabet: 16, ..Default::default() });
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 4, alphabet: 16, ..Default::default() });
         let q = &data[..n];
         let ctx = QueryContext::new(&sfa, q);
         assert_eq!(mindist_node(&ctx, &[0, 0, 0, 0], &[0, 0, 0, 0]), 0.0);
@@ -536,8 +548,11 @@ mod tests {
         let q = &data[9 * n..10 * n];
         let mut means = Vec::new();
         for alpha in [4usize, 16, 64, 256] {
-            let sfa =
-                Sfa::learn(&data, n, &SfaConfig { word_len: 8, alphabet: alpha, ..Default::default() });
+            let sfa = Sfa::learn(
+                &data,
+                n,
+                &SfaConfig { word_len: 8, alphabet: alpha, ..Default::default() },
+            );
             let mut t = sfa.transformer();
             let ctx = QueryContext::new(&sfa, q);
             let mut total = 0.0f64;

@@ -116,8 +116,8 @@ impl Pla {
         for j in 0..segments {
             let (a, b) = (self.bounds[j], self.bounds[j + 1]);
             for (t, slot) in out[a..b].iter_mut().enumerate() {
-                *slot = summary[2 * j] * self.inv_sqrt_len[j]
-                    + summary[2 * j + 1] * self.ramps[j][t];
+                *slot =
+                    summary[2 * j] * self.inv_sqrt_len[j] + summary[2 * j + 1] * self.ramps[j][t];
             }
         }
         out
@@ -196,10 +196,7 @@ impl OrthoPoly {
     #[must_use]
     pub fn transform(&self, series: &[f32]) -> Vec<f32> {
         assert_eq!(series.len(), self.n, "series length mismatch");
-        self.basis
-            .iter()
-            .map(|b| b.iter().zip(series.iter()).map(|(x, y)| x * y).sum())
-            .collect()
+        self.basis.iter().map(|b| b.iter().zip(series.iter()).map(|(x, y)| x * y).sum()).collect()
     }
 
     /// Squared lower bound: Euclidean distance between coefficient vectors.
@@ -494,10 +491,7 @@ mod tests {
         let err_apca = euclidean_sq(&s, &rec);
         let paa = crate::paa::Paa::new(n, 8);
         let err_paa = euclidean_sq(&s, &paa.reconstruct(&paa.transform(&s)));
-        assert!(
-            err_apca < err_paa * 0.25,
-            "APCA should adapt: apca={err_apca} paa={err_paa}"
-        );
+        assert!(err_apca < err_paa * 0.25, "APCA should adapt: apca={err_apca} paa={err_paa}");
     }
 
     #[test]

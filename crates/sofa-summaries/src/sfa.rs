@@ -210,11 +210,8 @@ mod tests {
     fn name_reflects_configuration() {
         let n = 32;
         let data = dataset(300, n, |r, t| ((t + r) as f32 * 0.9).sin());
-        let ew_var = Sfa::learn(
-            &data,
-            n,
-            &SfaConfig { word_len: 4, alphabet: 8, ..Default::default() },
-        );
+        let ew_var =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 4, alphabet: 8, ..Default::default() });
         assert_eq!(ew_var.name(), "SFA EW +VAR");
         let ed = Sfa::learn(
             &data,

@@ -104,7 +104,8 @@ mod tests {
         let n = 64;
         let data = dataset(200, n, 0);
         let queries = dataset(10, n, 777);
-        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 16, ..Default::default() });
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 16, ..Default::default() });
         let r = tlb_of(&sfa, &data, &queries, 50);
         assert!(r.pairs > 0);
         assert!(r.mean_tlb > 0.0 && r.mean_tlb <= 1.0 + 1e-6, "tlb={}", r.mean_tlb);
@@ -145,9 +146,9 @@ mod tests {
                 let phase = r as f32 * 1.3;
                 data.push(
                     (2.0 * std::f32::consts::PI * 14.0 * t as f32 / n as f32 + phase).sin()
-                        + 0.5 * (2.0 * std::f32::consts::PI * 16.0 * t as f32 / n as f32
-                            - phase)
-                            .cos(),
+                        + 0.5
+                            * (2.0 * std::f32::consts::PI * 16.0 * t as f32 / n as f32 - phase)
+                                .cos(),
                 );
             }
         }
@@ -155,7 +156,8 @@ mod tests {
             sofa_simd::znormalize(row);
         }
         let queries = data[..8 * n].to_vec();
-        let sfa = Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 64, ..Default::default() });
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 64, ..Default::default() });
         let sax = ISax::new(n, &SaxConfig { word_len: 16, alphabet: 64 });
         let tlb_sfa = tlb_of(&sfa, &data, &queries, 80).mean_tlb;
         let tlb_sax = tlb_of(&sax, &data, &queries, 80).mean_tlb;
@@ -173,20 +175,15 @@ mod tests {
         for r in 0..count {
             for t in 0..n {
                 let phase = r as f32 * 0.9;
-                data.push(
-                    (2.0 * std::f32::consts::PI * 20.0 * t as f32 / n as f32 + phase).sin(),
-                );
+                data.push((2.0 * std::f32::consts::PI * 20.0 * t as f32 / n as f32 + phase).sin());
             }
         }
         for row in data.chunks_mut(n) {
             sofa_simd::znormalize(row);
         }
         let queries = data[..6 * n].to_vec();
-        let with_var = Sfa::learn(
-            &data,
-            n,
-            &SfaConfig { word_len: 8, alphabet: 16, ..Default::default() },
-        );
+        let with_var =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 8, alphabet: 16, ..Default::default() });
         let first_l = Sfa::learn(
             &data,
             n,

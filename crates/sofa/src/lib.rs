@@ -203,10 +203,8 @@ impl Builder {
                 "data must be a non-empty whole number of series".into(),
             ));
         }
-        let sax = ISax::new(
-            series_len,
-            &SaxConfig { word_len: self.word_len, alphabet: self.alphabet },
-        );
+        let sax =
+            ISax::new(series_len, &SaxConfig { word_len: self.word_len, alphabet: self.alphabet });
         let inner = Index::build(sax, data, self.index_config())?;
         Ok(MessiIndex { inner })
     }
@@ -429,8 +427,7 @@ mod tests {
     fn facade_surface() {
         let n = 64;
         let data = dataset(200, n, 3);
-        let sofa =
-            SofaIndex::builder().threads(2).leaf_capacity(30).build_sofa(&data, n).unwrap();
+        let sofa = SofaIndex::builder().threads(2).leaf_capacity(30).build_sofa(&data, n).unwrap();
         assert_eq!(sofa.n_series(), 200);
         assert_eq!(sofa.series_len(), n);
         assert!(sofa.mean_selected_coefficient() >= 0.0);

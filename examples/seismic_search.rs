@@ -74,7 +74,10 @@ fn main() {
     let messi_mean = mean(&messi_ms);
     println!("\nresults over {n_queries} queries on {} ({} series):", spec.name, n_series);
     println!("  SOFA : mean {sofa_mean:>7.2} ms | {:>9} real-distance computations", sofa_refined);
-    println!("  MESSI: mean {messi_mean:>7.2} ms | {:>9} real-distance computations", messi_refined);
+    println!(
+        "  MESSI: mean {messi_mean:>7.2} ms | {:>9} real-distance computations",
+        messi_refined
+    );
     println!(
         "  speedup {:.1}x, pruning advantage {:.1}x fewer refinements",
         messi_mean / sofa_mean,

@@ -19,9 +19,7 @@ use sofa::SofaIndex;
 /// Arbitrary dataset: `rows` series of length `n`, values in [-10, 10],
 /// with enough per-row structure to avoid constant series.
 fn dataset_strategy(max_rows: usize, n: usize) -> impl Strategy<Value = Vec<f32>> {
-    (8..max_rows).prop_flat_map(move |rows| {
-        proptest::collection::vec(-10.0f32..10.0, rows * n)
-    })
+    (8..max_rows).prop_flat_map(move |rows| proptest::collection::vec(-10.0f32..10.0, rows * n))
 }
 
 fn znorm_rows(data: &[f32], n: usize) -> Vec<f32> {

@@ -1,0 +1,151 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate.
+//!
+//! Provides the [`Buf`] / [`BufMut`] cursor traits over `&[u8]` and
+//! `Vec<u8>` with the little-endian accessors the workspace's vector-file
+//! IO uses. Out-of-bounds reads panic, matching the real crate's contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A readable byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Advances the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies `dst.len()` bytes into `dst` and advances.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// A writable byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_f32_le(1.5);
+        out.put_u64_le(42);
+        out.put_f64_le(-2.25);
+
+        let mut buf = &out[..];
+        assert_eq!(buf.remaining(), 1 + 4 + 4 + 8 + 8);
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_f32_le(), 1.5);
+        assert_eq!(buf.get_u64_le(), 42);
+        assert_eq!(buf.get_f64_le(), -2.25);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips() {
+        let data = [1u8, 2, 3, 4];
+        let mut buf = &data[..];
+        buf.advance(2);
+        assert_eq!(buf.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn overread_panics() {
+        let data = [1u8];
+        let mut buf = &data[..];
+        let _ = buf.get_u32_le();
+    }
+}

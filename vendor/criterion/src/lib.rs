@@ -1,0 +1,241 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! Provides the benchmark-definition API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! mean-of-samples wall-clock timer instead of the real crate's
+//! statistical machinery. `cargo bench` prints one line per benchmark:
+//! mean time per iteration and, when a throughput was set, the derived
+//! rate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration and entry point, mirroring
+/// `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (min 2).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.sample_size, id, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and an optional
+/// throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs, enabling rate
+    /// reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples for this group's benchmarks
+    /// (scoped to the group, like real criterion).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(samples, &full, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<S: Into<String>, I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// How much work one benchmark iteration performs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted for API
+/// compatibility, this harness always runs one setup per measured call.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few iterations per batch in real criterion.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timer handle passed to every benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One warm-up call, then the timed samples.
+        black_box(routine());
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    sample_size: usize,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher { samples: Vec::new(), target_samples: sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  ({:.3} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Throughput::Bytes(n) => {
+            format!("  ({:.3} MiB/s)", n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0))
+        }
+    });
+    println!("{id:<50} {mean:>12.2?}/iter{}", rate.unwrap_or_default());
+}
+
+/// Bundles benchmark functions into a single runner function, supporting
+/// both the plain and the `name/config/targets` forms of the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main()` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("t", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("a", |b| b.iter(|| 1 + 1));
+        group.bench_function(String::from("b"), |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}

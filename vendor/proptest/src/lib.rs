@@ -1,0 +1,404 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! Implements the slice of proptest's API this workspace uses: the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, [`collection::vec`], [`bool::ANY`], the [`proptest!`] macro
+//! and the `prop_assert*` macros. Each `#[test]` inside [`proptest!`] runs
+//! `ProptestConfig::cases` random cases drawn from a deterministic
+//! per-test seed (`PROPTEST_SEED` overrides the base seed of the sweep).
+//! A failure reports the failing case's seed; set `PROPTEST_CASE_SEED` to
+//! that value to rerun exactly that case. There is no shrinking: a failing
+//! case panics with its seed instead of a minimized input — a deliberate
+//! simplification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; this runner does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// The RNG threaded through strategies by the [`proptest!`] runner.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates a deterministic RNG for the named test. The base seed comes
+    /// from `PROPTEST_SEED` when set, otherwise a fixed default, and is
+    /// mixed with a hash of `test_name` so every test gets its own stream.
+    #[must_use]
+    pub fn for_test(test_name: &str) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x5EED_CAFE);
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(base ^ h) }
+    }
+
+    /// Creates an RNG from an explicit case seed (for replaying failures).
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Draws a fresh case seed from this stream.
+    #[must_use]
+    pub fn next_case_seed(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Access to the underlying RNG for strategy sampling.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// Reads `PROPTEST_CASE_SEED`: when set, [`proptest!`] runs exactly one
+/// case from that seed instead of the full random sweep — the replay
+/// mechanism for a failure reported by the runner.
+#[must_use]
+pub fn replay_case_seed() -> Option<u64> {
+    std::env::var("PROPTEST_CASE_SEED").ok().and_then(|s| s.parse().ok())
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then samples the strategy `f`
+    /// builds from it (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: std::rc::Rc::new(self) }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<T, S: Strategy, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Type-erased strategy returned by [`Strategy::boxed`].
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.inner.sample(rng)
+    }
+}
+
+/// A strategy producing a constant value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Something usable as a `vec` length: a fixed size or a range.
+    pub trait IntoLen: Clone {
+        /// Draws a concrete length.
+        fn draw(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoLen for usize {
+        fn draw(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLen for Range<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            rng.rng().random_range(self.clone())
+        }
+    }
+
+    impl IntoLen for RangeInclusive<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            rng.rng().random_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S` and length `L`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is drawn from `len` (a fixed `usize` or a range).
+    pub fn vec<S: Strategy, L: IntoLen>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.draw(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Strategy for uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolStrategy;
+
+    /// Uniformly random `bool`.
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.rng().random()
+        }
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the failing
+/// expression on panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let replay = $crate::replay_case_seed();
+            let mut seeder = $crate::TestRng::for_test(stringify!($name));
+            let cases = if replay.is_some() { 1 } else { cfg.cases };
+            for _case in 0..cases {
+                let case_seed = replay.unwrap_or_else(|| seeder.next_case_seed());
+                let mut rng = $crate::TestRng::from_seed(case_seed);
+                let ($($pat,)*) =
+                    ($($crate::Strategy::sample(&($strat), &mut rng),)*);
+                let run = || -> () { $body };
+                if ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)).is_err() {
+                    panic!(
+                        "proptest case failed (test `{}`, case {} of {}, seed {case_seed}); \
+                         rerun just this case with PROPTEST_CASE_SEED={case_seed}",
+                        stringify!($name), _case + 1, cases,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(binding in strategy, ...)`
+/// block is run for `ProptestConfig::cases` randomly generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_and_vec_sample_in_bounds() {
+        let mut rng = TestRng::for_test("ranges_and_vec_sample_in_bounds");
+        let s = collection::vec(-2.0f32..2.0, 3usize..10);
+        for _ in 0..100 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((3..10).contains(&v.len()));
+            assert!(v.iter().all(|x| (-2.0..2.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn flat_map_links_length_to_content() {
+        let mut rng = TestRng::for_test("flat_map_links_length_to_content");
+        let s = (1usize..=5).prop_flat_map(|n| collection::vec(0.0f32..1.0, n));
+        for _ in 0..50 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((1..=5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_runs_with_tuple_patterns((a, b) in (0u32..10, 0u32..10), flag in bool::ANY) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_ne!(flag, !flag);
+        }
+    }
+}
