@@ -10,11 +10,16 @@
 //!   end to merge their local results.
 //! * [`FlatL2`] — a CPU **FAISS `IndexFlatL2`** analogue: exact brute
 //!   force with cache-blocked distance evaluation via the
-//!   `|x-y|^2 = |x|^2 - 2 x.y + |y|^2` decomposition, parallelized over
-//!   *query mini-batches* (FAISS cannot parallelize inside one query, so
-//!   the paper batches queries to the core count — our API does the same).
+//!   `|x-y|^2 = |x|^2 - 2 x.y + |y|^2` decomposition. Batch queries run
+//!   *tile-parallel* — (query block × data block) tiles with per-tile
+//!   partial top-k merges, FAISS's GEMM schedule — since FAISS cannot
+//!   parallelize inside one query ("the paper batches queries to the
+//!   core count").
 //!
-//! Both operate on z-normalized copies of the data, like the index.
+//! Both operate on z-normalized data (owned buffers are normalized in
+//! place; borrowing constructors copy once) and execute on a persistent
+//! [`sofa_exec::ExecPool`] — private per instance, or shared between
+//! indexes via the `with_pool` constructors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

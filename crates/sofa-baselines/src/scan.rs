@@ -5,41 +5,66 @@
 //! and independently process their assigned segments. The real distance
 //! calculations are performed using SIMD, and synchronization occurs only
 //! at the end to compile the final result." That is precisely this module:
-//! per-thread [`sofa_index::KnnSet`]s merged after the scan, with each
-//! thread early-abandoning against its own running bound.
+//! per-lane [`sofa_index::KnnSet`]s merged after the scan, with each lane
+//! early-abandoning against its own running bound. The lanes are the
+//! persistent workers of an [`ExecPool`], not per-call threads.
 
-use sofa_index::{KnnSet, Neighbor};
+use sofa_exec::ExecPool;
+use sofa_index::{znormalize_rows, KnnSet, Neighbor};
 use sofa_simd::{euclidean_sq_early_abandon, znormalize};
+use std::sync::Arc;
 
 /// A parallel scan "index" (no structure, just the normalized data).
 pub struct UcrScan {
     data: Vec<f32>,
     series_len: usize,
-    threads: usize,
+    pool: Arc<ExecPool>,
 }
 
 impl UcrScan {
     /// Copies and z-normalizes `raw_data` (row-major series of length
-    /// `series_len`).
+    /// `series_len`), creating a private pool with `threads` lanes.
     ///
     /// # Panics
     /// Panics if the buffer is empty or not a whole number of series.
     #[must_use]
     pub fn new(raw_data: &[f32], series_len: usize, threads: usize) -> Self {
+        Self::new_owned(raw_data.to_vec(), series_len, threads)
+    }
+
+    /// Zero-copy ingest: takes ownership of `data` and z-normalizes it in
+    /// place.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty or not a whole number of series.
+    #[must_use]
+    pub fn new_owned(data: Vec<f32>, series_len: usize, threads: usize) -> Self {
+        Self::with_pool(data, series_len, ExecPool::shared(threads))
+    }
+
+    /// Zero-copy ingest on a caller-supplied worker pool.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty or not a whole number of series.
+    #[must_use]
+    pub fn with_pool(mut data: Vec<f32>, series_len: usize, pool: Arc<ExecPool>) -> Self {
         assert!(series_len > 0, "series length must be positive");
-        assert!(!raw_data.is_empty(), "dataset must be non-empty");
-        assert_eq!(raw_data.len() % series_len, 0, "buffer must hold whole series");
-        let mut data = raw_data.to_vec();
-        for row in data.chunks_mut(series_len) {
-            znormalize(row);
-        }
-        UcrScan { data, series_len, threads: threads.max(1) }
+        assert!(!data.is_empty(), "dataset must be non-empty");
+        assert_eq!(data.len() % series_len, 0, "buffer must hold whole series");
+        znormalize_rows(&mut data, series_len, &pool);
+        UcrScan { data, series_len, pool }
     }
 
     /// Number of series.
     #[must_use]
     pub fn n_series(&self) -> usize {
         self.data.len() / self.series_len
+    }
+
+    /// The worker pool answering this scan's queries.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<ExecPool> {
+        &self.pool
     }
 
     /// Exact 1-NN.
@@ -64,30 +89,27 @@ impl UcrScan {
 
         let n = self.series_len;
         let n_series = self.n_series();
-        let rows_per_chunk = n_series.div_ceil(self.threads);
+        let rows_per_chunk = n_series.div_ceil(self.pool.threads());
         let merged = KnnSet::new(k);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (chunk_idx, chunk) in self.data.chunks(rows_per_chunk * n).enumerate() {
-                let q = &q[..];
-                handles.push(scope.spawn(move || {
-                    // Thread-local best set: independent segments, merge at
-                    // the end (the paper's synchronization model).
-                    let local = KnnSet::new(k);
-                    let base = (chunk_idx * rows_per_chunk) as u32;
-                    for (i, series) in chunk.chunks(n).enumerate() {
-                        let bound = local.bound();
-                        let d = euclidean_sq_early_abandon(q, series, bound);
-                        if d < bound {
-                            local.offer(Neighbor { row: base + i as u32, dist_sq: d });
-                        }
-                    }
-                    local.into_sorted()
-                }));
+        self.pool.broadcast(|lane| {
+            // Lane-local best set over this lane's segment; merge at the
+            // end (the paper's synchronization model).
+            let base = lane * rows_per_chunk;
+            if base >= n_series {
+                return;
             }
-            for h in handles {
-                for nb in h.join().expect("scan worker panicked") {
-                    merged.offer(nb);
+            let end = (base + rows_per_chunk).min(n_series);
+            let local = KnnSet::new(k);
+            for (i, series) in self.data[base * n..end * n].chunks(n).enumerate() {
+                let bound = local.bound();
+                let d = euclidean_sq_early_abandon(&q, series, bound);
+                if d < bound {
+                    local.offer(Neighbor { row: (base + i) as u32, dist_sq: d });
+                }
+            }
+            for nb in local.into_sorted() {
+                if !merged.offer(nb) {
+                    break; // sorted ascending: the rest cannot enter
                 }
             }
         });
@@ -153,6 +175,34 @@ mod tests {
         let d1 = UcrScan::new(&data, n, 1).nn(&q).dist_sq;
         let d4 = UcrScan::new(&data, n, 4).nn(&q).dist_sq;
         assert!((d1 - d4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn repeated_queries_reuse_the_pool() {
+        // Many queries on one scan instance: the persistent pool must
+        // stay healthy across calls and keep returning exact results.
+        let n = 64;
+        let data = dataset(250, n, 6);
+        let scan = UcrScan::new(&data, n, 2);
+        let queries = dataset(10, n, 4242);
+        for q in queries.chunks(n) {
+            let got = scan.knn(q, 3);
+            let want = brute(&data, n, q, 3);
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert_eq!(g.row, w.row);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_pool_constructor() {
+        let n = 64;
+        let data = dataset(100, n, 2);
+        let pool = ExecPool::shared(2);
+        let scan = UcrScan::with_pool(data.clone(), n, Arc::clone(&pool));
+        assert!(Arc::ptr_eq(scan.pool(), &pool));
+        let q = dataset(1, n, 31);
+        assert_eq!(scan.nn(&q).row, brute(&data, n, &q, 1)[0].row);
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub mod numeric;
 pub mod queries;
 pub mod structure;
 pub mod sweeps;
+pub mod throughput;
 pub mod tlb;
 
 use crate::report::Report;
@@ -184,6 +185,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Extension: numeric summarization pruning power",
             run: numeric::ext_numeric,
         },
+        Experiment {
+            id: "ext-throughput",
+            title: "Extension: single-query vs batch-query throughput",
+            run: throughput::ext_throughput,
+        },
     ]
 }
 
@@ -220,6 +226,7 @@ mod tests {
             "fig15",
             "ext-approx",
             "ext-numeric",
+            "ext-throughput",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

@@ -21,6 +21,7 @@
 //! | `tab5`   | Table V/Fig 14L| TLB on UCR-like datasets |
 //! | `tab6`   | Table VI/Fig14R| TLB on the 17-dataset registry |
 //! | `fig15`  | Figure 15      | critical-difference analysis |
+//! | `ext-throughput` | extension | single-query vs `knn_batch` QPS on the worker pool |
 //!
 //! Experiments return [`report::Report`]s (markdown with embedded data
 //! tables) that the binary prints and can append to `EXPERIMENTS.md`.

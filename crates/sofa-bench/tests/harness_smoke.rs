@@ -19,6 +19,21 @@ fn quick_suite() -> Suite {
 }
 
 #[test]
+fn ext_throughput_reports_both_modes() {
+    let suite = quick_suite();
+    let report = (find("ext-throughput").expect("registered").run)(&suite);
+    let md = report.render();
+    for needle in [
+        "| SOFA | single (per-call spawn) |",
+        "| SOFA | single (pool) |",
+        "| SOFA | batch (pool) |",
+        "per-call-spawn single-query baseline",
+    ] {
+        assert!(md.contains(needle), "missing `{needle}` in:\n{md}");
+    }
+}
+
+#[test]
 fn tab1_reports_all_17_datasets() {
     let suite = quick_suite();
     let report = (find("tab1").expect("registered").run)(&suite);

@@ -1,0 +1,56 @@
+//! Persistent worker-pool runtime for the SOFA stack.
+//!
+//! Every parallel phase of the reproduction — index construction, the
+//! collect/refine stages of exact query answering, the baseline scans,
+//! and the batch query surface — used to spawn fresh scoped threads on
+//! each call. Thread creation costs tens of microseconds per worker,
+//! which is invisible next to a billion-series build but dominates the
+//! sub-millisecond query latencies the paper measures ("in less than a
+//! blink of an eye") and caps the QPS a server embedding the index can
+//! sustain.
+//!
+//! [`ExecPool`] replaces that pattern with a fixed set of worker threads
+//! created once per index (or shared between indexes) and reused across
+//! all calls:
+//!
+//! * [`ExecPool::run`] opens a *scope*: closures spawned inside it may
+//!   borrow from the caller's stack (like [`std::thread::scope`]), and
+//!   `run` does not return until every spawned task has finished.
+//! * [`ExecPool::broadcast`] runs one closure per parallel lane — the
+//!   shape used by the atomic-counter work loops of the build and query
+//!   phases.
+//! * The calling thread *participates*: it executes its own scope's
+//!   queued tasks while waiting for the scope to drain, so a pool of
+//!   `t` threads provides `t` parallel lanes using `t - 1` background
+//!   workers, a 1-lane pool degenerates to plain serial execution with
+//!   no synchronization, and nested `run` calls cannot deadlock (a
+//!   blocked caller keeps draining its own scope instead of sleeping
+//!   while it has queued work). Waiting callers never execute *other*
+//!   scopes' tasks, so a short query sharing the pool with a long build
+//!   keeps its latency.
+//! * Panics inside tasks are caught, the scope is still drained, and the
+//!   first payload is re-thrown from `run` on the caller — the same
+//!   observable behavior as a panicking scoped thread.
+//! * Dropping the pool signals shutdown and joins the workers.
+//!
+//! Multiple caller threads may `run` scopes on one shared pool
+//! concurrently; tasks from all scopes interleave on the same queue
+//! ("work-stealing-lite": one shared injector queue, chunked tasks, no
+//! per-worker deques).
+//!
+//! # Safety
+//!
+//! This is the one crate in the workspace that is not `#![forbid(unsafe_code)]`:
+//! handing a borrowing closure to a *persistent* thread requires erasing
+//! its lifetime, exactly as `crossbeam`/`rayon` do internally. The single
+//! `unsafe` block lives in [`Scope::spawn`] and is sound because `run`
+//! blocks until every spawned task has completed before returning, and
+//! the `'scope` lifetime (made invariant) necessarily outlives the `run`
+//! call — see the safety comment at the transmute.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod pool;
+
+pub use pool::{ExecPool, Scope};

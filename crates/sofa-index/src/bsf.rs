@@ -129,13 +129,22 @@ impl KnnSet {
 
     /// Offers a candidate; returns `true` if it entered the k-best set.
     /// Duplicate rows are ignored.
+    ///
+    /// The set kept is the k smallest neighbors in the `(dist_sq, row)`
+    /// total order, so the outcome is independent of offer order: ties at
+    /// the k-th distance deterministically keep the lowest row, no matter
+    /// which worker or tile reaches them first.
     pub fn offer(&self, candidate: Neighbor) -> bool {
-        // Cheap rejection without the lock.
-        if candidate.dist_sq >= self.bound() {
+        // Cheap rejection without the lock; a tie with the k-th best
+        // distance must take the lock to resolve by row.
+        if candidate.dist_sq > self.bound() {
             return false;
         }
         let mut heap = self.heap.lock();
         if heap.iter().any(|n| n.row == candidate.row) {
+            return false;
+        }
+        if heap.len() == self.k && candidate >= *heap.last().expect("non-empty") {
             return false;
         }
         heap.push(candidate);
@@ -185,20 +194,15 @@ mod tests {
 
     #[test]
     fn atomic_distance_concurrent_min() {
-        use std::sync::Arc;
-        let d = Arc::new(AtomicDistance::new());
-        let mut handles = Vec::new();
-        for t in 0..8 {
-            let d = Arc::clone(&d);
-            handles.push(std::thread::spawn(move || {
-                for i in 0..1000 {
-                    d.fetch_min(((t * 1000 + i) % 997) as f32 + 1.0);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+        // Contend on one pool's lanes instead of ad-hoc spawned threads:
+        // scoped borrows mean no `Arc` cloning and no join bookkeeping.
+        let d = AtomicDistance::new();
+        let pool = sofa_exec::ExecPool::new(8);
+        pool.broadcast(|lane| {
+            for i in 0..1000 {
+                d.fetch_min(((lane * 1000 + i) % 997) as f32 + 1.0);
+            }
+        });
         assert_eq!(d.load(), 1.0);
     }
 
@@ -235,6 +239,26 @@ mod tests {
         assert!(!set.offer(Neighbor { row: 8, dist_sq: 3.0 }));
         assert!(set.offer(Neighbor { row: 9, dist_sq: 1.0 }));
         assert_eq!(set.sorted()[0].row, 9);
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_row_regardless_of_order() {
+        // The k-best set is the k smallest (dist, row) pairs: a tie at
+        // the k-th distance keeps the lowest row no matter which worker
+        // offered first.
+        for order in [[5u32, 9], [9, 5]] {
+            let set = KnnSet::new(1);
+            for row in order {
+                set.offer(Neighbor { row, dist_sq: 2.0 });
+            }
+            assert_eq!(set.sorted()[0].row, 5, "offer order {order:?}");
+        }
+        // A tie that loses on row must not evict anything.
+        let set = KnnSet::new(1);
+        assert!(set.offer(Neighbor { row: 3, dist_sq: 2.0 }));
+        assert!(!set.offer(Neighbor { row: 4, dist_sq: 2.0 }));
+        assert!(set.offer(Neighbor { row: 2, dist_sq: 2.0 }));
+        assert_eq!(set.sorted()[0].row, 2);
     }
 
     #[test]

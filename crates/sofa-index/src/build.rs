@@ -9,20 +9,30 @@
 //! a recursive bulk build, which produces exactly the tree that repeated
 //! leaf-splitting (iSAX 2.0's balanced splits) would: a leaf over capacity
 //! splits on the position whose next bit partitions its rows most evenly.
+//!
+//! All parallelism executes on a persistent [`ExecPool`] — one created
+//! for the index (sized by `IndexConfig::num_threads`) or shared across
+//! indexes via [`Index::build_with_pool`]. Ingest is zero-copy:
+//! [`Index::build_owned`] takes ownership of the buffer and normalizes it
+//! in place, so even the borrowing [`Index::build`] performs exactly one
+//! copy of the dataset.
 
 use crate::config::IndexConfig;
 use crate::node::{root_key, Node, NodeKind, Subtree};
 use crate::{Index, IndexError};
+use sofa_exec::ExecPool;
 use sofa_simd::znormalize;
 use sofa_summaries::Summarization;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 impl<S: Summarization> Index<S> {
     /// Builds an index over `raw_data` (row-major series of the
-    /// summarization's length). The data is copied and z-normalized; the
-    /// original buffer is untouched.
+    /// summarization's length). The data is copied once and z-normalized;
+    /// the original buffer is untouched. Prefer [`Index::build_owned`]
+    /// when the buffer can be handed over — it avoids even that copy.
     ///
     /// # Errors
     /// Returns [`IndexError::BadDataset`] for an empty buffer or one that
@@ -32,17 +42,50 @@ impl<S: Summarization> Index<S> {
         raw_data: &[f32],
         config: IndexConfig,
     ) -> Result<Self, IndexError> {
+        Self::build_owned(summarization, raw_data.to_vec(), config)
+    }
+
+    /// Zero-copy ingest: builds an index that takes ownership of `data`
+    /// and z-normalizes it in place — no duplicate of the dataset is ever
+    /// held, halving peak build memory versus copy-based ingest.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] for an empty buffer or one that
+    /// is not a whole number of series.
+    pub fn build_owned(
+        summarization: S,
+        data: Vec<f32>,
+        config: IndexConfig,
+    ) -> Result<Self, IndexError> {
+        let pool = ExecPool::shared(config.num_threads.max(1));
+        Self::build_with_pool(summarization, data, config, pool)
+    }
+
+    /// [`Index::build_owned`] on a caller-supplied worker pool, so a
+    /// server embedding several indexes can run them all on one set of
+    /// threads. The pool's lane count decides the build parallelism
+    /// (`config.num_threads` only sizes pools the index creates itself).
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] for an empty buffer or one that
+    /// is not a whole number of series.
+    pub fn build_with_pool(
+        summarization: S,
+        mut data: Vec<f32>,
+        config: IndexConfig,
+        pool: Arc<ExecPool>,
+    ) -> Result<Self, IndexError> {
         let n = summarization.series_len();
-        if n == 0 || raw_data.is_empty() {
+        if n == 0 || data.is_empty() {
             return Err(IndexError::BadDataset("empty dataset".into()));
         }
-        if raw_data.len() % n != 0 {
+        if data.len() % n != 0 {
             return Err(IndexError::BadDataset(format!(
                 "buffer of {} floats is not a multiple of series length {n}",
-                raw_data.len()
+                data.len()
             )));
         }
-        let n_series = raw_data.len() / n;
+        let n_series = data.len() / n;
         let l = summarization.word_len();
         let symbol_bits = summarization.symbol_bits();
         if l > 64 {
@@ -51,12 +94,11 @@ impl<S: Summarization> Index<S> {
 
         // --- Phase 1: normalize + summarize (parallel, Figure 7 "Transformation").
         let t0 = Instant::now();
-        let mut data = raw_data.to_vec();
         let mut words = vec![0u8; n_series * l];
         let mut keys = vec![0u64; n_series];
-        let threads = config.num_threads.max(1);
-        let rows_per_chunk = n_series.div_ceil(threads);
-        std::thread::scope(|scope| {
+        let lanes = pool.threads();
+        let rows_per_chunk = n_series.div_ceil(lanes);
+        pool.run(|scope| {
             let summarization = &summarization;
             for ((data_chunk, words_chunk), keys_chunk) in data
                 .chunks_mut(rows_per_chunk * n)
@@ -88,25 +130,19 @@ impl<S: Summarization> Index<S> {
         let groups: Vec<(u64, Vec<u32>)> = groups.into_iter().collect();
 
         // --- Phase 3: build subtrees in parallel (Figure 7 "Indexing").
+        // Pool lanes claim root-child groups off an atomic counter; each
+        // subtree is independent, so there is no contention beyond the
+        // counter and the result vector.
         let next_group = AtomicUsize::new(0);
         let done = parking_lot::Mutex::new(Vec::with_capacity(groups.len()));
-        std::thread::scope(|scope| {
-            let groups = &groups;
-            let words = &words[..];
-            let next_group = &next_group;
-            let done = &done;
-            let config = &config;
-            for _ in 0..threads {
-                scope.spawn(move || loop {
-                    let g = next_group.fetch_add(1, Ordering::Relaxed);
-                    if g >= groups.len() {
-                        break;
-                    }
-                    let (key, rows) = &groups[g];
-                    let subtree = build_subtree(*key, rows.clone(), words, l, symbol_bits, config);
-                    done.lock().push(subtree);
-                });
+        pool.broadcast(|_| loop {
+            let g = next_group.fetch_add(1, Ordering::Relaxed);
+            if g >= groups.len() {
+                break;
             }
+            let (key, rows) = &groups[g];
+            let subtree = build_subtree(*key, rows.clone(), &words, l, symbol_bits, &config);
+            done.lock().push(subtree);
         });
         let mut subtrees = done.into_inner();
         subtrees.sort_by_key(|s| s.key);
@@ -115,6 +151,7 @@ impl<S: Summarization> Index<S> {
         Ok(Index {
             summarization,
             config,
+            pool,
             data,
             words,
             subtrees,
@@ -364,6 +401,40 @@ mod tests {
             Index::build(sax, &vec![0.0; 65], IndexConfig::default()),
             Err(IndexError::BadDataset(_))
         ));
+    }
+
+    #[test]
+    fn build_owned_matches_borrowing_build() {
+        let n = 64;
+        let data = dataset(300, n);
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let a = Index::build(sax, &data, IndexConfig::with_threads(2).leaf_capacity(30))
+            .expect("build");
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let b = Index::build_owned(sax, data, IndexConfig::with_threads(2).leaf_capacity(30))
+            .expect("build_owned");
+        assert_eq!(a.n_series(), b.n_series());
+        assert_eq!(a.subtrees().len(), b.subtrees().len());
+        for r in 0..a.n_series() {
+            assert_eq!(a.word(r), b.word(r), "row {r}");
+            assert_eq!(a.series(r), b.series(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn build_with_shared_pool_reuses_it() {
+        let n = 64;
+        let pool = sofa_exec::ExecPool::shared(2);
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let idx = Index::build_with_pool(
+            sax,
+            dataset(200, n),
+            IndexConfig::with_threads(2).leaf_capacity(25),
+            Arc::clone(&pool),
+        )
+        .expect("build");
+        assert!(Arc::ptr_eq(idx.pool(), &pool));
+        assert_eq!(idx.pool().threads(), 2);
     }
 
     #[test]

@@ -10,7 +10,10 @@ pub struct IndexConfig {
     /// Maximum series per leaf before it splits (`leaf-size`). The paper
     /// sweeps this in Figure 11 and settles on 20,000.
     pub leaf_capacity: usize,
-    /// Worker threads for build and query phases.
+    /// Parallel lanes of the index's persistent worker pool (created at
+    /// build time and reused by every build/query/insert call). Ignored
+    /// when a shared pool is supplied via `Index::build_with_pool` — the
+    /// pool's own lane count applies there.
     pub num_threads: usize,
     /// Number of leaf priority queues used during query refinement;
     /// the paper sets it to the core count.

@@ -48,9 +48,11 @@ pub use bsf::{AtomicDistance, KnnSet, Neighbor};
 pub use config::IndexConfig;
 pub use node::{Node, NodeKind, Subtree};
 pub use query::QueryStats;
+pub use sofa_exec::ExecPool;
 pub use stats::IndexStats;
 
 use sofa_summaries::Summarization;
+use std::sync::Arc;
 
 /// Errors surfaced while building or querying an index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +82,11 @@ impl std::error::Error for IndexError {}
 pub struct Index<S: Summarization> {
     pub(crate) summarization: S,
     pub(crate) config: IndexConfig,
+    /// Persistent worker pool executing every parallel phase (build,
+    /// collect, refine, batch queries). Created per index by
+    /// [`Index::build`], or shared between indexes via
+    /// [`Index::build_with_pool`].
+    pub(crate) pool: Arc<ExecPool>,
     /// Z-normalized series, row-major.
     pub(crate) data: Vec<f32>,
     /// Per-series words, row-major (`n_series * word_len`).
@@ -118,6 +125,14 @@ impl<S: Summarization> Index<S> {
         &self.config
     }
 
+    /// The worker pool answering this index's parallel phases. Hand a
+    /// clone to other indexes (via [`Index::build_with_pool`]) to share
+    /// one set of threads across a whole server.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<ExecPool> {
+        &self.pool
+    }
+
     /// Z-normalized series `row`.
     #[must_use]
     pub fn series(&self, row: usize) -> &[f32] {
@@ -136,4 +151,29 @@ impl<S: Summarization> Index<S> {
     pub fn build_breakdown(&self) -> (f64, f64) {
         self.build_breakdown
     }
+}
+
+/// Z-normalizes each `series_len` row of `data` in parallel on the pool.
+///
+/// The one ingest-normalization implementation shared by the facade and
+/// the baselines (the index's own build instead fuses normalization into
+/// its transform phase).
+///
+/// # Panics
+/// Panics if `series_len` is zero or the buffer is not a whole number of
+/// series (a trailing partial row would otherwise be silently mangled).
+pub fn znormalize_rows(data: &mut [f32], series_len: usize, pool: &ExecPool) {
+    assert!(series_len > 0, "series length must be positive");
+    assert_eq!(data.len() % series_len, 0, "buffer must hold whole series");
+    let n_rows = data.len() / series_len;
+    let rows_per_chunk = n_rows.div_ceil(pool.threads());
+    pool.run(|scope| {
+        for chunk in data.chunks_mut(rows_per_chunk.max(1) * series_len) {
+            scope.spawn(move || {
+                for row in chunk.chunks_mut(series_len) {
+                    sofa_simd::znormalize(row);
+                }
+            });
+        }
+    });
 }

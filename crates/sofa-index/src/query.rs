@@ -5,6 +5,11 @@
 //! atomic best-so-far bound (the k-th best distance for k-NN); every
 //! surviving candidate pays a SIMD lower-bound check before the real
 //! distance is computed, both early-abandoned against the bound.
+//!
+//! Parallel phases execute on the index's persistent [`sofa_exec::ExecPool`]
+//! (no per-query thread spawning); [`Index::knn_batch`] additionally
+//! amortizes dispatch across a whole mini-batch by running one serial
+//! query per pool lane at a time.
 
 use crate::bsf::{KnnSet, Neighbor};
 use crate::node::{root_key, NodeKind, Subtree};
@@ -122,8 +127,66 @@ impl<S: Summarization> Index<S> {
         // Work in z-normalized space, like every indexed series.
         let mut q = query.to_vec();
         sofa_simd::znormalize(&mut q);
+        Ok(self.knn_znormed(&q, k))
+    }
 
-        let ctx = QueryContext::new(&self.summarization, &q);
+    /// Exact k-NN for a batch of queries (row-major), best first per
+    /// query. Queries are distributed across the worker pool — each runs
+    /// the serial per-query path, so a batch keeps every lane busy with
+    /// zero intra-query synchronization (the FAISS mini-batch model the
+    /// paper uses for its flat competitor, applied to the tree).
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] if the buffer is not a whole
+    /// number of series or `k == 0`.
+    pub fn knn_batch(&self, queries: &[f32], k: usize) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        if k == 0 {
+            return Err(IndexError::BadQuery("k must be at least 1".into()));
+        }
+        if queries.len() % self.series_len != 0 {
+            return Err(IndexError::BadQuery(format!(
+                "query buffer of {} floats is not a multiple of series length {}",
+                queries.len(),
+                self.series_len
+            )));
+        }
+        let n = self.series_len;
+        let n_queries = queries.len() / n;
+        if n_queries == 0 {
+            return Ok(Vec::new());
+        }
+        if self.pool.threads() == 1 || n_queries == 1 {
+            // Nothing to amortize: answer one query at a time (a single
+            // query still gets intra-query parallelism).
+            return queries.chunks(n).map(|q| self.knn(q, k)).collect();
+        }
+        let results: Vec<Mutex<Vec<Neighbor>>> =
+            (0..n_queries).map(|_| Mutex::new(Vec::new())).collect();
+        let next_query = AtomicUsize::new(0);
+        self.pool.broadcast(|_| loop {
+            let i = next_query.fetch_add(1, Ordering::Relaxed);
+            if i >= n_queries {
+                break;
+            }
+            let mut q = queries[i * n..(i + 1) * n].to_vec();
+            sofa_simd::znormalize(&mut q);
+            let (neighbors, _) = self.knn_one_serial(&q, k);
+            *results[i].lock() = neighbors;
+        });
+        Ok(results.into_iter().map(Mutex::into_inner).collect())
+    }
+
+    /// Answers one z-normalized query, on the pool when it has more than
+    /// one lane.
+    fn knn_znormed(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        if self.pool.threads() == 1 {
+            // Serial fast path: identical algorithm without any task
+            // dispatch, whose cost would dominate sub-millisecond queries
+            // and mask the algorithmic comparison.
+            return self.knn_one_serial(q, k);
+        }
+
+        let ctx = QueryContext::new(&self.summarization, q);
         // The query word is the quantization of the context's values — no
         // second transform needed.
         let qword = ctx.word();
@@ -133,74 +196,74 @@ impl<S: Summarization> Index<S> {
         let stats = AtomicStats::default();
 
         // --- Phase 1: approximate search seeds the BSF.
-        self.approximate_into(&q, &qword, &ctx, &knn);
+        self.approximate_into(q, &qword, &ctx, &knn);
 
-        // --- Phase 2: collect unpruned leaves into priority queues.
+        // --- Phase 2: collect unpruned leaves into priority queues. Pool
+        // lanes claim subtrees off an atomic counter.
         let num_queues = self.config.num_queues.max(1);
         let queues: Vec<Mutex<BinaryHeap<Reverse<QueueEntry>>>> =
             (0..num_queues).map(|_| Mutex::new(BinaryHeap::new())).collect();
         let next_subtree = AtomicUsize::new(0);
         let push_counter = AtomicUsize::new(0);
-        let threads = self.config.num_threads.max(1);
         let done: Vec<AtomicBool> = (0..num_queues).map(|_| AtomicBool::new(false)).collect();
 
-        if threads == 1 {
-            // Serial fast path: identical algorithm without the scoped
-            // thread spawns, whose cost would dominate sub-millisecond
-            // queries and mask the algorithmic comparison.
-            for (s, subtree) in self.subtrees.iter().enumerate() {
-                self.collect_subtree(
-                    subtree,
-                    s as u32,
-                    &ctx,
-                    &root_lbd,
-                    &knn,
-                    &queues,
-                    &push_counter,
-                    &stats,
-                );
+        self.pool.broadcast(|_| loop {
+            let s = next_subtree.fetch_add(1, Ordering::Relaxed);
+            if s >= self.subtrees.len() {
+                break;
             }
-            self.refine_from_queues(0, &q, &queues, &done, &ctx, &knn, &stats);
-            return Ok((knn.into_sorted(), stats.snapshot()));
+            self.collect_subtree(
+                &self.subtrees[s],
+                s as u32,
+                &ctx,
+                &root_lbd,
+                &knn,
+                &queues,
+                &push_counter,
+                &stats,
+            );
+        });
+
+        // --- Phase 3: refine from the queues, one lane per worker slot.
+        self.pool.broadcast(|worker| {
+            self.refine_from_queues(worker, q, &queues, &done, &ctx, &knn, &stats);
+        });
+
+        (knn.into_sorted(), stats.snapshot())
+    }
+
+    /// The fully serial query path: same three phases, no synchronization
+    /// beyond the (uncontended) shared-state types. Used by 1-lane pools
+    /// and by every worker of [`Index::knn_batch`].
+    fn knn_one_serial(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        let ctx = QueryContext::new(&self.summarization, q);
+        let qword = ctx.word();
+        let root_lbd = RootLbd::new(&ctx);
+        let knn = KnnSet::new(k);
+        let stats = AtomicStats::default();
+
+        self.approximate_into(q, &qword, &ctx, &knn);
+
+        let num_queues = self.config.num_queues.max(1);
+        let queues: Vec<Mutex<BinaryHeap<Reverse<QueueEntry>>>> =
+            (0..num_queues).map(|_| Mutex::new(BinaryHeap::new())).collect();
+        let push_counter = AtomicUsize::new(0);
+        let done: Vec<AtomicBool> = (0..num_queues).map(|_| AtomicBool::new(false)).collect();
+
+        for (s, subtree) in self.subtrees.iter().enumerate() {
+            self.collect_subtree(
+                subtree,
+                s as u32,
+                &ctx,
+                &root_lbd,
+                &knn,
+                &queues,
+                &push_counter,
+                &stats,
+            );
         }
-
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let s = next_subtree.fetch_add(1, Ordering::Relaxed);
-                    if s >= self.subtrees.len() {
-                        break;
-                    }
-                    self.collect_subtree(
-                        &self.subtrees[s],
-                        s as u32,
-                        &ctx,
-                        &root_lbd,
-                        &knn,
-                        &queues,
-                        &push_counter,
-                        &stats,
-                    );
-                });
-            }
-        });
-
-        // --- Phase 3: refine from the queues.
-        std::thread::scope(|scope| {
-            for worker in 0..threads {
-                let queues = &queues;
-                let done = &done;
-                let knn = &knn;
-                let ctx = &ctx;
-                let stats = &stats;
-                let q = &q[..];
-                scope.spawn(move || {
-                    self.refine_from_queues(worker, q, queues, done, ctx, knn, stats);
-                });
-            }
-        });
-
-        Ok((knn.into_sorted(), stats.snapshot()))
+        self.refine_from_queues(0, q, &queues, &done, &ctx, &knn, &stats);
+        (knn.into_sorted(), stats.snapshot())
     }
 
     /// Approximate 1-NN only (the paper's "Approximate Search" stage used

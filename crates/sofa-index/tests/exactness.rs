@@ -180,6 +180,59 @@ fn approximate_answer_upper_bounds_exact() {
 }
 
 #[test]
+fn knn_batch_matches_per_query_knn() {
+    let n = 64;
+    let data = znormed_dataset(700, n, 6);
+    let queries = znormed_dataset(9, n, 2222);
+    for threads in [1usize, 3] {
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let index = Index::build(sax, &data, IndexConfig::with_threads(threads).leaf_capacity(40))
+            .expect("build");
+        for k in [1usize, 5] {
+            let batch = index.knn_batch(&queries, k).expect("batch");
+            assert_eq!(batch.len(), 9);
+            for (qi, q) in queries.chunks(n).enumerate() {
+                let single = index.knn(q, k).expect("query");
+                assert_eq!(batch[qi], single, "query {qi} k={k} threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_batch_is_exact_against_brute_force() {
+    let n = 64;
+    let data = znormed_dataset(600, n, 13);
+    let queries = znormed_dataset(6, n, 777);
+    let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+    let index =
+        Index::build(sax, &data, IndexConfig::with_threads(2).leaf_capacity(32)).expect("build");
+    let batch = index.knn_batch(&queries, 3).expect("batch");
+    for (qi, q) in queries.chunks(n).enumerate() {
+        let want = brute_force_knn(&data, n, q, 3);
+        for (g, w) in batch[qi].iter().zip(want.iter()) {
+            let tol = 1e-3 * w.dist_sq.max(1.0);
+            assert!((g.dist_sq - w.dist_sq).abs() <= tol, "query {qi}: {g:?} vs {w:?}");
+        }
+    }
+}
+
+#[test]
+fn knn_batch_edge_cases() {
+    let n = 32;
+    let data = znormed_dataset(50, n, 0);
+    let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+    let index =
+        Index::build(sax, &data, IndexConfig::with_threads(2).leaf_capacity(8)).expect("build");
+    assert!(index.knn_batch(&data[..n], 0).is_err());
+    assert!(index.knn_batch(&data[..n + 1], 1).is_err());
+    assert!(index.knn_batch(&[], 1).expect("empty batch").is_empty());
+    let one = index.knn_batch(&data[..n], 2).expect("batch of one");
+    assert_eq!(one.len(), 1);
+    assert_eq!(one[0], index.knn(&data[..n], 2).expect("query"));
+}
+
+#[test]
 fn query_errors() {
     let n = 32;
     let data = znormed_dataset(20, n, 0);

@@ -26,6 +26,27 @@
 //! // Exact k-NN:
 //! let top5 = index.knn(&query, 5).expect("query");
 //! assert_eq!(top5.len(), 5);
+//!
+//! // Batch queries amortize dispatch across the worker pool: one call,
+//! // one Vec of per-query answers, every pool lane kept busy.
+//! let batch: Vec<f32> = (0..4 * n).map(|i| (i as f32 * 0.13).sin()).collect();
+//! let answers = index.knn_batch(&batch, 3).expect("batch");
+//! assert_eq!(answers.len(), 4);
+//! ```
+//!
+//! Ingest can be zero-copy — hand the buffer over and no duplicate is
+//! ever made (`SofaIndex::build_owned(data, n)`) — and several indexes
+//! can share one persistent worker pool:
+//!
+//! ```
+//! use sofa::{ExecPool, SofaIndex};
+//!
+//! let n = 64;
+//! let data: Vec<f32> = (0..500 * n).map(|i| (i as f32 * 0.37).sin()).collect();
+//! let pool = ExecPool::shared(2);
+//! let a = SofaIndex::builder().pool(pool.clone()).build_sofa_owned(data.clone(), n).unwrap();
+//! let b = SofaIndex::builder().pool(pool).build_sofa_owned(data, n).unwrap();
+//! assert_eq!(a.n_series(), b.n_series());
 //! ```
 //!
 //! ## What's in the box
@@ -48,17 +69,20 @@
 
 pub use sofa_baselines as baselines;
 pub use sofa_data as data;
+pub use sofa_exec as exec;
 pub use sofa_fft as fft;
 pub use sofa_index as index;
 pub use sofa_simd as simd;
 pub use sofa_stats as stats;
 pub use sofa_summaries as summaries;
 
+pub use sofa_exec::ExecPool;
 pub use sofa_index::{IndexConfig, IndexError, IndexStats, Neighbor, QueryStats};
 pub use sofa_summaries::{BinningStrategy, CoefficientSelection};
 
 use sofa_index::Index;
 use sofa_summaries::{ISax, SaxConfig, Sfa, SfaConfig};
+use std::sync::Arc;
 
 /// Builder for [`SofaIndex`] and [`MessiIndex`] with the paper's defaults.
 #[derive(Clone, Debug)]
@@ -72,6 +96,7 @@ pub struct Builder {
     binning: BinningStrategy,
     selection: CoefficientSelection,
     seed: u64,
+    pool: Option<Arc<ExecPool>>,
 }
 
 impl Default for Builder {
@@ -87,6 +112,7 @@ impl Default for Builder {
             binning: BinningStrategy::EquiWidth,
             selection: CoefficientSelection::HighestVariance,
             seed: 0x50FA,
+            pool: None,
         }
     }
 }
@@ -156,28 +182,64 @@ impl Builder {
         self
     }
 
-    fn index_config(&self) -> IndexConfig {
-        IndexConfig::with_threads(self.threads).leaf_capacity(self.leaf_capacity)
+    /// Runs the index on an existing worker pool instead of creating a
+    /// private one, so a server embedding several indexes shares one set
+    /// of threads. Overrides [`Builder::threads`] for execution (the
+    /// pool's lane count applies).
+    #[must_use]
+    pub fn pool(mut self, pool: Arc<ExecPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
-    /// Builds a [`SofaIndex`] over row-major `data` of `series_len`.
+    fn index_config(&self) -> IndexConfig {
+        // Lane-derived knobs (worker count, refinement-queue count) must
+        // follow the *effective* execution width: a shared pool overrides
+        // `threads`.
+        let lanes = self.pool.as_ref().map_or(self.threads, |p| p.threads());
+        IndexConfig::with_threads(lanes).leaf_capacity(self.leaf_capacity)
+    }
+
+    /// The shared pool if one was supplied, else a fresh pool with
+    /// [`Builder::threads`] lanes.
+    fn make_pool(&self) -> Arc<ExecPool> {
+        self.pool.clone().unwrap_or_else(|| ExecPool::shared(self.threads))
+    }
+
+    /// Builds a [`SofaIndex`] over row-major `data` of `series_len`,
+    /// copying the buffer exactly once. Prefer
+    /// [`Builder::build_sofa_owned`] to avoid even that copy.
     ///
     /// # Errors
     /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
     pub fn build_sofa(&self, data: &[f32], series_len: usize) -> Result<SofaIndex, IndexError> {
+        self.build_sofa_owned(data.to_vec(), series_len)
+    }
+
+    /// Zero-copy ingest: builds a [`SofaIndex`] that takes ownership of
+    /// `data`. The buffer is z-normalized in place, the SFA model learns
+    /// from that view, and the same allocation becomes the index's
+    /// storage — no duplicate of the dataset is ever held (the borrowing
+    /// path used to hold two).
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
+    pub fn build_sofa_owned(
+        &self,
+        mut data: Vec<f32>,
+        series_len: usize,
+    ) -> Result<SofaIndex, IndexError> {
         if series_len == 0 || data.is_empty() || data.len() % series_len != 0 {
             return Err(IndexError::BadDataset(
                 "data must be a non-empty whole number of series".into(),
             ));
         }
+        let pool = self.make_pool();
         // SFA learns from the z-normalized view of the data, because the
         // index stores (and measures distances between) z-normalized
-        // series. Normalization is idempotent, so handing the normalized
-        // copy to the index builder is safe.
-        let mut znormed = data.to_vec();
-        for row in znormed.chunks_mut(series_len) {
-            sofa_simd::znormalize(row);
-        }
+        // series. Normalization is idempotent, so normalizing in place
+        // here and handing the same buffer to the index builder is safe.
+        sofa_index::znormalize_rows(&mut data, series_len, &pool);
         let cfg = SfaConfig {
             word_len: self.word_len,
             alphabet: self.alphabet,
@@ -188,16 +250,31 @@ impl Builder {
             seed: self.seed,
             ..Default::default()
         };
-        let sfa = Sfa::learn(&znormed, series_len, &cfg);
-        let inner = Index::build(sfa, &znormed, self.index_config())?;
+        let sfa = Sfa::learn(&data, series_len, &cfg);
+        let inner = Index::build_with_pool(sfa, data, self.index_config(), pool)?;
         Ok(SofaIndex { inner })
     }
 
-    /// Builds a [`MessiIndex`] over row-major `data` of `series_len`.
+    /// Builds a [`MessiIndex`] over row-major `data` of `series_len`,
+    /// copying the buffer exactly once. Prefer
+    /// [`Builder::build_messi_owned`] to avoid even that copy.
     ///
     /// # Errors
     /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
     pub fn build_messi(&self, data: &[f32], series_len: usize) -> Result<MessiIndex, IndexError> {
+        self.build_messi_owned(data.to_vec(), series_len)
+    }
+
+    /// Zero-copy ingest: builds a [`MessiIndex`] that takes ownership of
+    /// `data` (z-normalized in place, no duplicate ever held).
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
+    pub fn build_messi_owned(
+        &self,
+        data: Vec<f32>,
+        series_len: usize,
+    ) -> Result<MessiIndex, IndexError> {
         if series_len == 0 || data.is_empty() || data.len() % series_len != 0 {
             return Err(IndexError::BadDataset(
                 "data must be a non-empty whole number of series".into(),
@@ -205,7 +282,7 @@ impl Builder {
         }
         let sax =
             ISax::new(series_len, &SaxConfig { word_len: self.word_len, alphabet: self.alphabet });
-        let inner = Index::build(sax, data, self.index_config())?;
+        let inner = Index::build_with_pool(sax, data, self.index_config(), self.make_pool())?;
         Ok(MessiIndex { inner })
     }
 }
@@ -227,6 +304,23 @@ macro_rules! forward_index_api {
             /// Returns [`IndexError::BadQuery`] on a length mismatch or `k == 0`.
             pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, IndexError> {
                 self.inner.knn(query, k)
+            }
+
+            /// Exact k-NN for a row-major batch of queries, best first
+            /// per query. Queries are spread across the worker pool (one
+            /// serial query per lane at a time), which amortizes dispatch
+            /// and keeps every lane busy — the high-throughput serving
+            /// path.
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] if the buffer is not a
+            /// whole number of series or `k == 0`.
+            pub fn knn_batch(
+                &self,
+                queries: &[f32],
+                k: usize,
+            ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+                self.inner.knn_batch(queries, k)
             }
 
             /// Exact k-NN with per-query work counters.
@@ -291,6 +385,14 @@ macro_rules! forward_index_api {
                 self.inner.build_breakdown()
             }
 
+            /// The persistent worker pool executing this index's
+            /// parallel phases; clone it into other builders to share
+            /// one set of threads.
+            #[must_use]
+            pub fn pool(&self) -> &std::sync::Arc<ExecPool> {
+                self.inner.pool()
+            }
+
             /// Access to the generic index for advanced use.
             #[must_use]
             pub fn raw(&self) -> &Index<$summ> {
@@ -313,6 +415,16 @@ impl SofaIndex {
     /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
     pub fn build(data: &[f32], series_len: usize) -> Result<Self, IndexError> {
         Builder::default().build_sofa(data, series_len)
+    }
+
+    /// Zero-copy build with the paper's default parameters: takes
+    /// ownership of `data`, normalizes it in place, and never duplicates
+    /// the dataset.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
+    pub fn build_owned(data: Vec<f32>, series_len: usize) -> Result<Self, IndexError> {
+        Builder::default().build_sofa_owned(data, series_len)
     }
 
     /// A configuration builder.
@@ -346,6 +458,15 @@ impl MessiIndex {
     /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
     pub fn build(data: &[f32], series_len: usize) -> Result<Self, IndexError> {
         Builder::default().build_messi(data, series_len)
+    }
+
+    /// Zero-copy build with the paper's default parameters: takes
+    /// ownership of `data` and never duplicates the dataset.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
+    pub fn build_owned(data: Vec<f32>, series_len: usize) -> Result<Self, IndexError> {
+        Builder::default().build_messi_owned(data, series_len)
     }
 
     /// A configuration builder.
@@ -421,6 +542,71 @@ mod tests {
         assert!(SofaIndex::build(&[], 64).is_err());
         assert!(SofaIndex::build(&vec![0.0; 65], 64).is_err());
         assert!(MessiIndex::build(&vec![0.0; 65], 64).is_err());
+        assert!(SofaIndex::build_owned(vec![0.0; 65], 64).is_err());
+        assert!(MessiIndex::build_owned(Vec::new(), 64).is_err());
+    }
+
+    #[test]
+    fn owned_build_matches_borrowing_build() {
+        let n = 64;
+        let data = dataset(400, n, 2);
+        let borrow = SofaIndex::builder()
+            .threads(2)
+            .leaf_capacity(40)
+            .sample_ratio(0.5)
+            .build_sofa(&data, n)
+            .unwrap();
+        let owned = SofaIndex::builder()
+            .threads(2)
+            .leaf_capacity(40)
+            .sample_ratio(0.5)
+            .build_sofa_owned(data.clone(), n)
+            .unwrap();
+        assert_eq!(borrow.n_series(), owned.n_series());
+        let queries = dataset(4, n, 808);
+        for q in queries.chunks(n) {
+            let a = borrow.nn(q).unwrap();
+            let b = owned.nn(q).unwrap();
+            assert_eq!(a.row, b.row);
+            assert_eq!(a.dist_sq, b.dist_sq);
+        }
+    }
+
+    #[test]
+    fn shared_pool_across_sofa_and_messi() {
+        let n = 64;
+        let data = dataset(300, n, 1);
+        let pool = ExecPool::shared(2);
+        let sofa = SofaIndex::builder()
+            .pool(Arc::clone(&pool))
+            .leaf_capacity(30)
+            .sample_ratio(0.5)
+            .build_sofa(&data, n)
+            .unwrap();
+        let messi = MessiIndex::builder()
+            .pool(Arc::clone(&pool))
+            .leaf_capacity(30)
+            .build_messi(&data, n)
+            .unwrap();
+        assert!(Arc::ptr_eq(sofa.pool(), &pool));
+        assert!(Arc::ptr_eq(messi.pool(), &pool));
+        let q = dataset(1, n, 77);
+        let a = sofa.nn(&q).unwrap();
+        let b = messi.nn(&q).unwrap();
+        assert!((a.dist_sq - b.dist_sq).abs() < 1e-3 * a.dist_sq.max(1.0));
+    }
+
+    #[test]
+    fn facade_knn_batch_matches_knn() {
+        let n = 64;
+        let data = dataset(350, n, 4);
+        let sofa = SofaIndex::builder().threads(2).leaf_capacity(40).build_sofa(&data, n).unwrap();
+        let queries = dataset(6, n, 1234);
+        let batch = sofa.knn_batch(&queries, 4).unwrap();
+        assert_eq!(batch.len(), 6);
+        for (qi, q) in queries.chunks(n).enumerate() {
+            assert_eq!(batch[qi], sofa.knn(q, 4).unwrap(), "query {qi}");
+        }
     }
 
     #[test]
