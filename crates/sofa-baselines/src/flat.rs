@@ -3,8 +3,9 @@
 //!
 //! FAISS's flat index evaluates `|x - y|^2 = |x|^2 - 2 x.y + |y|^2` with
 //! BLAS GEMM over (query block × data block) tiles; data norms are
-//! precomputed. We reproduce that compute shape in pure Rust: a cache-
-//! blocked dot-product kernel over 8-lane SIMD, precomputed norms, and a
+//! precomputed. We reproduce that compute shape in pure Rust: the
+//! runtime-dispatched [`sofa_simd::dot`] kernel (AVX2+FMA where the CPU
+//! supports it, portable 8-lane blocks elsewhere), precomputed norms, and a
 //! [`FlatL2::knn_batch`] that walks the (query block × data block) tile
 //! grid in parallel on a persistent [`ExecPool`] — each tile computes a
 //! partial top-k for its queries over its rows and merges it into the
@@ -14,7 +15,7 @@
 
 use sofa_exec::ExecPool;
 use sofa_index::{znormalize_rows, KnnSet, Neighbor};
-use sofa_simd::{znormalize, F32x8, LANES};
+use sofa_simd::{dot, znormalize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -197,22 +198,6 @@ impl FlatL2 {
     pub fn nn(&self, query: &[f32]) -> Neighbor {
         self.knn_one(query, 1)[0]
     }
-}
-
-/// 8-lane blocked dot product.
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let chunks = a.len() / LANES;
-    let mut acc = F32x8::zero();
-    for c in 0..chunks {
-        let off = c * LANES;
-        acc += F32x8::from_slice(&a[off..]) * F32x8::from_slice(&b[off..]);
-    }
-    let mut sum = acc.horizontal_sum();
-    for i in chunks * LANES..a.len() {
-        sum += a[i] * b[i];
-    }
-    sum
 }
 
 #[cfg(test)]

@@ -7,7 +7,11 @@
 //! at the end to compile the final result." That is precisely this module:
 //! per-lane [`sofa_index::KnnSet`]s merged after the scan, with each lane
 //! early-abandoning against its own running bound. The lanes are the
-//! persistent workers of an [`ExecPool`], not per-call threads.
+//! persistent workers of an [`ExecPool`], not per-call threads, and the
+//! inner loop is the runtime-dispatched
+//! [`sofa_simd::euclidean_sq_early_abandon`] kernel (AVX2 where
+//! available), so baseline comparisons measure the same metal as the
+//! index.
 
 use sofa_exec::ExecPool;
 use sofa_index::{znormalize_rows, KnnSet, Neighbor};

@@ -1,10 +1,23 @@
 //! Micro-benchmarks of the hot kernels (the §IV-H SIMD ablation):
-//! scalar vs 8-lane Euclidean distance, early abandoning, and the
-//! scalar-vs-SIMD SFA mindist.
+//! per-tier Euclidean distance (scalar vs portable vs dispatched — AVX2
+//! where the CPU supports it), early abandoning, the per-word SFA mindist,
+//! and the headline comparison of this layer: the **dispatched block
+//! lower bound against the per-word `mindist_simd` sweep** over the same
+//! 2000 candidates (the acceptance gate is block ≥ 2× per-word on
+//! 256-length series).
+//!
+//! Force a tier to compare paths on one machine:
+//! `SOFA_FORCE_SCALAR=1` / `SOFA_FORCE_PORTABLE=1`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use sofa_simd::{euclidean_sq, euclidean_sq_early_abandon, euclidean_sq_scalar};
-use sofa_summaries::{mindist_scalar, mindist_simd, QueryContext, Sfa, SfaConfig, Summarization};
+use sofa_simd::{
+    active_tier, euclidean_sq, euclidean_sq_early_abandon, euclidean_sq_early_abandon_portable,
+    euclidean_sq_portable, euclidean_sq_scalar,
+};
+use sofa_summaries::{
+    mindist_block, mindist_scalar, mindist_simd, QueryContext, Sfa, SfaConfig, Summarization,
+    WordBlock,
+};
 use std::hint::black_box;
 
 fn series(n: usize, seed: usize) -> Vec<f32> {
@@ -16,22 +29,30 @@ fn series(n: usize, seed: usize) -> Vec<f32> {
 }
 
 fn bench_euclidean(c: &mut Criterion) {
-    let mut group = c.benchmark_group("euclidean_256");
+    let mut group = c.benchmark_group(format!("euclidean_256[{}]", active_tier().name()));
     let a = series(256, 1);
     let b = series(256, 2);
     group.bench_function("scalar", |bench| {
         bench.iter(|| euclidean_sq_scalar(black_box(&a), black_box(&b)));
     });
-    group.bench_function("simd", |bench| {
+    group.bench_function("portable", |bench| {
+        bench.iter(|| euclidean_sq_portable(black_box(&a), black_box(&b)));
+    });
+    group.bench_function("dispatched", |bench| {
         bench.iter(|| euclidean_sq(black_box(&a), black_box(&b)));
     });
     // Early abandoning with a tight bound: most of the series is skipped.
     let full = euclidean_sq(&a, &b);
-    group.bench_function("simd_early_abandon_tight_bsf", |bench| {
+    group.bench_function("dispatched_early_abandon_tight_bsf", |bench| {
         bench.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 0.01));
     });
-    group.bench_function("simd_early_abandon_loose_bsf", |bench| {
+    group.bench_function("dispatched_early_abandon_loose_bsf", |bench| {
         bench.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 10.0));
+    });
+    group.bench_function("portable_early_abandon_loose_bsf", |bench| {
+        bench.iter(|| {
+            euclidean_sq_early_abandon_portable(black_box(&a), black_box(&b), full * 10.0)
+        });
     });
     group.finish();
 }
@@ -50,6 +71,8 @@ fn bench_mindist(c: &mut Criterion) {
     );
     let mut tr = sfa.transformer();
     let words: Vec<Vec<u8>> = data.chunks(n).map(|s| tr.word(s, 16)).collect();
+    let flat_words: Vec<u8> = words.iter().flat_map(|w| w.iter().copied()).collect();
+    let block = WordBlock::build(&sfa, &flat_words);
     let query = series(n, 999);
     let ctx = QueryContext::new(&sfa, &query);
     // A representative BSF: the 5th percentile of scalar mindists.
@@ -57,7 +80,7 @@ fn bench_mindist(c: &mut Criterion) {
     dists.sort_by(f32::total_cmp);
     let bsf = dists[dists.len() / 20];
 
-    let mut group = c.benchmark_group("sfa_mindist_2000_words");
+    let mut group = c.benchmark_group(format!("sfa_mindist_2000_words[{}]", active_tier().name()));
     group.bench_function("scalar", |bench| {
         bench.iter_batched(
             || (),
@@ -71,7 +94,7 @@ fn bench_mindist(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
-    group.bench_function("simd_no_abandon", |bench| {
+    group.bench_function("per_word_simd_no_abandon", |bench| {
         bench.iter(|| {
             let mut acc = 0.0f32;
             for w in &words {
@@ -80,11 +103,37 @@ fn bench_mindist(c: &mut Criterion) {
             acc
         });
     });
-    group.bench_function("simd_early_abandon", |bench| {
+    group.bench_function("per_word_simd_early_abandon", |bench| {
         bench.iter(|| {
             let mut acc = 0.0f32;
             for w in &words {
                 acc += mindist_simd(black_box(&ctx), black_box(w), black_box(bsf));
+            }
+            acc
+        });
+    });
+    // The PR's headline: the same 2000 candidates through the SoA block
+    // sweep (8 per kernel call, bounds resolved at build time).
+    group.bench_function("block_no_abandon", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f32;
+            let mut lbs = [0.0f32; sofa_simd::BLOCK_LANES];
+            for g in 0..block.n_groups() {
+                let _ =
+                    mindist_block(black_box(&ctx), black_box(&block), g, f32::INFINITY, &mut lbs);
+                acc += lbs[0];
+            }
+            acc
+        });
+    });
+    group.bench_function("block_early_abandon", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f32;
+            let mut lbs = [0.0f32; sofa_simd::BLOCK_LANES];
+            for g in 0..block.n_groups() {
+                if !mindist_block(black_box(&ctx), black_box(&block), g, black_box(bsf), &mut lbs) {
+                    acc += lbs[0];
+                }
             }
             acc
         });

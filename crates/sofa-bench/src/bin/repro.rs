@@ -13,6 +13,9 @@
 //!   --threads <list>   comma-separated core sweep        (default 1,2,4)
 //!   --leaf <N>         leaf capacity                     (default 500)
 //!   --write <path>     append rendered markdown to a file
+//!   --json <path>      overwrite a machine-readable metrics file
+//!                      (QPS, latency percentiles, pruning ratios — the
+//!                      perf-trajectory record, e.g. BENCH_pr3.json)
 //! ```
 
 use sofa_bench::experiments::{all_experiments, find, Suite};
@@ -28,6 +31,7 @@ fn main() {
     let mut cfg = BenchConfig::default();
     let mut ids: Vec<String> = Vec::new();
     let mut write_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -45,6 +49,7 @@ fn main() {
                     .collect();
             }
             "--write" => write_path = Some(parse(it.next(), "--write")),
+            "--json" => json_path = Some(parse(it.next(), "--json")),
             "--help" | "-h" => usage_and_exit(),
             other if other.starts_with('-') => die(&format!("unknown option {other}")),
             id => ids.push(id.to_string()),
@@ -55,15 +60,20 @@ fn main() {
     }
 
     let suite = Suite::new(cfg.clone());
-    let experiments: Vec<_> = if ids.iter().any(|i| i == "all") {
+    let mut experiments: Vec<_> = if ids.iter().any(|i| i == "all") {
         all_experiments()
     } else {
         ids.iter()
             .map(|id| find(id).unwrap_or_else(|| die(&format!("unknown experiment {id}"))))
             .collect()
     };
+    // Dedupe while keeping first-mention order: repeated ids would run
+    // twice and emit duplicate object keys in `--json` output.
+    let mut seen = std::collections::HashSet::new();
+    experiments.retain(|e| seen.insert(e.id));
 
     let mut rendered = String::new();
+    let mut reports = Vec::new();
     for e in &experiments {
         eprintln!("== running {} ({}) ...", e.id, e.title);
         let (report, secs) = sofa_bench::timed(|| (e.run)(&suite));
@@ -72,6 +82,13 @@ fn main() {
         println!("{section}");
         rendered.push_str(&section);
         rendered.push('\n');
+        reports.push(report);
+    }
+
+    if let Some(path) = json_path {
+        let json = sofa_bench::report::render_json(&reports);
+        std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote metrics for {} experiment(s) to {path}", reports.len());
     }
 
     if let Some(path) = write_path {
@@ -98,7 +115,7 @@ fn die(msg: &str) -> ! {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro [--quick] [--scale N] [--queries N] [--threads a,b,c] \
-         [--leaf N] [--write FILE] <experiment>...\nexperiments: {} | all",
+         [--leaf N] [--write FILE] [--json FILE] <experiment>...\nexperiments: {} | all",
         all_experiments().iter().map(|e| e.id).collect::<Vec<_>>().join(" ")
     );
     std::process::exit(0);

@@ -166,9 +166,44 @@ pub fn ext_throughput(suite: &Suite) -> Report {
     ];
     r.table(&["method", "mode", "QPS", "p50 / mean (ms)", "p95 (ms)", "p99 (ms)"], &rows);
 
+    // Pruning-power counters over the same workload: what fraction of
+    // lower-bound-checked candidates never reached a real distance, and
+    // how much of that the 8-lane block sweep decided.
+    let mut lbd_checked = 0usize;
+    let mut refined = 0usize;
+    let mut lanes_abandoned = 0usize;
+    for q in queries.chunks(n).take(32) {
+        let (_, s) = sofa.knn_with_stats(q, 1).expect("stats query");
+        lbd_checked += s.series_lbd_checked;
+        refined += s.series_refined;
+        lanes_abandoned += s.block_lanes_abandoned;
+    }
+    let pruning_ratio =
+        if lbd_checked == 0 { 0.0 } else { 1.0 - refined as f64 / lbd_checked as f64 };
+    let block_abandon_ratio =
+        if lbd_checked == 0 { 0.0 } else { lanes_abandoned as f64 / lbd_checked as f64 };
+
     let spawn_qps = nq / spawn_secs;
     let pool_qps = nq / pool_secs;
     let batch_qps = nq / batch_secs;
+    r.metric("sofa_single_spawn_qps", spawn_qps);
+    r.metric("sofa_single_pool_qps", pool_qps);
+    r.metric("sofa_batch_qps", batch_qps);
+    r.metric("sofa_batch_vs_spawn_speedup", batch_qps / spawn_qps);
+    r.metric("sofa_pool_p50_ms", percentile(&pool_ms, 50.0));
+    r.metric("sofa_pool_p99_ms", percentile(&pool_ms, 99.0));
+    r.metric("flat_single_qps", nq / flat_secs);
+    r.metric("flat_batch_qps", nq / flat_batch_secs);
+    r.metric("flat_p50_ms", percentile(&flat_ms, 50.0));
+    r.metric("sofa_lbd_pruning_ratio", pruning_ratio);
+    r.metric("sofa_block_lane_abandon_ratio", block_abandon_ratio);
+    r.para(&format!(
+        "Pruning power over this workload: {:.1}% of lower-bound-checked \
+         candidates were pruned before any real distance ({:.1}% of checks \
+         were retired by the 8-lane block sweep).",
+        pruning_ratio * 100.0,
+        block_abandon_ratio * 100.0,
+    ));
     r.para(&format!(
         "SOFA: `knn_batch` throughput is {:.1}x the per-call-spawn \
          single-query baseline ({} vs {} QPS) and {:.1}x pool \

@@ -146,25 +146,143 @@ impl<S: Summarization> Index<S> {
         });
         let mut subtrees = done.into_inner();
         subtrees.sort_by_key(|s| s.key);
-        let tree_secs = t1.elapsed().as_secs_f64();
 
-        Ok(Index {
+        // --- Phase 4: pack leaves. Storage starts in row order (identity
+        // slot maps); `repack_leaves` permutes it into leaf-contiguous
+        // order and builds the per-leaf SoA word blocks.
+        let mut index = Index {
             summarization,
             config,
             pool,
             data,
             words,
+            row_to_slot: (0..n_series as u32).collect(),
+            slot_to_row: (0..n_series as u32).collect(),
             subtrees,
             series_len: n,
             word_len: l,
-            build_breakdown: (transform_secs, tree_secs),
-        })
+            build_breakdown: (0.0, 0.0),
+            counters: crate::stats::KernelCounters::default(),
+        };
+        index.repack_leaves();
+        let tree_secs = t1.elapsed().as_secs_f64();
+        index.build_breakdown = (transform_secs, tree_secs);
+        Ok(index)
+    }
+
+    /// Rebuilds the leaf-contiguous storage layout: permutes the series
+    /// and word arenas so every leaf's candidates occupy one contiguous
+    /// run of storage slots (in leaf order), and rebuilds each leaf's
+    /// structure-of-arrays [`sofa_summaries::WordBlock`] for the batched
+    /// lower-bound sweep.
+    ///
+    /// The bulk build calls this automatically. Online inserts
+    /// ([`Index::insert`]) keep the index exact but leave the touched
+    /// leaves un-packed (per-row fallback refinement); call this after an
+    /// insert burst to restore the fast path everywhere. The permutation
+    /// is applied in place (cycle-walking with one temporary row), so no
+    /// second copy of the dataset is ever held.
+    pub fn repack_leaves(&mut self) {
+        let n = self.series_len;
+        let l = self.word_len;
+        // Slot assignment: leaves in (subtree, arena) order, rows in leaf
+        // order. `bases[s]` is the first slot of subtree `s`.
+        let mut new_slot_to_row: Vec<u32> = Vec::with_capacity(self.slot_to_row.len());
+        let mut bases: Vec<usize> = Vec::with_capacity(self.subtrees.len());
+        for st in &self.subtrees {
+            bases.push(new_slot_to_row.len());
+            for node in &st.nodes {
+                if let NodeKind::Leaf { rows, .. } = &node.kind {
+                    new_slot_to_row.extend_from_slice(rows);
+                }
+            }
+        }
+        debug_assert_eq!(new_slot_to_row.len(), self.slot_to_row.len());
+        let mut new_row_to_slot = vec![0u32; new_slot_to_row.len()];
+        for (slot, &row) in new_slot_to_row.iter().enumerate() {
+            new_row_to_slot[row as usize] = slot as u32;
+        }
+        // In-place permutation of both arenas: content currently at
+        // storage slot `old` moves to `dest[old]`.
+        let dest: Vec<u32> =
+            self.slot_to_row.iter().map(|&row| new_row_to_slot[row as usize]).collect();
+        permute_rows(&mut self.data, &mut self.words, n, l, &dest);
+        self.slot_to_row = new_slot_to_row;
+        self.row_to_slot = new_row_to_slot;
+
+        // Word blocks, one subtree batch per pool lane (subtrees are
+        // disjoint, so `chunks_mut` hands each lane its own slice).
+        let words = &self.words;
+        let summarization: &dyn Summarization = &self.summarization;
+        let per_lane = self.subtrees.len().div_ceil(self.pool.threads()).max(1);
+        self.pool.run(|scope| {
+            for (chunk, base_chunk) in
+                self.subtrees.chunks_mut(per_lane).zip(bases.chunks(per_lane))
+            {
+                scope.spawn(move || {
+                    for (st, &base) in chunk.iter_mut().zip(base_chunk.iter()) {
+                        let mut next = base;
+                        for node in st.nodes.iter_mut() {
+                            if let NodeKind::Leaf { rows, pack } = &mut node.kind {
+                                let start = next;
+                                next += rows.len();
+                                let block = sofa_summaries::WordBlock::build(
+                                    summarization,
+                                    &words[start * l..next * l],
+                                );
+                                *pack = Some(crate::node::LeafPack { start: start as u32, block });
+                            }
+                        }
+                    }
+                });
+            }
+        });
     }
 
     /// The subtree forest (read-only).
     #[must_use]
     pub fn subtrees(&self) -> &[Subtree] {
         &self.subtrees
+    }
+}
+
+/// Applies the slot permutation `dest` (content at slot `old` moves to
+/// slot `dest[old]`) to both arenas in place, walking permutation cycles
+/// with one temporary row each — peak extra memory is one series plus one
+/// word, never a second dataset copy.
+fn permute_rows(data: &mut [f32], words: &mut [u8], n: usize, l: usize, dest: &[u32]) {
+    let count = dest.len();
+    debug_assert_eq!(data.len(), count * n);
+    debug_assert_eq!(words.len(), count * l);
+    let mut visited = vec![false; count];
+    let mut tmp_series = vec![0f32; n];
+    let mut tmp_word = vec![0u8; l];
+    for start in 0..count {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let mut slot = dest[start] as usize;
+        if slot == start {
+            continue;
+        }
+        // Lift the cycle's first row, then bubble it around: each step
+        // deposits the in-hand row at its destination and picks up the
+        // displaced one.
+        tmp_series.copy_from_slice(&data[start * n..(start + 1) * n]);
+        tmp_word.copy_from_slice(&words[start * l..(start + 1) * l]);
+        while slot != start {
+            visited[slot] = true;
+            for (held, stored) in tmp_series.iter_mut().zip(data[slot * n..].iter_mut()) {
+                std::mem::swap(held, stored);
+            }
+            for (held, stored) in tmp_word.iter_mut().zip(words[slot * l..].iter_mut()) {
+                std::mem::swap(held, stored);
+            }
+            slot = dest[slot] as usize;
+        }
+        data[start * n..(start + 1) * n].copy_from_slice(&tmp_series);
+        words[start * l..(start + 1) * l].copy_from_slice(&tmp_word);
     }
 }
 
@@ -199,7 +317,7 @@ fn build_node(
 ) -> u32 {
     let id = arena.len() as u32;
     if rows.len() <= leaf_capacity {
-        arena.push(Node { prefixes, bits, kind: NodeKind::Leaf { rows } });
+        arena.push(Node { prefixes, bits, kind: NodeKind::Leaf { rows, pack: None } });
         return id;
     }
     // Balanced split (iSAX 2.0): among positions with spare cardinality,
@@ -228,7 +346,7 @@ fn build_node(
     let Some((_, split_pos)) = best else {
         // No position separates the rows (identical words up to full
         // cardinality): keep an over-full leaf, as iSAX-family indices do.
-        arena.push(Node { prefixes, bits, kind: NodeKind::Leaf { rows } });
+        arena.push(Node { prefixes, bits, kind: NodeKind::Leaf { rows, pack: None } });
         return id;
     };
 

@@ -37,7 +37,9 @@ impl<S: Summarization> Index<S> {
                 self.series_len
             )));
         }
-        // Append normalized values and the word.
+        // Append normalized values and the word. The new row takes the
+        // next storage slot (the arena tail), so existing packed runs are
+        // undisturbed; only the leaf receiving the row loses its pack.
         let mut z = series.to_vec();
         sofa_simd::znormalize(&mut z);
         let mut word = vec![0u8; self.word_len];
@@ -45,6 +47,8 @@ impl<S: Summarization> Index<S> {
         let row = (self.data.len() / self.series_len) as u32;
         self.data.extend_from_slice(&z);
         self.words.extend_from_slice(&word);
+        self.row_to_slot.push(row);
+        self.slot_to_row.push(row);
 
         let symbol_bits = self.summarization.symbol_bits();
         let key = root_key(&word, symbol_bits);
@@ -59,7 +63,11 @@ impl<S: Summarization> Index<S> {
                     i,
                     Subtree {
                         key,
-                        nodes: vec![Node { prefixes, bits, kind: NodeKind::Leaf { rows: vec![] } }],
+                        nodes: vec![Node {
+                            prefixes,
+                            bits,
+                            kind: NodeKind::Leaf { rows: vec![], pack: None },
+                        }],
                     },
                 );
                 i
@@ -81,13 +89,20 @@ impl<S: Summarization> Index<S> {
             }
         }
         match &mut subtree.nodes[id as usize].kind {
-            NodeKind::Leaf { rows } => rows.push(row),
+            NodeKind::Leaf { rows, pack } => {
+                rows.push(row);
+                // The leaf's contiguous run no longer covers all its rows:
+                // drop the pack so refinement falls back to the exact
+                // per-row path until `repack_leaves` runs.
+                *pack = None;
+            }
             NodeKind::Inner { .. } => unreachable!("descent ends at a leaf"),
         }
         split_while_overfull(
             subtree,
             id,
             &self.words,
+            &self.row_to_slot,
             self.word_len,
             symbol_bits,
             self.config.leaf_capacity,
@@ -116,20 +131,25 @@ impl<S: Summarization> Index<S> {
 }
 
 /// Splits `leaf` (and any over-full child produced by the split) using the
-/// balanced-split rule, mutating the subtree arena in place.
+/// balanced-split rule, mutating the subtree arena in place. `words` is in
+/// storage order; `row_to_slot` maps the row ids stored in leaves to it.
 fn split_while_overfull(
     subtree: &mut Subtree,
     leaf: u32,
     words: &[u8],
+    row_to_slot: &[u32],
     l: usize,
     symbol_bits: u8,
     leaf_capacity: usize,
 ) {
+    let word_bit = |r: u32, j: usize, shift: u8| {
+        (words[row_to_slot[r as usize] as usize * l + j] >> shift) & 1
+    };
     let mut pending = vec![leaf];
     while let Some(id) = pending.pop() {
         let (rows, prefixes, bits) = {
             let node = &subtree.nodes[id as usize];
-            let NodeKind::Leaf { rows } = &node.kind else { continue };
+            let NodeKind::Leaf { rows, .. } = &node.kind else { continue };
             if rows.len() <= leaf_capacity {
                 continue;
             }
@@ -143,8 +163,7 @@ fn split_while_overfull(
                 continue;
             }
             let shift = symbol_bits - bits[j] - 1;
-            let ones =
-                rows.iter().filter(|&&r| (words[r as usize * l + j] >> shift) & 1 == 1).count();
+            let ones = rows.iter().filter(|&&r| word_bit(r, j, shift) == 1).count();
             let zeros = rows.len() - ones;
             if ones == 0 || zeros == 0 {
                 continue;
@@ -164,14 +183,16 @@ fn split_while_overfull(
 
         let shift = symbol_bits - bits[split_pos] - 1;
         let (zeros, ones): (Vec<u32>, Vec<u32>) =
-            rows.iter().partition(|&&r| (words[r as usize * l + split_pos] >> shift) & 1 == 0);
+            rows.iter().partition(|&&r| word_bit(r, split_pos, shift) == 0);
 
         let child = |bit: u8, rows: Vec<u32>| {
             let mut p = prefixes.clone();
             let mut b = bits.clone();
             p[split_pos] = (p[split_pos] << 1) | bit;
             b[split_pos] += 1;
-            Node { prefixes: p, bits: b, kind: NodeKind::Leaf { rows } }
+            // Split children start un-packed: their rows are subsets of
+            // the parent's (no longer contiguous) run.
+            Node { prefixes: p, bits: b, kind: NodeKind::Leaf { rows, pack: None } }
         };
         let left = subtree.nodes.len() as u32;
         subtree.nodes.push(child(0, zeros));

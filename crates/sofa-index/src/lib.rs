@@ -46,7 +46,7 @@ pub mod stats;
 
 pub use bsf::{AtomicDistance, KnnSet, Neighbor};
 pub use config::IndexConfig;
-pub use node::{Node, NodeKind, Subtree};
+pub use node::{LeafPack, Node, NodeKind, Subtree};
 pub use query::QueryStats;
 pub use sofa_exec::ExecPool;
 pub use stats::IndexStats;
@@ -87,17 +87,30 @@ pub struct Index<S: Summarization> {
     /// [`Index::build`], or shared between indexes via
     /// [`Index::build_with_pool`].
     pub(crate) pool: Arc<ExecPool>,
-    /// Z-normalized series, row-major.
+    /// Z-normalized series in **storage order**: after the build's packing
+    /// phase, each leaf's series occupy one contiguous run (the FAISS
+    /// contiguous-per-list layout), so leaf refinement streams instead of
+    /// gathering. `row_to_slot`/`slot_to_row` translate between original
+    /// row ids (the public API, leaf `rows`, query results) and storage
+    /// slots.
     pub(crate) data: Vec<f32>,
-    /// Per-series words, row-major (`n_series * word_len`).
+    /// Per-series words in storage order (`n_series * word_len`).
     pub(crate) words: Vec<u8>,
+    /// Original row id -> storage slot.
+    pub(crate) row_to_slot: Vec<u32>,
+    /// Storage slot -> original row id.
+    pub(crate) slot_to_row: Vec<u32>,
     /// Subtrees sorted by root key.
     pub(crate) subtrees: Vec<Subtree>,
     pub(crate) series_len: usize,
     pub(crate) word_len: usize,
     /// Wall-clock seconds spent in each build phase
-    /// (transform, tree construction) — Figure 7's breakdown.
+    /// (transform, tree construction incl. leaf packing) — Figure 7's
+    /// breakdown.
     pub(crate) build_breakdown: (f64, f64),
+    /// Cumulative kernel/dispatch observability counters (see
+    /// [`IndexStats`]).
+    pub(crate) counters: stats::KernelCounters,
 }
 
 impl<S: Summarization> Index<S> {
@@ -133,16 +146,31 @@ impl<S: Summarization> Index<S> {
         &self.pool
     }
 
-    /// Z-normalized series `row`.
+    /// Z-normalized series `row` (original row id; storage may be
+    /// leaf-permuted internally).
     #[must_use]
     pub fn series(&self, row: usize) -> &[f32] {
-        &self.data[row * self.series_len..(row + 1) * self.series_len]
+        self.series_at_slot(self.row_to_slot[row] as usize)
     }
 
-    /// Word of series `row`.
+    /// Word of series `row` (original row id).
     #[must_use]
     pub fn word(&self, row: usize) -> &[u8] {
-        &self.words[row * self.word_len..(row + 1) * self.word_len]
+        self.word_at_slot(self.row_to_slot[row] as usize)
+    }
+
+    /// Z-normalized series at storage `slot` (leaf-contiguous order).
+    #[inline]
+    #[must_use]
+    pub(crate) fn series_at_slot(&self, slot: usize) -> &[f32] {
+        &self.data[slot * self.series_len..(slot + 1) * self.series_len]
+    }
+
+    /// Word at storage `slot`.
+    #[inline]
+    #[must_use]
+    pub(crate) fn word_at_slot(&self, slot: usize) -> &[u8] {
+        &self.words[slot * self.word_len..(slot + 1) * self.word_len]
     }
 
     /// `(transform_seconds, tree_seconds)` measured during the build —

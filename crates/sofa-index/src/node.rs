@@ -9,16 +9,39 @@
 //! one position by one bit (set to 0 and 1 — the iSAX split), chosen to
 //! balance the series between them (as in iSAX 2.0 / MESSI).
 
+use sofa_summaries::WordBlock;
+
 /// Node id within one subtree's arena.
 pub type NodeId = u32;
+
+/// Query-acceleration storage of a packed leaf: after the build's packing
+/// phase, the leaf's series occupy a contiguous run of *storage slots*
+/// (`start .. start + rows.len()`) in the index's data/words arenas, in
+/// `rows` order, and `block` holds the leaf's words as a
+/// structure-of-arrays [`WordBlock`] for the batched lower-bound sweep.
+/// Online inserts into a leaf drop its pack (set it to `None`): the
+/// refinement path then falls back to per-row evaluation for that leaf
+/// until [`crate::Index::repack_leaves`] rebuilds the layout.
+#[derive(Clone, Debug)]
+pub struct LeafPack {
+    /// First storage slot of the leaf's contiguous series/words run.
+    pub start: u32,
+    /// SoA lower-bound block over the leaf's words (8 candidates/group).
+    pub block: WordBlock,
+}
 
 /// The payload of a node.
 #[derive(Clone, Debug)]
 pub enum NodeKind {
     /// Leaf: row ids of the series stored here.
     Leaf {
-        /// Indices into the index's row-major data/words buffers.
+        /// Original row ids of the series stored here (results are
+        /// reported in these ids; storage may be permuted — see
+        /// [`LeafPack`]).
         rows: Vec<u32>,
+        /// Contiguous-storage acceleration state; `None` until the build
+        /// packs leaves or after an online insert touched this leaf.
+        pack: Option<LeafPack>,
     },
     /// Inner node: refined on `split_pos` by one bit.
     Inner {
@@ -53,8 +76,18 @@ impl Node {
     #[must_use]
     pub fn rows(&self) -> &[u32] {
         match &self.kind {
-            NodeKind::Leaf { rows } => rows,
+            NodeKind::Leaf { rows, .. } => rows,
             NodeKind::Inner { .. } => &[],
+        }
+    }
+
+    /// The leaf's packed-storage state (`None` for inner nodes and for
+    /// leaves invalidated by online inserts).
+    #[must_use]
+    pub fn pack(&self) -> Option<&LeafPack> {
+        match &self.kind {
+            NodeKind::Leaf { pack, .. } => pack.as_ref(),
+            NodeKind::Inner { .. } => None,
         }
     }
 }
@@ -169,7 +202,7 @@ mod tests {
         let leaf = |rows: Vec<u32>| Node {
             prefixes: vec![0; 2],
             bits: vec![1; 2],
-            kind: NodeKind::Leaf { rows },
+            kind: NodeKind::Leaf { rows, pack: None },
         };
         let subtree = Subtree {
             key: 0,

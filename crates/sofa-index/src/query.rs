@@ -12,11 +12,13 @@
 //! query per pool lane at a time.
 
 use crate::bsf::{KnnSet, Neighbor};
-use crate::node::{root_key, NodeKind, Subtree};
+use crate::node::{root_key, LeafPack, NodeKind, Subtree};
 use crate::{Index, IndexError};
 use parking_lot::Mutex;
-use sofa_simd::euclidean_sq_early_abandon;
-use sofa_summaries::{mindist_node, mindist_simd, QueryContext, RootLbd, Summarization};
+use sofa_simd::{euclidean_sq_early_abandon, BLOCK_LANES};
+use sofa_summaries::{
+    mindist_block, mindist_node, mindist_simd, QueryContext, RootLbd, Summarization,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -37,6 +39,11 @@ pub struct QueryStats {
     pub series_refined: usize,
     /// Queues abandoned because their minimum exceeded the bound.
     pub queues_abandoned: usize,
+    /// 8-candidate groups swept by the block lower-bound kernel.
+    pub block_groups_swept: usize,
+    /// Candidate lanes pruned by the block sweep (whole-group abandons
+    /// plus individual lanes at or above the bound).
+    pub block_lanes_abandoned: usize,
 }
 
 #[derive(Default)]
@@ -47,6 +54,8 @@ struct AtomicStats {
     series_lbd_checked: AtomicUsize,
     series_refined: AtomicUsize,
     queues_abandoned: AtomicUsize,
+    block_groups_swept: AtomicUsize,
+    block_lanes_abandoned: AtomicUsize,
 }
 
 impl AtomicStats {
@@ -58,6 +67,8 @@ impl AtomicStats {
             series_lbd_checked: self.series_lbd_checked.load(Ordering::Relaxed),
             series_refined: self.series_refined.load(Ordering::Relaxed),
             queues_abandoned: self.queues_abandoned.load(Ordering::Relaxed),
+            block_groups_swept: self.block_groups_swept.load(Ordering::Relaxed),
+            block_lanes_abandoned: self.block_lanes_abandoned.load(Ordering::Relaxed),
         }
     }
 }
@@ -163,15 +174,23 @@ impl<S: Summarization> Index<S> {
         let results: Vec<Mutex<Vec<Neighbor>>> =
             (0..n_queries).map(|_| Mutex::new(Vec::new())).collect();
         let next_query = AtomicUsize::new(0);
-        self.pool.broadcast(|_| loop {
-            let i = next_query.fetch_add(1, Ordering::Relaxed);
-            if i >= n_queries {
-                break;
+        self.pool.broadcast(|_| {
+            // Lane-local scratch reused across every query this lane
+            // claims: the normalized-query and query-word buffers are
+            // allocated once per lane, not once per batch member.
+            let mut q: Vec<f32> = Vec::with_capacity(n);
+            let mut qword: Vec<u8> = Vec::new();
+            loop {
+                let i = next_query.fetch_add(1, Ordering::Relaxed);
+                if i >= n_queries {
+                    break;
+                }
+                q.clear();
+                q.extend_from_slice(&queries[i * n..(i + 1) * n]);
+                sofa_simd::znormalize(&mut q);
+                let (neighbors, _) = self.knn_one_serial_reusing(&q, k, &mut qword);
+                *results[i].lock() = neighbors;
             }
-            let mut q = queries[i * n..(i + 1) * n].to_vec();
-            sofa_simd::znormalize(&mut q);
-            let (neighbors, _) = self.knn_one_serial(&q, k);
-            *results[i].lock() = neighbors;
         });
         Ok(results.into_iter().map(Mutex::into_inner).collect())
     }
@@ -188,8 +207,9 @@ impl<S: Summarization> Index<S> {
 
         let ctx = QueryContext::new(&self.summarization, q);
         // The query word is the quantization of the context's values — no
-        // second transform needed.
-        let qword = ctx.word();
+        // second transform needed. One buffer serves the whole query.
+        let mut qword = Vec::new();
+        ctx.word_into(&mut qword);
         let root_lbd = RootLbd::new(&ctx);
 
         let knn = KnnSet::new(k);
@@ -229,20 +249,44 @@ impl<S: Summarization> Index<S> {
             self.refine_from_queues(worker, q, &queues, &done, &ctx, &knn, &stats);
         });
 
-        (knn.into_sorted(), stats.snapshot())
+        let snapshot = stats.snapshot();
+        self.record_query_counters(&snapshot);
+        (knn.into_sorted(), snapshot)
+    }
+
+    /// Mirrors one query's block-sweep counters into the index-lifetime
+    /// totals reported by [`crate::IndexStats`].
+    fn record_query_counters(&self, stats: &QueryStats) {
+        self.counters.record_query();
+        self.counters.record_block_sweep(
+            stats.block_groups_swept as u64,
+            stats.block_lanes_abandoned as u64,
+        );
     }
 
     /// The fully serial query path: same three phases, no synchronization
-    /// beyond the (uncontended) shared-state types. Used by 1-lane pools
-    /// and by every worker of [`Index::knn_batch`].
+    /// beyond the (uncontended) shared-state types. Used by 1-lane pools.
     fn knn_one_serial(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        let mut qword = Vec::new();
+        self.knn_one_serial_reusing(q, k, &mut qword)
+    }
+
+    /// [`Index::knn_one_serial`] with a caller-owned query-word buffer, so
+    /// the batch workers summarize every query they claim without a fresh
+    /// allocation.
+    fn knn_one_serial_reusing(
+        &self,
+        q: &[f32],
+        k: usize,
+        qword: &mut Vec<u8>,
+    ) -> (Vec<Neighbor>, QueryStats) {
         let ctx = QueryContext::new(&self.summarization, q);
-        let qword = ctx.word();
+        ctx.word_into(qword);
         let root_lbd = RootLbd::new(&ctx);
         let knn = KnnSet::new(k);
         let stats = AtomicStats::default();
 
-        self.approximate_into(q, &qword, &ctx, &knn);
+        self.approximate_into(q, qword, &ctx, &knn);
 
         let num_queues = self.config.num_queues.max(1);
         let queues: Vec<Mutex<BinaryHeap<Reverse<QueueEntry>>>> =
@@ -263,7 +307,9 @@ impl<S: Summarization> Index<S> {
             );
         }
         self.refine_from_queues(0, q, &queues, &done, &ctx, &knn, &stats);
-        (knn.into_sorted(), stats.snapshot())
+        let snapshot = stats.snapshot();
+        self.record_query_counters(&snapshot);
+        (knn.into_sorted(), snapshot)
     }
 
     /// Approximate 1-NN only (the paper's "Approximate Search" stage used
@@ -283,7 +329,8 @@ impl<S: Summarization> Index<S> {
         let mut q = query.to_vec();
         sofa_simd::znormalize(&mut q);
         let ctx = QueryContext::new(&self.summarization, &q);
-        let qword = ctx.word();
+        let mut qword = Vec::new();
+        ctx.word_into(&mut qword);
         let knn = KnnSet::new(1);
         self.approximate_into(&q, &qword, &ctx, &knn);
         knn.sorted().first().copied().ok_or_else(|| IndexError::BadQuery("index is empty".into()))
@@ -314,7 +361,20 @@ impl<S: Summarization> Index<S> {
         let mut node = &subtree.nodes[0];
         loop {
             match &node.kind {
-                NodeKind::Leaf { rows } => {
+                NodeKind::Leaf { rows, pack } => {
+                    if let Some(pack) = pack {
+                        // Packed leaf: stream the contiguous arena run.
+                        let start = pack.start as usize;
+                        for i in 0..rows.len() {
+                            let bound = knn.bound();
+                            let slot = start + i;
+                            let d = euclidean_sq_early_abandon(q, self.series_at_slot(slot), bound);
+                            if d < bound {
+                                knn.offer(Neighbor { row: self.slot_to_row[slot], dist_sq: d });
+                            }
+                        }
+                        return;
+                    }
                     for &row in rows {
                         let bound = knn.bound();
                         let d = euclidean_sq_early_abandon(q, self.series(row as usize), bound);
@@ -367,7 +427,7 @@ impl<S: Summarization> Index<S> {
                 continue;
             }
             match &node.kind {
-                NodeKind::Leaf { rows } => {
+                NodeKind::Leaf { rows, .. } => {
                     if rows.is_empty() {
                         continue;
                     }
@@ -436,8 +496,14 @@ impl<S: Summarization> Index<S> {
         }
     }
 
-    /// Evaluates every series in a leaf: SIMD lower bound first, real
-    /// distance only for survivors; both early-abandon on the bound.
+    /// Evaluates every series in a leaf: lower bounds first, real
+    /// distances only for survivors; both early-abandon on the bound.
+    ///
+    /// Packed leaves (the bulk-built common case) take the batched path:
+    /// the block kernel lower-bounds 8 candidates per call over the SoA
+    /// word block, then exact distances stream over the leaf's contiguous
+    /// arena run. Leaves touched by online inserts fall back to the
+    /// per-row path until [`Index::repack_leaves`].
     fn refine_leaf(
         &self,
         entry: QueueEntry,
@@ -449,11 +515,75 @@ impl<S: Summarization> Index<S> {
         let subtree = &self.subtrees[entry.subtree as usize];
         let node = &subtree.nodes[entry.node as usize];
         stats.leaves_refined.fetch_add(1, Ordering::Relaxed);
-        let mut lbd_checked = 0usize;
+        match &node.kind {
+            NodeKind::Leaf { rows, pack: Some(pack) } => {
+                self.refine_leaf_packed(pack, rows.len(), q, ctx, knn, stats);
+            }
+            NodeKind::Leaf { rows, pack: None } => {
+                self.refine_leaf_rows(rows, q, ctx, knn, stats);
+            }
+            NodeKind::Inner { .. } => unreachable!("queues only hold leaves"),
+        }
+    }
+
+    /// The batched refinement path over a packed leaf.
+    fn refine_leaf_packed(
+        &self,
+        pack: &LeafPack,
+        n_rows: usize,
+        q: &[f32],
+        ctx: &QueryContext<'_>,
+        knn: &KnnSet,
+        stats: &AtomicStats,
+    ) {
+        let block = &pack.block;
+        debug_assert_eq!(block.n(), n_rows);
+        let start = pack.start as usize;
+        let mut lbs = [0.0f32; BLOCK_LANES];
         let mut refined = 0usize;
-        for &row in node.rows() {
+        let mut lanes_abandoned = 0usize;
+        for g in 0..block.n_groups() {
             let bound = knn.bound();
-            lbd_checked += 1;
+            let lanes = block.lanes_in(g);
+            if mindist_block(ctx, block, g, bound, &mut lbs) {
+                // Every lane's (partial) sum exceeded the bound: the
+                // whole group is pruned in one shot.
+                lanes_abandoned += lanes;
+                continue;
+            }
+            for (i, &lbd) in lbs.iter().enumerate().take(lanes) {
+                // Re-read the bound: it tightens as lanes refine.
+                let bound = knn.bound();
+                if lbd >= bound {
+                    lanes_abandoned += 1;
+                    continue;
+                }
+                refined += 1;
+                let slot = start + g * BLOCK_LANES + i;
+                let d = euclidean_sq_early_abandon(q, self.series_at_slot(slot), bound);
+                if d < bound {
+                    knn.offer(Neighbor { row: self.slot_to_row[slot], dist_sq: d });
+                }
+            }
+        }
+        stats.series_lbd_checked.fetch_add(n_rows, Ordering::Relaxed);
+        stats.series_refined.fetch_add(refined, Ordering::Relaxed);
+        stats.block_groups_swept.fetch_add(block.n_groups(), Ordering::Relaxed);
+        stats.block_lanes_abandoned.fetch_add(lanes_abandoned, Ordering::Relaxed);
+    }
+
+    /// The per-row fallback path (leaves invalidated by online inserts).
+    fn refine_leaf_rows(
+        &self,
+        rows: &[u32],
+        q: &[f32],
+        ctx: &QueryContext<'_>,
+        knn: &KnnSet,
+        stats: &AtomicStats,
+    ) {
+        let mut refined = 0usize;
+        for &row in rows {
+            let bound = knn.bound();
             let lbd = mindist_simd(ctx, self.word(row as usize), bound);
             if lbd >= bound {
                 continue;
@@ -464,7 +594,7 @@ impl<S: Summarization> Index<S> {
                 knn.offer(Neighbor { row, dist_sq: d });
             }
         }
-        stats.series_lbd_checked.fetch_add(lbd_checked, Ordering::Relaxed);
+        stats.series_lbd_checked.fetch_add(rows.len(), Ordering::Relaxed);
         stats.series_refined.fetch_add(refined, Ordering::Relaxed);
     }
 }

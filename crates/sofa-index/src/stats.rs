@@ -1,12 +1,42 @@
-//! Index-structure statistics (paper Figure 8).
+//! Index-structure statistics (paper Figure 8) plus kernel observability.
 //!
 //! Figure 8 compares MESSI and SOFA on three structural properties:
 //! average tree depth, average leaf size (fill), and the number of
 //! subtrees hanging off the root. [`IndexStats`] computes all three plus
-//! a few extras the analysis text mentions (node counts, max depth).
+//! a few extras the analysis text mentions (node counts, max depth) and —
+//! since the query hot path is runtime-dispatched — reports *which kernel
+//! tier serves queries* and the cumulative block-sweep counters, so a
+//! dispatch regression (e.g. an AVX2 machine silently falling back to the
+//! portable tier, or the block sweep never abandoning) is observable from
+//! production stats rather than only from benchmarks.
 
 use crate::{Index, NodeKind};
 use sofa_summaries::Summarization;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone per-index counters updated by the query path (relaxed
+/// atomics; exactness never depends on them).
+#[derive(Debug, Default)]
+pub(crate) struct KernelCounters {
+    /// Queries answered (single calls and batch members alike).
+    pub queries: AtomicU64,
+    /// 8-candidate groups swept by the block lower-bound kernel.
+    pub block_groups_swept: AtomicU64,
+    /// Candidate lanes pruned by the block sweep (whole-group abandons
+    /// plus individual lanes whose lower bound met the BSF).
+    pub block_lanes_abandoned: AtomicU64,
+}
+
+impl KernelCounters {
+    pub(crate) fn record_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_block_sweep(&self, groups: u64, lanes_abandoned: u64) {
+        self.block_groups_swept.fetch_add(groups, Ordering::Relaxed);
+        self.block_lanes_abandoned.fetch_add(lanes_abandoned, Ordering::Relaxed);
+    }
+}
 
 /// Structural statistics of a built index.
 #[derive(Clone, Debug, PartialEq)]
@@ -17,6 +47,10 @@ pub struct IndexStats {
     pub nodes: usize,
     /// Total leaves.
     pub leaves: usize,
+    /// Leaves with packed contiguous storage + word blocks (the fast
+    /// refinement path). `leaves - packed_leaves` fall back to per-row
+    /// refinement until [`Index::repack_leaves`].
+    pub packed_leaves: usize,
     /// Mean leaf depth, root children = depth 0 (Figure 8 top).
     pub avg_depth: f64,
     /// Deepest leaf.
@@ -27,14 +61,25 @@ pub struct IndexStats {
     pub max_leaf_size: usize,
     /// Indexed series.
     pub n_series: usize,
+    /// The kernel tier serving this process's dispatched kernels
+    /// (`"scalar"`, `"portable"` or `"avx2"`).
+    pub kernel_tier: &'static str,
+    /// Queries answered by this index so far.
+    pub queries_served: u64,
+    /// 8-candidate groups swept by the block lower-bound kernel.
+    pub block_groups_swept: u64,
+    /// Candidate lanes pruned by the block sweep.
+    pub block_lanes_abandoned: u64,
 }
 
 impl<S: Summarization> Index<S> {
-    /// Computes structural statistics by walking every subtree.
+    /// Computes structural statistics by walking every subtree, plus the
+    /// kernel-dispatch counters accumulated since the build.
     #[must_use]
     pub fn stats(&self) -> IndexStats {
         let mut nodes = 0usize;
         let mut leaves = 0usize;
+        let mut packed_leaves = 0usize;
         let mut depth_sum = 0usize;
         let mut max_depth = 0usize;
         let mut size_sum = 0usize;
@@ -42,8 +87,9 @@ impl<S: Summarization> Index<S> {
         for st in &self.subtrees {
             nodes += st.nodes.len();
             for node in &st.nodes {
-                if let NodeKind::Leaf { rows } = &node.kind {
+                if let NodeKind::Leaf { rows, pack } = &node.kind {
                     leaves += 1;
+                    packed_leaves += usize::from(pack.is_some());
                     size_sum += rows.len();
                     max_leaf = max_leaf.max(rows.len());
                 }
@@ -57,11 +103,16 @@ impl<S: Summarization> Index<S> {
             subtrees: self.subtrees.len(),
             nodes,
             leaves,
+            packed_leaves,
             avg_depth: if leaves == 0 { 0.0 } else { depth_sum as f64 / leaves as f64 },
             max_depth,
             avg_leaf_size: if leaves == 0 { 0.0 } else { size_sum as f64 / leaves as f64 },
             max_leaf_size: max_leaf,
             n_series: self.n_series(),
+            kernel_tier: sofa_simd::active_tier().name(),
+            queries_served: self.counters.queries.load(Ordering::Relaxed),
+            block_groups_swept: self.counters.block_groups_swept.load(Ordering::Relaxed),
+            block_lanes_abandoned: self.counters.block_lanes_abandoned.load(Ordering::Relaxed),
         }
     }
 }
@@ -114,5 +165,25 @@ mod tests {
         assert!(fine.leaves > coarse.leaves);
         assert!(fine.avg_depth >= coarse.avg_depth);
         assert!(fine.avg_leaf_size < coarse.avg_leaf_size);
+    }
+
+    #[test]
+    fn builds_pack_every_leaf_and_queries_feed_counters() {
+        let sax = ISax::new(64, &SaxConfig { word_len: 8, alphabet: 256 });
+        let idx =
+            Index::build(sax, &dataset(600, 64), IndexConfig::with_threads(2).leaf_capacity(40))
+                .unwrap();
+        let before = idx.stats();
+        assert_eq!(before.packed_leaves, before.leaves, "bulk build must pack every leaf");
+        assert_eq!(before.queries_served, 0);
+        assert!(["scalar", "portable", "avx2"].contains(&before.kernel_tier));
+
+        let q = dataset(1, 64);
+        // A large k keeps the bound loose, so leaves beyond the home leaf
+        // must be refined — the block sweep has to run.
+        idx.knn(&q, 100).unwrap();
+        let after = idx.stats();
+        assert_eq!(after.queries_served, 1);
+        assert!(after.block_groups_swept > 0, "block sweep never ran: {after:?}");
     }
 }

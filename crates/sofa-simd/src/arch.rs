@@ -1,0 +1,244 @@
+//! Explicit ISA kernels behind the runtime dispatcher (x86-64 AVX2+FMA).
+//!
+//! These are the only functions in the workspace's compute layer that use
+//! `unsafe`: `std::arch` intrinsics plus raw-pointer loads. Safety is
+//! confined to two facts, checked at the call boundary:
+//!
+//! 1. the dispatcher ([`crate::dispatch::active_tier`]) only selects this
+//!    module when `cpuid` reports AVX2 and FMA, and
+//! 2. every load stays inside the bounds of the slices passed in (the
+//!    loops below only touch whole 8-lane chunks; tails are scalar).
+//!
+//! **Bit-compatibility contract.** The exactness tests run the full query
+//! suite under every tier and require identical answers, so the
+//! AVX2 kernels for `euclidean_sq`, `euclidean_sq_early_abandon` and the
+//! block lower bound perform *exactly* the same floating-point operations
+//! in the same association order as the portable `F32x8` kernels: the
+//! same 8-lane vertical accumulation, the same pairwise horizontal
+//! reduction `(s01+s23)+(s45+s67)`, and separate multiply/add (no FMA
+//! contraction, which would change rounding). FMA is used only in [`dot`],
+//! whose callers (the FAISS-flat baseline) never feed results into
+//! exactness-sensitive pruning against another tier's arithmetic.
+#![allow(unsafe_code)] // the one ISA-kernel module; crate denies elsewhere
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use core::arch::x86_64::*;
+
+    /// `true` when the AVX2+FMA kernels may run. `is_x86_feature_detected!`
+    /// caches its answer in a static, so this is one relaxed atomic load —
+    /// the safe wrappers below re-verify it instead of trusting callers,
+    /// which keeps them sound (not just "safe if the dispatcher behaved").
+    #[inline(always)]
+    fn supported() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    /// Safe entry points: verify CPU support, then call the
+    /// `#[target_feature]` kernels.
+    pub(crate) fn euclidean_sq_checked(a: &[f32], b: &[f32]) -> f32 {
+        assert!(supported(), "AVX2 kernels dispatched on a CPU without AVX2+FMA");
+        // SAFETY: AVX2+FMA verified above; slice bounds are respected by
+        // the kernel (whole 8-lane chunks + scalar tail).
+        unsafe { euclidean_sq(a, b) }
+    }
+
+    /// Safe wrapper over the early-abandoning AVX2 distance kernel.
+    pub(crate) fn euclidean_sq_early_abandon_checked(a: &[f32], b: &[f32], bsf_sq: f32) -> f32 {
+        assert!(supported(), "AVX2 kernels dispatched on a CPU without AVX2+FMA");
+        // SAFETY: as above.
+        unsafe { euclidean_sq_early_abandon(a, b, bsf_sq) }
+    }
+
+    /// Safe wrapper over the AVX2+FMA dot-product kernel.
+    pub(crate) fn dot_checked(a: &[f32], b: &[f32]) -> f32 {
+        assert!(supported(), "AVX2 kernels dispatched on a CPU without AVX2+FMA");
+        // SAFETY: as above.
+        unsafe { dot(a, b) }
+    }
+
+    /// Safe wrapper over the AVX2 block lower-bound kernel. Re-checks the
+    /// layout itself (this wrapper is the soundness boundary — it must
+    /// not rely on callers having validated the slices).
+    pub(crate) fn block_lower_bound_checked(
+        values: &[f32],
+        weights: &[f32],
+        bounds: &[f32],
+        bsf_sq: f32,
+        out: &mut [f32; 8],
+    ) -> bool {
+        assert!(supported(), "AVX2 kernels dispatched on a CPU without AVX2+FMA");
+        assert_eq!(bounds.len(), values.len() * crate::block::BOUNDS_STRIDE);
+        assert_eq!(weights.len(), values.len());
+        // SAFETY: AVX2+FMA verified above; the layout asserts guarantee
+        // every load stays in bounds.
+        unsafe { block_lower_bound(values, weights, bounds, bsf_sq, out) }
+    }
+
+    /// Pairwise horizontal sum matching `F32x8::horizontal_sum` exactly:
+    /// `(a0+a1 + (a2+a3)) + (a4+a5 + (a6+a7))`.
+    ///
+    /// # Safety
+    /// Requires AVX2 support (guaranteed by the dispatcher).
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum_pairwise(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        // [a0+a1, a2+a3, a4+a5, a6+a7]
+        let pairs = _mm_hadd_ps(lo, hi);
+        // [s01+s23, s45+s67, s01+s23, s45+s67]
+        let quads = _mm_hadd_ps(pairs, pairs);
+        // (s01+s23) + (s45+s67)
+        _mm_cvtss_f32(_mm_add_ss(quads, _mm_movehdup_ps(quads)))
+    }
+
+    /// AVX2 squared Euclidean distance; bit-identical to the portable
+    /// 8-lane kernel.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA support and `a.len() == b.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn euclidean_sq(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let chunks = n / 8;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let va = _mm256_loadu_ps(a.as_ptr().add(c * 8));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(c * 8));
+            let d = _mm256_sub_ps(va, vb);
+            // mul+add (not FMA): matches the portable kernel's rounding.
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+        }
+        let mut sum = hsum_pairwise(acc);
+        for i in chunks * 8..n {
+            let d = a.get_unchecked(i) - b.get_unchecked(i);
+            sum += d * d;
+        }
+        sum
+    }
+
+    /// AVX2 early-abandoning squared Euclidean distance; bit-identical to
+    /// the portable kernel (same two-chunk check cadence, same reduction
+    /// order, same abandon points).
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA support and `a.len() == b.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn euclidean_sq_early_abandon(a: &[f32], b: &[f32], bsf_sq: f32) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let chunks = n / 8;
+        let mut sum = 0.0f32;
+        let mut c = 0;
+        while c + 1 < chunks {
+            let off = c * 8;
+            let d0 = _mm256_sub_ps(
+                _mm256_loadu_ps(a.as_ptr().add(off)),
+                _mm256_loadu_ps(b.as_ptr().add(off)),
+            );
+            let d1 = _mm256_sub_ps(
+                _mm256_loadu_ps(a.as_ptr().add(off + 8)),
+                _mm256_loadu_ps(b.as_ptr().add(off + 8)),
+            );
+            let sq = _mm256_add_ps(_mm256_mul_ps(d0, d0), _mm256_mul_ps(d1, d1));
+            sum += hsum_pairwise(sq);
+            if sum > bsf_sq {
+                return sum;
+            }
+            c += 2;
+        }
+        while c < chunks {
+            let off = c * 8;
+            let d = _mm256_sub_ps(
+                _mm256_loadu_ps(a.as_ptr().add(off)),
+                _mm256_loadu_ps(b.as_ptr().add(off)),
+            );
+            sum += hsum_pairwise(_mm256_mul_ps(d, d));
+            if sum > bsf_sq {
+                return sum;
+            }
+            c += 1;
+        }
+        for i in chunks * 8..n {
+            let d = a.get_unchecked(i) - b.get_unchecked(i);
+            sum += d * d;
+        }
+        sum
+    }
+
+    /// AVX2+FMA dot product (the flat-baseline GEMM kernel). Uses fused
+    /// multiply-add, so it is *not* bit-identical to the portable path —
+    /// it is strictly more accurate.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA support and `a.len() == b.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let chunks = n / 8;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let va = _mm256_loadu_ps(a.as_ptr().add(c * 8));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(c * 8));
+            acc = _mm256_fmadd_ps(va, vb, acc);
+        }
+        let mut sum = hsum_pairwise(acc);
+        for i in chunks * 8..n {
+            sum += a.get_unchecked(i) * b.get_unchecked(i);
+        }
+        sum
+    }
+
+    /// AVX2 block lower bound: 8 candidates per call, position-major
+    /// bounds layout (see [`crate::block`]). Bit-identical to the scalar
+    /// and portable block kernels (same op order, same every-4-positions
+    /// whole-group abandon cadence). Returns `true` when every lane's
+    /// (possibly partial) sum exceeds `bsf_sq`.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA support; slice lengths must satisfy the layout
+    /// contract (`bounds.len() == values.len() * 16`,
+    /// `weights.len() == values.len()`).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn block_lower_bound(
+        values: &[f32],
+        weights: &[f32],
+        bounds: &[f32],
+        bsf_sq: f32,
+        out: &mut [f32; 8],
+    ) -> bool {
+        debug_assert_eq!(bounds.len(), values.len() * crate::block::BOUNDS_STRIDE);
+        debug_assert_eq!(weights.len(), values.len());
+        let zero = _mm256_setzero_ps();
+        let vbsf = _mm256_set1_ps(bsf_sq);
+        let mut acc = zero;
+        for j in 0..values.len() {
+            let lo = _mm256_loadu_ps(bounds.as_ptr().add(j * 16));
+            let hi = _mm256_loadu_ps(bounds.as_ptr().add(j * 16 + 8));
+            let vq = _mm256_set1_ps(*values.get_unchecked(j));
+            let vw = _mm256_set1_ps(*weights.get_unchecked(j));
+            // dist(q, [lo, hi]) = max(lo - q, q - hi, 0): at most one of
+            // the two differences is positive because lo <= hi.
+            let d_below = _mm256_sub_ps(lo, vq);
+            let d_above = _mm256_sub_ps(vq, hi);
+            let d = _mm256_max_ps(_mm256_max_ps(d_below, d_above), zero);
+            let wd = _mm256_mul_ps(vw, d);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(wd, d));
+            // Whole-group early abandon every 4 positions: one compare +
+            // movemask amortized over 4 * 8 lane updates.
+            if j % 4 == 3 {
+                let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(acc, vbsf);
+                if _mm256_movemask_ps(gt) == 0xFF {
+                    _mm256_storeu_ps(out.as_mut_ptr(), acc);
+                    return true;
+                }
+            }
+        }
+        _mm256_storeu_ps(out.as_mut_ptr(), acc);
+        let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(acc, vbsf);
+        _mm256_movemask_ps(gt) == 0xFF
+    }
+}

@@ -1,0 +1,130 @@
+//! Runtime kernel-tier selection.
+//!
+//! Every hot kernel in this crate exists in up to three tiers:
+//!
+//! * **Scalar** — straight-line reference loops. Selected with
+//!   `SOFA_FORCE_SCALAR=1`; exists so correctness bugs can be bisected to
+//!   the vector paths and so CI can run the whole suite without them.
+//! * **Portable** — the [`crate::F32x8`] 8-lane blocked kernels. Safe
+//!   Rust that auto-vectorizes on every mainstream target; the fallback
+//!   whenever an explicit ISA kernel is unavailable. Selected with
+//!   `SOFA_FORCE_PORTABLE=1` (useful for benchmarking the portable path
+//!   on AVX2 hardware).
+//! * **Avx2** — explicit `std::arch` AVX2+FMA kernels (x86-64 only),
+//!   chosen by default when `cpuid` reports both features.
+//!
+//! The tier is resolved once per process (first kernel call) and cached
+//! in a [`OnceLock`]; the per-call cost of dispatch is one atomic load
+//! and a predictable two-way branch. Tests that need a specific tier
+//! in-process call [`force_tier`] before any kernel runs.
+
+use std::sync::OnceLock;
+
+/// Which implementation family serves the dispatched kernels.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Reference scalar loops (`SOFA_FORCE_SCALAR=1`).
+    Scalar,
+    /// Portable 8-lane [`crate::F32x8`] kernels.
+    Portable,
+    /// Explicit AVX2+FMA kernels (x86-64, runtime-detected).
+    Avx2,
+}
+
+impl KernelTier {
+    /// Stable lower-case name, used in stats and bench reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Portable => "portable",
+            KernelTier::Avx2 => "avx2",
+        }
+    }
+}
+
+static TIER: OnceLock<KernelTier> = OnceLock::new();
+
+fn env_flag(name: &str) -> bool {
+    std::env::var_os(name).is_some_and(|v| v == "1" || v == "true")
+}
+
+fn detect() -> KernelTier {
+    if env_flag("SOFA_FORCE_SCALAR") {
+        KernelTier::Scalar
+    } else if env_flag("SOFA_FORCE_PORTABLE") || !avx2_supported() {
+        KernelTier::Portable
+    } else {
+        KernelTier::Avx2
+    }
+}
+
+/// The tier serving all dispatched kernels in this process, resolving it
+/// on first call (env overrides first, then CPU feature detection).
+#[inline]
+#[must_use]
+pub fn active_tier() -> KernelTier {
+    *TIER.get_or_init(detect)
+}
+
+/// Pins the kernel tier for this process, bypassing env/default
+/// detection. Intended for tests that must exercise a specific path
+/// deterministically; call it before any dispatched kernel runs.
+///
+/// # Errors
+/// Returns the tier that remains active when the request cannot be
+/// honored: either dispatch was already resolved (by a kernel call or an
+/// earlier `force_tier` — the tier cannot change once kernels have
+/// observed it), or [`KernelTier::Avx2`] was requested on hardware that
+/// does not support it (pinning it anyway would panic every kernel call
+/// on x86-64 and silently misreport the tier elsewhere).
+pub fn force_tier(tier: KernelTier) -> Result<(), KernelTier> {
+    if tier == KernelTier::Avx2 && !avx2_supported() {
+        return Err(active_tier());
+    }
+    match TIER.set(tier) {
+        Ok(()) => Ok(()),
+        // Setting the same tier twice is not a conflict.
+        Err(_) if active_tier() == tier => Ok(()),
+        Err(_) => Err(active_tier()),
+    }
+}
+
+/// Whether the explicit AVX2+FMA kernels may run on this machine.
+fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(KernelTier::Scalar.name(), "scalar");
+        assert_eq!(KernelTier::Portable.name(), "portable");
+        assert_eq!(KernelTier::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn active_tier_is_idempotent() {
+        assert_eq!(active_tier(), active_tier());
+    }
+
+    #[test]
+    fn force_after_resolution_reports_active() {
+        let tier = active_tier();
+        // Same tier: ok. A different tier: rejected with the active one.
+        assert_eq!(force_tier(tier), Ok(()));
+        let other =
+            if tier == KernelTier::Scalar { KernelTier::Portable } else { KernelTier::Scalar };
+        assert_eq!(force_tier(other), Err(tier));
+    }
+}

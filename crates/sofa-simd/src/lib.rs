@@ -10,26 +10,51 @@
 //!    (above/below/inside the quantization interval) resolved branchlessly
 //!    with masks (Algorithm 3 / Figure 6 of the paper).
 //!
-//! This crate provides a portable fixed-width vector type [`F32x8`] plus the
-//! distance kernels built on it. The type is a plain `[f32; 8]` wrapper whose
-//! lane-wise operations compile to vector instructions on every mainstream
-//! target when optimizations are enabled (the loops are trivially
-//! auto-vectorizable; on x86-64 with AVX they become single `vaddps`-class
-//! instructions). Keeping the abstraction in safe Rust makes the kernels
-//! testable and portable while preserving the blocked, mask-select structure
-//! the paper describes.
+//! Every kernel exists in up to three tiers, selected once per process by
+//! [`dispatch::active_tier`]:
 //!
-//! Higher layers (the SFA mindist in `sofa-summaries`, the scan baselines in
-//! `sofa-baselines`, the tree index in `sofa-index`) all funnel their inner
-//! loops through this crate.
+//! * a **scalar** reference (forced with `SOFA_FORCE_SCALAR=1`),
+//! * a **portable** tier over the fixed-width vector type [`F32x8`] — a
+//!   plain `[f32; 8]` wrapper with full-bitmask lane masks whose lane-wise
+//!   operations auto-vectorize on every mainstream target
+//!   (`SOFA_FORCE_PORTABLE=1` forces it), and
+//! * an **AVX2+FMA** tier of explicit `std::arch` kernels ([`arch`],
+//!   x86-64 only), chosen by default when the CPU supports it.
+//!
+//! Besides the per-pair kernels this crate provides the transposed,
+//! throughput-oriented primitive the index's leaf sweep runs on: the
+//! [`block::block_lower_bound`] kernel lower-bounds **8 candidates per
+//! call** over a structure-of-arrays bounds layout with whole-group early
+//! abandoning (see [`block`] for the layout contract).
+//!
+//! `unsafe` is confined to the [`arch`] module (intrinsics + raw-pointer
+//! loads behind the runtime feature check); everything else is safe Rust,
+//! which keeps the kernels testable and portable while preserving the
+//! blocked, mask-select structure the paper describes.
+//!
+//! Higher layers (the SFA mindist in `sofa-summaries`, the scan baselines
+//! in `sofa-baselines`, the tree index in `sofa-index`) all funnel their
+//! inner loops through this crate.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // `arch` opts back in; the rest of the crate is safe
 #![warn(missing_docs)]
 
+mod arch;
+pub mod block;
+pub mod dispatch;
 pub mod distance;
 pub mod vector;
 pub mod znorm;
 
-pub use distance::{euclidean_sq, euclidean_sq_early_abandon, euclidean_sq_scalar, DistanceKernel};
+pub use block::{
+    block_lower_bound, block_lower_bound_portable, block_lower_bound_scalar, BLOCK_LANES,
+    BOUNDS_STRIDE,
+};
+pub use dispatch::{active_tier, force_tier, KernelTier};
+pub use distance::{
+    dot, dot_portable, dot_scalar, euclidean_sq, euclidean_sq_early_abandon,
+    euclidean_sq_early_abandon_portable, euclidean_sq_early_abandon_scalar, euclidean_sq_portable,
+    euclidean_sq_scalar, DistanceKernel,
+};
 pub use vector::{F32x8, Mask8, LANES};
 pub use znorm::{znormalize, znormalize_into, ZNormStats};

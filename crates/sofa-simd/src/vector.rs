@@ -32,13 +32,20 @@ pub struct F32x8(pub [f32; LANES]);
 
 /// A lane mask produced by [`F32x8`] comparisons.
 ///
-/// Each lane is either all-ones (`true`) or all-zeros (`false`); masks
-/// combine with `&`-like semantics through [`Mask8::and`] / [`Mask8::or`]
-/// and drive [`F32x8::select`] blends, mirroring the `Genmask`/`and`/`or`
-/// steps of Algorithm 3 in the paper.
+/// Each lane is a full-width bitmask: all-ones (`u32::MAX`, "true") or
+/// all-zeros (`0`, "false") — the representation `vcmpps` produces on
+/// x86 and the one LLVM vectorizes `&`/`|`/`!` combining and bitwise
+/// blends over without materializing booleans. Masks combine through
+/// [`Mask8::and`] / [`Mask8::or`] and drive [`F32x8::select`] blends,
+/// mirroring the `Genmask`/`and`/`or` steps of Algorithm 3 in the paper.
+/// Constructing a lane with any other bit pattern is a contract
+/// violation (blends would mix bits of both operands).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 #[repr(C, align(32))]
-pub struct Mask8(pub [bool; LANES]);
+pub struct Mask8(pub [u32; LANES]);
+
+/// The all-ones lane pattern of [`Mask8`].
+const MASK_SET: u32 = u32::MAX;
 
 impl F32x8 {
     /// Vector with every lane set to `v`.
@@ -154,9 +161,9 @@ impl F32x8 {
     #[inline(always)]
     #[must_use]
     pub fn lt(self, other: Self) -> Mask8 {
-        let mut m = [false; LANES];
+        let mut m = [0u32; LANES];
         for i in 0..LANES {
-            m[i] = self.0[i] < other.0[i];
+            m[i] = if self.0[i] < other.0[i] { MASK_SET } else { 0 };
         }
         Mask8(m)
     }
@@ -165,9 +172,9 @@ impl F32x8 {
     #[inline(always)]
     #[must_use]
     pub fn gt(self, other: Self) -> Mask8 {
-        let mut m = [false; LANES];
+        let mut m = [0u32; LANES];
         for i in 0..LANES {
-            m[i] = self.0[i] > other.0[i];
+            m[i] = if self.0[i] > other.0[i] { MASK_SET } else { 0 };
         }
         Mask8(m)
     }
@@ -176,9 +183,9 @@ impl F32x8 {
     #[inline(always)]
     #[must_use]
     pub fn le(self, other: Self) -> Mask8 {
-        let mut m = [false; LANES];
+        let mut m = [0u32; LANES];
         for i in 0..LANES {
-            m[i] = self.0[i] <= other.0[i];
+            m[i] = if self.0[i] <= other.0[i] { MASK_SET } else { 0 };
         }
         Mask8(m)
     }
@@ -187,9 +194,9 @@ impl F32x8 {
     #[inline(always)]
     #[must_use]
     pub fn ge(self, other: Self) -> Mask8 {
-        let mut m = [false; LANES];
+        let mut m = [0u32; LANES];
         for i in 0..LANES {
-            m[i] = self.0[i] >= other.0[i];
+            m[i] = if self.0[i] >= other.0[i] { MASK_SET } else { 0 };
         }
         Mask8(m)
     }
@@ -200,12 +207,16 @@ impl F32x8 {
     /// This is the branch-elimination primitive of Algorithm 3: the three
     /// candidate distances (to the upper breakpoint, to the lower breakpoint,
     /// and zero) are combined with their condition masks instead of `if`s.
+    /// The blend is pure bit arithmetic (`(a & m) | (b & !m)` on the float
+    /// bit patterns — the `vblendvps` shape), so the loop vectorizes with no
+    /// per-lane branch even on targets without a native blend instruction.
     #[inline(always)]
     #[must_use]
     pub fn select(mask: Mask8, a: Self, b: Self) -> Self {
         let mut out = [0.0f32; LANES];
         for i in 0..LANES {
-            out[i] = if mask.0[i] { a.0[i] } else { b.0[i] };
+            let m = mask.0[i];
+            out[i] = f32::from_bits((a.0[i].to_bits() & m) | (b.0[i].to_bits() & !m));
         }
         F32x8(out)
     }
@@ -245,16 +256,38 @@ impl Mask8 {
     #[inline(always)]
     #[must_use]
     pub fn splat(v: bool) -> Self {
-        Mask8([v; LANES])
+        Mask8([if v { MASK_SET } else { 0 }; LANES])
+    }
+
+    /// Mask from per-lane booleans.
+    #[inline(always)]
+    #[must_use]
+    pub fn from_bools(lanes: [bool; LANES]) -> Self {
+        let mut m = [0u32; LANES];
+        for i in 0..LANES {
+            m[i] = if lanes[i] { MASK_SET } else { 0 };
+        }
+        Mask8(m)
+    }
+
+    /// Per-lane booleans (for tests and debugging).
+    #[inline]
+    #[must_use]
+    pub fn to_bools(self) -> [bool; LANES] {
+        let mut b = [false; LANES];
+        for i in 0..LANES {
+            b[i] = self.0[i] != 0;
+        }
+        b
     }
 
     /// Lane-wise logical AND.
     #[inline(always)]
     #[must_use]
     pub fn and(self, other: Self) -> Self {
-        let mut m = [false; LANES];
+        let mut m = [0u32; LANES];
         for i in 0..LANES {
-            m[i] = self.0[i] && other.0[i];
+            m[i] = self.0[i] & other.0[i];
         }
         Mask8(m)
     }
@@ -263,9 +296,9 @@ impl Mask8 {
     #[inline(always)]
     #[must_use]
     pub fn or(self, other: Self) -> Self {
-        let mut m = [false; LANES];
+        let mut m = [0u32; LANES];
         for i in 0..LANES {
-            m[i] = self.0[i] || other.0[i];
+            m[i] = self.0[i] | other.0[i];
         }
         Mask8(m)
     }
@@ -275,7 +308,7 @@ impl Mask8 {
     #[must_use]
     #[allow(clippy::should_implement_trait)] // lane semantics, not `!` on the mask value
     pub fn not(self) -> Self {
-        let mut m = [false; LANES];
+        let mut m = [0u32; LANES];
         for i in 0..LANES {
             m[i] = !self.0[i];
         }
@@ -286,14 +319,14 @@ impl Mask8 {
     #[inline(always)]
     #[must_use]
     pub fn any(self) -> bool {
-        self.0.iter().any(|&b| b)
+        self.0.iter().any(|&m| m != 0)
     }
 
     /// `true` if all lanes are set.
     #[inline(always)]
     #[must_use]
     pub fn all(self) -> bool {
-        self.0.iter().all(|&b| b)
+        self.0.iter().all(|&m| m != 0)
     }
 }
 
@@ -382,19 +415,32 @@ mod tests {
     fn comparisons_produce_expected_masks() {
         let a = F32x8::from_array([1., 2., 3., 4., 5., 6., 7., 8.]);
         let b = F32x8::splat(4.0);
-        assert_eq!(a.lt(b).0, [true, true, true, false, false, false, false, false]);
-        assert_eq!(a.gt(b).0, [false, false, false, false, true, true, true, true]);
-        assert_eq!(a.le(b).0, [true, true, true, true, false, false, false, false]);
-        assert_eq!(a.ge(b).0, [false, false, false, true, true, true, true, true]);
+        assert_eq!(a.lt(b).to_bools(), [true, true, true, false, false, false, false, false]);
+        assert_eq!(a.gt(b).to_bools(), [false, false, false, false, true, true, true, true]);
+        assert_eq!(a.le(b).to_bools(), [true, true, true, true, false, false, false, false]);
+        assert_eq!(a.ge(b).to_bools(), [false, false, false, true, true, true, true, true]);
     }
 
     #[test]
     fn select_blends() {
         let a = F32x8::splat(1.0);
         let b = F32x8::splat(-1.0);
-        let m = Mask8([true, false, true, false, true, false, true, false]);
+        let m = Mask8::from_bools([true, false, true, false, true, false, true, false]);
         let r = F32x8::select(m, a, b);
         assert_eq!(r.0, [1., -1., 1., -1., 1., -1., 1., -1.]);
+    }
+
+    #[test]
+    fn select_blends_special_values() {
+        // The bitwise blend must pass NaN/inf/-0.0 through untouched.
+        let a = F32x8::from_array([f32::NAN, f32::INFINITY, -0.0, 1.0, 0.0, -5.0, 2.5, 8.0]);
+        let b = F32x8::splat(7.0);
+        let all = F32x8::select(Mask8::splat(true), a, b);
+        assert!(all.0[0].is_nan());
+        assert_eq!(all.0[1], f32::INFINITY);
+        assert_eq!(all.0[2].to_bits(), (-0.0f32).to_bits());
+        let none = F32x8::select(Mask8::splat(false), a, b);
+        assert_eq!(none.0, [7.0; 8]);
     }
 
     #[test]

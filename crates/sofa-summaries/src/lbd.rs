@@ -74,17 +74,37 @@ impl<'a> QueryContext<'a> {
         &self.values
     }
 
+    /// The query's lower-bound weight per word position (Parseval factors
+    /// for SFA, segment lengths for SAX) — the `w_j` fed to the mindist
+    /// kernels alongside [`QueryContext::values`].
+    #[must_use]
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
     /// The query's *word*: each exact value quantized against its
     /// position's breakpoint table. Identical to running the model's
     /// transformer on the query, but reuses the values already computed
     /// here (saves a second DFT per query on the index's hot path).
     #[must_use]
     pub fn word(&self) -> Vec<u8> {
-        self.values
-            .iter()
-            .zip(self.tables.iter())
-            .map(|(&v, bp)| bp.partition_point(|&b| b <= v) as u8)
-            .collect()
+        let mut w = Vec::new();
+        self.word_into(&mut w);
+        w
+    }
+
+    /// Buffer-reusing variant of [`QueryContext::word`]: clears `out` and
+    /// fills it with the query's word, reusing `out`'s allocation. Query
+    /// loops that summarize many queries against one model should hold one
+    /// buffer and call this instead of allocating per call.
+    pub fn word_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend(
+            self.values
+                .iter()
+                .zip(self.tables.iter())
+                .map(|(&v, bp)| bp.partition_point(|&b| b <= v) as u8),
+        );
     }
 
     /// Interval `[lo, hi]` covered by symbols `lo_sym ..= hi_sym` at

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod dft;
 pub mod lbd;
 pub mod mcb;
@@ -43,6 +44,7 @@ pub mod sfa;
 pub mod tlb;
 pub mod traits;
 
+pub use block::{mindist_block, WordBlock};
 pub use dft::DftSummary;
 pub use lbd::{mindist_node, mindist_scalar, mindist_simd, QueryContext, RootLbd};
 pub use mcb::{BinningStrategy, CoefficientSelection, McbConfig, McbModel};

@@ -361,6 +361,14 @@ macro_rules! forward_index_api {
                 self.inner.insert_all(buffer)
             }
 
+            /// Rebuilds the leaf-contiguous storage layout and per-leaf
+            /// word blocks after online inserts, restoring the batched
+            /// lower-bound sweep for every leaf. Queries stay exact either
+            /// way; this only restores the fast path.
+            pub fn repack_leaves(&mut self) {
+                self.inner.repack_leaves();
+            }
+
             /// Structural statistics (Figure 8).
             #[must_use]
             pub fn stats(&self) -> IndexStats {
