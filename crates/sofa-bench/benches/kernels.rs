@@ -1,10 +1,13 @@
 //! Micro-benchmarks of the hot kernels (the §IV-H SIMD ablation):
 //! per-tier Euclidean distance (scalar vs portable vs dispatched — AVX2
 //! where the CPU supports it), early abandoning, the per-word SFA mindist,
-//! and the headline comparison of this layer: the **dispatched block
+//! and the two headline comparisons of this layer: the **dispatched block
 //! lower bound against the per-word `mindist_simd` sweep** over the same
-//! 2000 candidates (the acceptance gate is block ≥ 2× per-word on
-//! 256-length series).
+//! 2000 candidates (PR 3's acceptance gate: block ≥ 2× per-word on
+//! 256-length series), and the **collect-phase analogue** — the
+//! dispatched `mindist_node_block` against the scalar per-node
+//! `mindist_node` loop over the same 2000 tree-node summaries (PR 4's
+//! gate: ≥ 3× on an AVX2 host).
 //!
 //! Force a tier to compare paths on one machine:
 //! `SOFA_FORCE_SCALAR=1` / `SOFA_FORCE_PORTABLE=1`.
@@ -15,8 +18,8 @@ use sofa_simd::{
     euclidean_sq_portable, euclidean_sq_scalar,
 };
 use sofa_summaries::{
-    mindist_block, mindist_scalar, mindist_simd, QueryContext, Sfa, SfaConfig, Summarization,
-    WordBlock,
+    mindist_block, mindist_node, mindist_node_block, mindist_scalar, mindist_simd, NodeBlock,
+    QueryContext, Sfa, SfaConfig, Summarization, WordBlock,
 };
 use std::hint::black_box;
 
@@ -141,9 +144,95 @@ fn bench_mindist(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_node_mindist(c: &mut Criterion) {
+    // The collect phase prices *tree nodes* (variable-cardinality
+    // summaries), not full words: derive 2000 node labels from real SFA
+    // words at the bit depths a built tree actually holds (subtree roots
+    // near 1 bit, deep leaves near full cardinality).
+    let n = 256;
+    let count = 2000;
+    let mut data = Vec::with_capacity(count * n);
+    for r in 0..count {
+        data.extend_from_slice(&series(n, r + 3));
+    }
+    let sfa = Sfa::learn(
+        &data,
+        n,
+        &SfaConfig { word_len: 16, alphabet: 256, sample_ratio: 0.25, ..Default::default() },
+    );
+    let mut tr = sfa.transformer();
+    let symbol_bits = sfa.symbol_bits();
+    let nodes: Vec<(Vec<u8>, Vec<u8>)> = data
+        .chunks(n)
+        .enumerate()
+        .map(|(i, s)| {
+            let w = tr.word(s, 16);
+            let b = 1 + (i as u8) % symbol_bits;
+            let prefixes: Vec<u8> = w.iter().map(|&sym| sym >> (symbol_bits - b)).collect();
+            (prefixes, vec![b; 16])
+        })
+        .collect();
+    let refs: Vec<(&[u8], &[u8])> =
+        nodes.iter().map(|(p, b)| (p.as_slice(), b.as_slice())).collect();
+    let block = NodeBlock::build(&sfa, &refs);
+    let query = series(n, 999);
+    let ctx = QueryContext::new(&sfa, &query);
+    // A representative BSF: the 5th percentile of scalar node mindists.
+    let mut dists: Vec<f32> = nodes.iter().map(|(p, b)| mindist_node(&ctx, p, b)).collect();
+    dists.sort_by(f32::total_cmp);
+    let bsf = dists[dists.len() / 20];
+
+    let mut group = c.benchmark_group(format!("node_mindist_2000_nodes[{}]", active_tier().name()));
+    group.bench_function("scalar_per_node", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f32;
+            for (p, b) in &nodes {
+                acc += mindist_node(black_box(&ctx), black_box(p), black_box(b));
+            }
+            acc
+        });
+    });
+    group.bench_function("block_no_abandon", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f32;
+            let mut lbs = [0.0f32; sofa_simd::BLOCK_LANES];
+            for g in 0..block.n_groups() {
+                let _ = mindist_node_block(
+                    black_box(&ctx),
+                    black_box(&block),
+                    g,
+                    f32::INFINITY,
+                    &mut lbs,
+                );
+                acc += lbs[0];
+            }
+            acc
+        });
+    });
+    group.bench_function("block_early_abandon", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f32;
+            let mut lbs = [0.0f32; sofa_simd::BLOCK_LANES];
+            for g in 0..block.n_groups() {
+                if !mindist_node_block(
+                    black_box(&ctx),
+                    black_box(&block),
+                    g,
+                    black_box(bsf),
+                    &mut lbs,
+                ) {
+                    acc += lbs[0];
+                }
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_euclidean, bench_mindist
+    targets = bench_euclidean, bench_mindist, bench_node_mindist
 }
 criterion_main!(benches);

@@ -19,10 +19,14 @@
 //! * **batch (pool)** — the whole stream in one `knn_batch` call:
 //!   query-parallel over the pool, serial inside each query.
 //!
-//! The headline is the batch / per-call-spawn QPS ratio — the pool win
-//! this PR claims, expected well above 2× — plus the batch / pool-single
-//! ratio, which additionally needs multiple physical cores to show its
-//! full query-parallel scaling.
+//! Two serving profiles run (ROADMAP PR-3 deferred item): **Deep1b**
+//! (96-length vectors — the short-series regime where per-query fixed
+//! costs dominate and the kernel wins used to be invisible) and **LenDB**
+//! (256-length seismic series — the regime where the batched sweeps carry
+//! the end-to-end win), so the perf trajectory is legible in one place.
+//! The headline remains the batch / per-call-spawn QPS ratio, plus the
+//! batch / pool-single ratio (which additionally needs multiple physical
+//! cores to show its full query-parallel scaling).
 
 use super::Suite;
 use crate::report::{f2, f3, Report};
@@ -56,20 +60,17 @@ fn mode_row(method: &str, mode: &str, secs: f64, per_query: &[f64]) -> Vec<Strin
     ]
 }
 
-/// `ext-throughput`: single-query QPS (per-call spawn vs pool) against
-/// `knn_batch` QPS for the SOFA index, plus the flat baseline.
-pub fn ext_throughput(suite: &Suite) -> Report {
-    let mut r = Report::new("ext-throughput", "single-query vs batch-query throughput");
+/// Runs one serving profile (`spec_name`, capped at `count_cap` series)
+/// and appends its table and metrics to `r`; metric keys get `suffix`
+/// appended (empty for the primary Deep1b profile, so PR-over-PR
+/// comparisons keep their historical names).
+fn serve_profile(suite: &Suite, r: &mut Report, spec_name: &str, count_cap: usize, suffix: &str) {
     let threads = suite.cfg.max_threads();
     // A throughput experiment needs more queries than the latency
     // workloads: widen the paper's per-dataset query count.
     let n_queries = (suite.cfg.n_queries * 16).clamp(64, 512);
-    // Deep1b is the paper's vector-search / FAISS case — short series,
-    // sub-millisecond queries: the regime where a serving system lives
-    // and where per-query dispatch overhead is visible at all. Cap the
-    // series count so the workload stays in that regime at any scale.
-    let spec = suite.specs().iter().find(|s| s.name == "Deep1b").expect("registry").clone();
-    let count = spec.scaled_count(suite.cfg.scale, suite.cfg.min_series).min(4_000);
+    let spec = suite.specs().iter().find(|s| s.name == spec_name).expect("registry").clone();
+    let count = spec.scaled_count(suite.cfg.scale, suite.cfg.min_series).min(count_cap);
     let dataset = spec.generate(count, n_queries);
     let n = dataset.series_len();
     r.para(&format!(
@@ -95,7 +96,8 @@ pub fn ext_throughput(suite: &Suite) -> Report {
     let flat = FlatL2::new(dataset.data(), n, threads);
 
     let queries = dataset.queries();
-    // Warm both paths (page in the data, wake the pool) before timing.
+    // Warm both paths (page in the data, wake the pool, fill the query
+    // scratch pool) before timing.
     let warm = &queries[..(8 * n).min(queries.len())];
     sofa.knn_batch(warm, 1).expect("warmup");
     let _ = flat.knn_batch(warm, 1);
@@ -167,16 +169,20 @@ pub fn ext_throughput(suite: &Suite) -> Report {
     r.table(&["method", "mode", "QPS", "p50 / mean (ms)", "p95 (ms)", "p99 (ms)"], &rows);
 
     // Pruning-power counters over the same workload: what fraction of
-    // lower-bound-checked candidates never reached a real distance, and
-    // how much of that the 8-lane block sweep decided.
+    // lower-bound-checked candidates never reached a real distance, how
+    // much of that the 8-lane block sweep decided, and how many collect
+    // groups the node-block kernel swept per query.
     let mut lbd_checked = 0usize;
     let mut refined = 0usize;
     let mut lanes_abandoned = 0usize;
-    for q in queries.chunks(n).take(32) {
+    let mut collect_groups = 0usize;
+    let stat_queries = 32usize;
+    for q in queries.chunks(n).take(stat_queries) {
         let (_, s) = sofa.knn_with_stats(q, 1).expect("stats query");
         lbd_checked += s.series_lbd_checked;
         refined += s.series_refined;
         lanes_abandoned += s.block_lanes_abandoned;
+        collect_groups += s.collect_groups_swept;
     }
     let pruning_ratio =
         if lbd_checked == 0 { 0.0 } else { 1.0 - refined as f64 / lbd_checked as f64 };
@@ -186,29 +192,34 @@ pub fn ext_throughput(suite: &Suite) -> Report {
     let spawn_qps = nq / spawn_secs;
     let pool_qps = nq / pool_secs;
     let batch_qps = nq / batch_secs;
-    r.metric("sofa_single_spawn_qps", spawn_qps);
-    r.metric("sofa_single_pool_qps", pool_qps);
-    r.metric("sofa_batch_qps", batch_qps);
-    r.metric("sofa_batch_vs_spawn_speedup", batch_qps / spawn_qps);
-    r.metric("sofa_pool_p50_ms", percentile(&pool_ms, 50.0));
-    r.metric("sofa_pool_p99_ms", percentile(&pool_ms, 99.0));
-    r.metric("flat_single_qps", nq / flat_secs);
-    r.metric("flat_batch_qps", nq / flat_batch_secs);
-    r.metric("flat_p50_ms", percentile(&flat_ms, 50.0));
-    r.metric("sofa_lbd_pruning_ratio", pruning_ratio);
-    r.metric("sofa_block_lane_abandon_ratio", block_abandon_ratio);
+    let m = |name: &str| format!("{name}{suffix}");
+    r.metric(&m("sofa_single_spawn_qps"), spawn_qps);
+    r.metric(&m("sofa_single_pool_qps"), pool_qps);
+    r.metric(&m("sofa_batch_qps"), batch_qps);
+    r.metric(&m("sofa_batch_vs_spawn_speedup"), batch_qps / spawn_qps);
+    r.metric(&m("sofa_pool_p50_ms"), percentile(&pool_ms, 50.0));
+    r.metric(&m("sofa_pool_p99_ms"), percentile(&pool_ms, 99.0));
+    r.metric(&m("flat_single_qps"), nq / flat_secs);
+    r.metric(&m("flat_batch_qps"), nq / flat_batch_secs);
+    r.metric(&m("flat_p50_ms"), percentile(&flat_ms, 50.0));
+    r.metric(&m("sofa_lbd_pruning_ratio"), pruning_ratio);
+    r.metric(&m("sofa_block_lane_abandon_ratio"), block_abandon_ratio);
+    r.metric(&m("sofa_collect_groups_per_query"), collect_groups as f64 / stat_queries as f64);
     r.para(&format!(
         "Pruning power over this workload: {:.1}% of lower-bound-checked \
          candidates were pruned before any real distance ({:.1}% of checks \
-         were retired by the 8-lane block sweep).",
+         were retired by the 8-lane block sweep); the collect phase swept \
+         {:.1} node-block groups per query.",
         pruning_ratio * 100.0,
         block_abandon_ratio * 100.0,
+        collect_groups as f64 / stat_queries as f64,
     ));
     r.para(&format!(
-        "SOFA: `knn_batch` throughput is {:.1}x the per-call-spawn \
+        "SOFA on {}: `knn_batch` throughput is {:.1}x the per-call-spawn \
          single-query baseline ({} vs {} QPS) and {:.1}x pool \
          single-query throughput ({} vs {} QPS). Pool single-query \
          latency is {:.1}x the emulated spawn baseline's (p50 {} vs {} ms).",
+        spec.name,
         batch_qps / spawn_qps,
         f2(batch_qps),
         f2(spawn_qps),
@@ -219,5 +230,23 @@ pub fn ext_throughput(suite: &Suite) -> Report {
         f3(percentile(&pool_ms, 50.0)),
         f3(percentile(&spawn_ms, 50.0)),
     ));
+}
+
+/// `ext-throughput`: single-query QPS (per-call spawn vs pool) against
+/// `knn_batch` QPS for the SOFA index and the flat baseline, on a
+/// short-series (Deep1b, 96) and a long-series (LenDB, 256) profile.
+pub fn ext_throughput(suite: &Suite) -> Report {
+    let mut r = Report::new("ext-throughput", "single-query vs batch-query throughput");
+    // Deep1b is the paper's vector-search / FAISS case — short series,
+    // sub-millisecond queries: the regime where a serving system lives
+    // and where per-query dispatch overhead is visible at all. Cap the
+    // series count so the workload stays in that regime at any scale.
+    serve_profile(suite, &mut r, "Deep1b", 4_000, "");
+    // LenDB is the paper's seismic case — 256-length series, where the
+    // batched lower-bound sweeps (leaf and collect) dominate the per-
+    // query cost instead of dispatch. Same cap as Deep1b on purpose: the
+    // two profiles differ only in series length, so the QPS gap reads as
+    // the cost of length alone.
+    serve_profile(suite, &mut r, "LenDB", 4_000, "_len256");
     r
 }

@@ -127,6 +127,32 @@ impl KnnSet {
         self.bound.load()
     }
 
+    /// Re-arms the set for a fresh query tracking `k` neighbors, reusing
+    /// the heap allocation (allocation-free once the capacity has reached
+    /// the largest `k` served). This is what lets one pooled
+    /// [`crate::Index`] scratch serve every query of a lane.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k >= 1, "k must be at least 1");
+        self.k = k;
+        let heap = self.heap.get_mut();
+        heap.clear();
+        heap.reserve(k + 1);
+        self.bound.store(f32::INFINITY);
+    }
+
+    /// Moves the neighbors found (best first) into `out`, leaving the set
+    /// empty but with its capacity intact. `out` is appended to, not
+    /// cleared.
+    pub fn drain_sorted_into(&self, out: &mut Vec<Neighbor>) {
+        let mut heap = self.heap.lock();
+        heap.sort_unstable();
+        out.extend_from_slice(&heap);
+        heap.clear();
+    }
+
     /// Offers a candidate; returns `true` if it entered the k-best set.
     /// Duplicate rows are ignored.
     ///

@@ -149,7 +149,9 @@ impl<S: Summarization> Index<S> {
 
         // --- Phase 4: pack leaves. Storage starts in row order (identity
         // slot maps); `repack_leaves` permutes it into leaf-contiguous
-        // order and builds the per-leaf SoA word blocks.
+        // order and builds the per-leaf SoA word blocks plus the
+        // per-subtree collect blocks.
+        let query_env = sofa_summaries::QueryEnv::new(&summarization);
         let mut index = Index {
             summarization,
             config,
@@ -163,6 +165,10 @@ impl<S: Summarization> Index<S> {
             word_len: l,
             build_breakdown: (0.0, 0.0),
             counters: crate::stats::KernelCounters::default(),
+            query_env,
+            scratches: parking_lot::Mutex::new(Vec::with_capacity(lanes + 2)),
+            unpacked_leaves: 0,
+            total_leaves: 0,
         };
         index.repack_leaves();
         let tree_secs = t1.elapsed().as_secs_f64();
@@ -172,16 +178,21 @@ impl<S: Summarization> Index<S> {
 
     /// Rebuilds the leaf-contiguous storage layout: permutes the series
     /// and word arenas so every leaf's candidates occupy one contiguous
-    /// run of storage slots (in leaf order), and rebuilds each leaf's
+    /// run of storage slots (in leaf order), rebuilds each leaf's
     /// structure-of-arrays [`sofa_summaries::WordBlock`] for the batched
-    /// lower-bound sweep.
+    /// lower-bound sweep, and rebuilds each subtree's
+    /// [`crate::CollectBlock`] so the collect phase prices leaves 8-wide
+    /// again.
     ///
-    /// The bulk build calls this automatically. Online inserts
-    /// ([`Index::insert`]) keep the index exact but leave the touched
-    /// leaves un-packed (per-row fallback refinement); call this after an
-    /// insert burst to restore the fast path everywhere. The permutation
-    /// is applied in place (cycle-walking with one temporary row), so no
-    /// second copy of the dataset is ever held.
+    /// The bulk build calls this automatically, and — when
+    /// [`crate::IndexConfig::auto_repack_pct`] is set (the default) — so
+    /// do online inserts once enough leaves have dropped their packing.
+    /// Inserts ([`Index::insert`]) keep the index exact but leave the
+    /// touched leaves un-packed (per-row fallback refinement); call this
+    /// after an insert burst to restore the fast path everywhere when the
+    /// auto-trigger is disabled. The permutation is applied in place
+    /// (cycle-walking with one temporary row), so no second copy of the
+    /// dataset is ever held.
     pub fn repack_leaves(&mut self) {
         let n = self.series_len;
         let l = self.word_len;
@@ -189,14 +200,18 @@ impl<S: Summarization> Index<S> {
         // order. `bases[s]` is the first slot of subtree `s`.
         let mut new_slot_to_row: Vec<u32> = Vec::with_capacity(self.slot_to_row.len());
         let mut bases: Vec<usize> = Vec::with_capacity(self.subtrees.len());
+        let mut leaves = 0usize;
         for st in &self.subtrees {
             bases.push(new_slot_to_row.len());
             for node in &st.nodes {
                 if let NodeKind::Leaf { rows, .. } = &node.kind {
                     new_slot_to_row.extend_from_slice(rows);
+                    leaves += 1;
                 }
             }
         }
+        self.total_leaves = leaves;
+        self.unpacked_leaves = 0;
         debug_assert_eq!(new_slot_to_row.len(), self.slot_to_row.len());
         let mut new_row_to_slot = vec![0u32; new_slot_to_row.len()];
         for (slot, &row) in new_slot_to_row.iter().enumerate() {
@@ -210,8 +225,9 @@ impl<S: Summarization> Index<S> {
         self.slot_to_row = new_slot_to_row;
         self.row_to_slot = new_row_to_slot;
 
-        // Word blocks, one subtree batch per pool lane (subtrees are
-        // disjoint, so `chunks_mut` hands each lane its own slice).
+        // Word blocks and collect blocks, one subtree batch per pool lane
+        // (subtrees are disjoint, so `chunks_mut` hands each lane its own
+        // slice).
         let words = &self.words;
         let summarization: &dyn Summarization = &self.summarization;
         let per_lane = self.subtrees.len().div_ceil(self.pool.threads()).max(1);
@@ -233,6 +249,16 @@ impl<S: Summarization> Index<S> {
                                 *pack = Some(crate::node::LeafPack { start: start as u32, block });
                             }
                         }
+                        // Wide flat forests (thousands of single-leaf
+                        // subtrees) never read a collect block — the
+                        // query path prices those roots with the RootLbd
+                        // XOR gate alone — so building one would only
+                        // cost memory and scan locality.
+                        st.collect = if st.nodes.len() > 1 {
+                            Some(crate::node::CollectBlock::build(summarization, st))
+                        } else {
+                            None
+                        };
                     }
                 });
             }
@@ -300,7 +326,9 @@ fn build_subtree(
     let bits = vec![1u8; l];
     let mut nodes = Vec::new();
     build_node(rows, prefixes, bits, &mut nodes, words, l, symbol_bits, config.leaf_capacity);
-    Subtree { key, nodes }
+    // The collect block is attached by `repack_leaves` (phase 4), which
+    // runs right after the subtrees are assembled.
+    Subtree { key, nodes, collect: None }
 }
 
 /// Recursively materializes the node for `rows`, returning its arena id.

@@ -18,12 +18,27 @@ pub struct IndexConfig {
     /// Number of leaf priority queues used during query refinement;
     /// the paper sets it to the core count.
     pub num_queues: usize,
+    /// Auto-repack threshold, in percent: after an online insert (or once
+    /// per `insert_all` burst), when more than this percentage of the
+    /// tree's leaves are un-packed (per-row fallback refinement) — and at
+    /// least 8 in absolute terms, so tiny trees never repack on every
+    /// insert — [`crate::Index::repack_leaves`] runs automatically, on
+    /// the index's worker pool like every build phase, so long-running
+    /// serving instances keep the batched sweeps without operator action.
+    /// `None` disables the trigger (manual repacking only).
+    /// Default: `Some(25)`.
+    pub auto_repack_pct: Option<u32>,
 }
 
 impl Default for IndexConfig {
     fn default() -> Self {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        IndexConfig { leaf_capacity: 20_000, num_threads: threads, num_queues: threads }
+        IndexConfig {
+            leaf_capacity: 20_000,
+            num_threads: threads,
+            num_queues: threads,
+            auto_repack_pct: Some(25),
+        }
     }
 }
 
@@ -44,6 +59,15 @@ impl IndexConfig {
         self.leaf_capacity = capacity.max(1);
         self
     }
+
+    /// Sets (or, with `None`, disables) the auto-repack threshold — the
+    /// percentage of un-packed leaves that triggers an automatic
+    /// [`crate::Index::repack_leaves`] after an online insert.
+    #[must_use]
+    pub fn auto_repack_pct(mut self, pct: Option<u32>) -> Self {
+        self.auto_repack_pct = pct;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -56,6 +80,15 @@ mod tests {
         assert_eq!(c.leaf_capacity, 20_000);
         assert_eq!(c.num_queues, c.num_threads);
         assert!(c.num_threads >= 1);
+        assert_eq!(c.auto_repack_pct, Some(25));
+    }
+
+    #[test]
+    fn auto_repack_configurable() {
+        let c = IndexConfig::default().auto_repack_pct(Some(5));
+        assert_eq!(c.auto_repack_pct, Some(5));
+        let off = IndexConfig::default().auto_repack_pct(None);
+        assert_eq!(off.auto_repack_pct, None);
     }
 
     #[test]

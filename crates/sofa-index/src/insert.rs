@@ -30,6 +30,15 @@ impl<S: Summarization> Index<S> {
     /// # Errors
     /// Returns [`IndexError::BadQuery`] if the series length mismatches.
     pub fn insert(&mut self, series: &[f32]) -> Result<u32, IndexError> {
+        let row = self.insert_without_repack(series)?;
+        self.maybe_auto_repack();
+        Ok(row)
+    }
+
+    /// The insert body, without the auto-repack check —
+    /// [`Index::insert_all`] defers that to the end of the burst so a
+    /// batch of inserts never pays more than one repack.
+    fn insert_without_repack(&mut self, series: &[f32]) -> Result<u32, IndexError> {
         if series.len() != self.series_len {
             return Err(IndexError::BadQuery(format!(
                 "series length {} != index series length {}",
@@ -55,21 +64,28 @@ impl<S: Summarization> Index<S> {
         let subtree_idx = match self.subtrees.binary_search_by_key(&key, |s| s.key) {
             Ok(i) => i,
             Err(i) => {
-                // New root child: a fresh subtree holding one leaf.
+                // New root child: a fresh subtree holding one leaf. No
+                // collect block: single-node subtrees are priced by the
+                // RootLbd gate alone (their leaf's 1-bit label *is* the
+                // key), and `repack_leaves` attaches a block if splits
+                // ever grow the subtree.
                 let prefixes: Vec<u8> =
                     (0..self.word_len).map(|j| ((key >> j) & 1) as u8).collect();
                 let bits = vec![1u8; self.word_len];
-                self.subtrees.insert(
-                    i,
-                    Subtree {
-                        key,
-                        nodes: vec![Node {
-                            prefixes,
-                            bits,
-                            kind: NodeKind::Leaf { rows: vec![], pack: None },
-                        }],
-                    },
-                );
+                let subtree = Subtree {
+                    key,
+                    nodes: vec![Node {
+                        prefixes,
+                        bits,
+                        kind: NodeKind::Leaf { rows: vec![], pack: None },
+                    }],
+                    collect: None,
+                };
+                self.subtrees.insert(i, subtree);
+                // The new leaf starts un-packed (it is about to receive
+                // its first row).
+                self.total_leaves += 1;
+                self.unpacked_leaves += 1;
                 i
             }
         };
@@ -88,17 +104,26 @@ impl<S: Summarization> Index<S> {
                 }
             }
         }
+        let mut newly_unpacked = 0usize;
         match &mut subtree.nodes[id as usize].kind {
             NodeKind::Leaf { rows, pack } => {
                 rows.push(row);
                 // The leaf's contiguous run no longer covers all its rows:
                 // drop the pack so refinement falls back to the exact
                 // per-row path until `repack_leaves` runs.
-                *pack = None;
+                if pack.take().is_some() {
+                    newly_unpacked += 1;
+                }
             }
             NodeKind::Inner { .. } => unreachable!("descent ends at a leaf"),
         }
-        split_while_overfull(
+        // Each split turns one (un-packed) leaf into an inner node with
+        // two un-packed leaves: +1 leaf, +1 un-packed, net. The subtree's
+        // collect block is *not* rebuilt — the split node's lane keeps its
+        // (parent-interval) bounds, which remain a valid lower bound for
+        // both children; the collect sweep finishes such stale lanes with
+        // a scalar descent until the next repack.
+        let splits = split_while_overfull(
             subtree,
             id,
             &self.words,
@@ -107,7 +132,30 @@ impl<S: Summarization> Index<S> {
             symbol_bits,
             self.config.leaf_capacity,
         );
+        self.total_leaves += splits;
+        self.unpacked_leaves += newly_unpacked + splits;
         Ok(row)
+    }
+
+    /// The auto-repack trigger (ROADMAP PR-3 deferred item): once
+    /// un-packed leaves exceed the configured percentage of the tree,
+    /// rebuild the packed layout on the worker pool right away instead of
+    /// waiting for an operator call. Amortized over the insert burst that
+    /// un-packed those leaves, this keeps long-running serving instances
+    /// on the batched leaf/collect sweeps.
+    fn maybe_auto_repack(&mut self) {
+        let Some(pct) = self.config.auto_repack_pct else { return };
+        // Amortization floor: a repack permutes the whole arena, so it
+        // must be paid for by a batch of un-packed leaves. Without the
+        // floor, a tree with single-digit leaf counts (the default
+        // leaf_capacity is 20k) would exceed any percentage after one
+        // insert and repack on *every* insert — quadratic bursts.
+        const MIN_UNPACKED: usize = 8;
+        if self.unpacked_leaves >= MIN_UNPACKED
+            && self.unpacked_leaves * 100 > self.total_leaves.max(1) * pct as usize
+        {
+            self.repack_leaves();
+        }
     }
 
     /// Inserts every series in a row-major buffer, returning the first new
@@ -124,8 +172,11 @@ impl<S: Summarization> Index<S> {
         }
         let first = (self.data.len() / self.series_len) as u32;
         for series in buffer.chunks(self.series_len) {
-            self.insert(series)?;
+            self.insert_without_repack(series)?;
         }
+        // One auto-repack check for the whole burst: the trigger fires at
+        // most once per `insert_all`, amortized over every row above.
+        self.maybe_auto_repack();
         Ok(first)
     }
 }
@@ -133,6 +184,7 @@ impl<S: Summarization> Index<S> {
 /// Splits `leaf` (and any over-full child produced by the split) using the
 /// balanced-split rule, mutating the subtree arena in place. `words` is in
 /// storage order; `row_to_slot` maps the row ids stored in leaves to it.
+/// Returns the number of splits performed (each adds one leaf).
 fn split_while_overfull(
     subtree: &mut Subtree,
     leaf: u32,
@@ -141,10 +193,11 @@ fn split_while_overfull(
     l: usize,
     symbol_bits: u8,
     leaf_capacity: usize,
-) {
+) -> usize {
     let word_bit = |r: u32, j: usize, shift: u8| {
         (words[row_to_slot[r as usize] as usize * l + j] >> shift) & 1
     };
+    let mut splits = 0usize;
     let mut pending = vec![leaf];
     while let Some(id) = pending.pop() {
         let (rows, prefixes, bits) = {
@@ -200,9 +253,11 @@ fn split_while_overfull(
         subtree.nodes.push(child(1, ones));
         subtree.nodes[id as usize].kind =
             NodeKind::Inner { left, right, split_pos: split_pos as u16 };
+        splits += 1;
         pending.push(left);
         pending.push(right);
     }
+    splits
 }
 
 #[cfg(test)]
@@ -303,6 +358,42 @@ mod tests {
             let nn = idx.nn(s).expect("query");
             assert!(nn.dist_sq < 1e-4, "inserted series {i} not found: {nn:?}");
         }
+    }
+
+    #[test]
+    fn auto_repack_triggers_on_bursts_and_respects_opt_out() {
+        let n = 64;
+        let data = dataset(600, n, 11);
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let mut idx =
+            Index::build(sax, &data[..300 * n], IndexConfig::with_threads(1).leaf_capacity(10))
+                .expect("build");
+        idx.insert_all(&data[300 * n..]).expect("insert");
+        // The burst runs the trigger exactly once, at the end; afterwards
+        // the un-packed share must sit below the (floored) threshold.
+        let s = idx.stats();
+        let unpacked = s.leaves - s.packed_leaves;
+        assert!(
+            unpacked < 8 || unpacked * 100 <= s.leaves * 25,
+            "auto-repack did not hold the threshold: {unpacked}/{} un-packed",
+            s.leaves
+        );
+
+        // Opting out leaves the fallback leaves in place until a manual
+        // repack.
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let mut manual = Index::build(
+            sax,
+            &data[..300 * n],
+            IndexConfig::with_threads(1).leaf_capacity(10).auto_repack_pct(None),
+        )
+        .expect("build");
+        manual.insert_all(&data[300 * n..]).expect("insert");
+        let s = manual.stats();
+        assert!(s.packed_leaves < s.leaves, "opt-out must not repack: {s:?}");
+        manual.repack_leaves();
+        let s = manual.stats();
+        assert_eq!(s.packed_leaves, s.leaves);
     }
 
     #[test]

@@ -42,11 +42,12 @@ pub mod config;
 pub mod insert;
 pub mod node;
 pub mod query;
+pub(crate) mod scratch;
 pub mod stats;
 
 pub use bsf::{AtomicDistance, KnnSet, Neighbor};
 pub use config::IndexConfig;
-pub use node::{LeafPack, Node, NodeKind, Subtree};
+pub use node::{CollectBlock, LeafPack, Node, NodeKind, Subtree};
 pub use query::QueryStats;
 pub use sofa_exec::ExecPool;
 pub use stats::IndexStats;
@@ -111,6 +112,17 @@ pub struct Index<S: Summarization> {
     /// Cumulative kernel/dispatch observability counters (see
     /// [`IndexStats`]).
     pub(crate) counters: stats::KernelCounters,
+    /// Query-independent mindist evaluation state (breakpoint tables,
+    /// weights), built once so per-query contexts allocate nothing.
+    pub(crate) query_env: sofa_summaries::QueryEnv,
+    /// Pool of per-query scratches (one per worker lane in the steady
+    /// state); see [`scratch`].
+    pub(crate) scratches: scratch::ScratchPool,
+    /// Leaves currently lacking packed storage (maintained by
+    /// `insert`/`repack_leaves`; drives the auto-repack trigger).
+    pub(crate) unpacked_leaves: usize,
+    /// Total leaves (same maintenance).
+    pub(crate) total_leaves: usize,
 }
 
 impl<S: Summarization> Index<S> {
@@ -178,6 +190,18 @@ impl<S: Summarization> Index<S> {
     #[must_use]
     pub fn build_breakdown(&self) -> (f64, f64) {
         self.build_breakdown
+    }
+
+    /// Checks one query scratch out of the pool (creating it on warm-up).
+    pub(crate) fn scratch(&self) -> scratch::ScratchGuard<'_> {
+        scratch::ScratchGuard::checkout(&self.scratches, || {
+            scratch::QueryScratch::new(
+                self.word_len,
+                self.series_len,
+                self.config.num_queues.max(1),
+                self.pool.threads(),
+            )
+        })
     }
 }
 

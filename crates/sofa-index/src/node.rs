@@ -9,7 +9,7 @@
 //! one position by one bit (set to 0 and 1 — the iSAX split), chosen to
 //! balance the series between them (as in iSAX 2.0 / MESSI).
 
-use sofa_summaries::WordBlock;
+use sofa_summaries::{NodeBlock, Summarization, WordBlock};
 
 /// Node id within one subtree's arena.
 pub type NodeId = u32;
@@ -92,6 +92,44 @@ impl Node {
     }
 }
 
+/// Collect-phase acceleration state of one subtree: the subtree's leaves'
+/// prefix quantization intervals as a structure-of-arrays
+/// [`NodeBlock`] (padded groups of 8), lane-parallel with `node_ids`.
+///
+/// The collect phase sweeps this block 8 leaves per dispatched kernel call
+/// instead of walking the arena with a scalar `mindist_node` per node.
+/// Coherence across online splits is maintained *without rebuilding*: a
+/// split keeps the node's `prefixes`/`bits` and only changes its kind to
+/// `Inner`, so the lane's interval bounds remain a valid (parent-interval)
+/// lower bound for everything below it — the sweep detects such stale
+/// lanes by node kind and finishes them with a tiny scalar DFS over the
+/// freshly split descendants. [`crate::Index::repack_leaves`] rebuilds the
+/// block to pure leaves.
+#[derive(Clone, Debug)]
+pub struct CollectBlock {
+    /// Arena node id per block lane (leaves at build time; a lane can
+    /// point at an `Inner` node after online splits — see above).
+    pub node_ids: Vec<u32>,
+    /// SoA interval bounds of the lanes' `prefixes`/`bits`.
+    pub block: NodeBlock,
+}
+
+impl CollectBlock {
+    /// Builds the block over every leaf of `subtree`, in arena order.
+    #[must_use]
+    pub fn build(summarization: &dyn Summarization, subtree: &Subtree) -> Self {
+        let mut node_ids = Vec::new();
+        let mut labels: Vec<(&[u8], &[u8])> = Vec::new();
+        for (id, node) in subtree.nodes.iter().enumerate() {
+            if node.is_leaf() {
+                node_ids.push(id as u32);
+                labels.push((&node.prefixes, &node.bits));
+            }
+        }
+        CollectBlock { node_ids, block: NodeBlock::build(summarization, &labels) }
+    }
+}
+
 /// A subtree: its root key and an arena of nodes (`nodes[root]` is the
 /// subtree root). Subtrees are independent — MESSI exploits exactly this
 /// for lock-free parallel construction and traversal.
@@ -101,6 +139,10 @@ pub struct Subtree {
     pub key: u64,
     /// Node arena; index 0 is the root.
     pub nodes: Vec<Node>,
+    /// Batched collect-phase pruning state (`None` only for subtrees that
+    /// have never been packed; the query path then falls back to the
+    /// scalar DFS).
+    pub collect: Option<CollectBlock>,
 }
 
 impl Subtree {
@@ -206,6 +248,7 @@ mod tests {
         };
         let subtree = Subtree {
             key: 0,
+            collect: None,
             nodes: vec![
                 Node {
                     prefixes: vec![0; 2],

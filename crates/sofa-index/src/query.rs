@@ -6,21 +6,34 @@
 //! surviving candidate pays a SIMD lower-bound check before the real
 //! distance is computed, both early-abandoned against the bound.
 //!
-//! Parallel phases execute on the index's persistent [`sofa_exec::ExecPool`]
-//! (no per-query thread spawning); [`Index::knn_batch`] additionally
-//! amortizes dispatch across a whole mini-batch by running one serial
-//! query per pool lane at a time.
+//! Both batched sweeps run here. The **collect phase** prices each
+//! subtree with one [`RootLbd`] XOR evaluation, then sweeps the subtree's
+//! leaves 8 at a time through [`mindist_node_block`] over the
+//! build-time-resolved [`crate::CollectBlock`] (whole groups of leaves
+//! abandon against the bound mid-sum); the **refine phase** then
+//! lower-bounds each surviving leaf's candidates 8 at a time through
+//! [`mindist_block`]. Scalar `mindist_node` survives only on the cold
+//! paths: the approximate descent and lanes left stale by online splits.
+//!
+//! Parallel phases execute on the index's persistent
+//! [`sofa_exec::ExecPool`] (no per-query thread spawning), and every
+//! per-query buffer — context values, query word, queues, k-NN heap, DFS
+//! stacks — comes from a pooled [`crate::scratch::QueryScratch`], so the
+//! steady-state serial path performs zero heap allocations and
+//! [`Index::knn_batch`] lanes reuse one scratch per lane across the whole
+//! mini-batch.
 
 use crate::bsf::{KnnSet, Neighbor};
 use crate::node::{root_key, LeafPack, NodeKind, Subtree};
+use crate::scratch::{LeafQueue, QueryScratch, QueueEntry};
 use crate::{Index, IndexError};
 use parking_lot::Mutex;
 use sofa_simd::{euclidean_sq_early_abandon, BLOCK_LANES};
 use sofa_summaries::{
-    mindist_block, mindist_node, mindist_simd, QueryContext, RootLbd, Summarization,
+    mindist_block, mindist_node, mindist_node_block, mindist_simd, QueryContext, RootLbd,
+    Summarization,
 };
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Counters describing how much work one query performed — the raw
@@ -31,7 +44,9 @@ pub struct QueryStats {
     pub leaves_collected: usize,
     /// Leaves whose series were actually examined.
     pub leaves_refined: usize,
-    /// Inner nodes or leaves pruned by the node-level lower bound.
+    /// Nodes pruned by a node-level lower bound: whole subtrees at the
+    /// root gate, collect-block lanes (individually or by whole-group
+    /// abandon), and scalar-DFS nodes on the fallback paths.
     pub nodes_pruned: usize,
     /// Per-series lower-bound evaluations.
     pub series_lbd_checked: usize,
@@ -44,6 +59,8 @@ pub struct QueryStats {
     /// Candidate lanes pruned by the block sweep (whole-group abandons
     /// plus individual lanes at or above the bound).
     pub block_lanes_abandoned: usize,
+    /// 8-leaf groups swept by the collect-phase node-block kernel.
+    pub collect_groups_swept: usize,
 }
 
 #[derive(Default)]
@@ -56,6 +73,7 @@ struct AtomicStats {
     queues_abandoned: AtomicUsize,
     block_groups_swept: AtomicUsize,
     block_lanes_abandoned: AtomicUsize,
+    collect_groups_swept: AtomicUsize,
 }
 
 impl AtomicStats {
@@ -69,32 +87,8 @@ impl AtomicStats {
             queues_abandoned: self.queues_abandoned.load(Ordering::Relaxed),
             block_groups_swept: self.block_groups_swept.load(Ordering::Relaxed),
             block_lanes_abandoned: self.block_lanes_abandoned.load(Ordering::Relaxed),
+            collect_groups_swept: self.collect_groups_swept.load(Ordering::Relaxed),
         }
-    }
-}
-
-/// A leaf waiting in a priority queue, ordered by ascending lower bound.
-#[derive(Copy, Clone, Debug, PartialEq)]
-struct QueueEntry {
-    lbd: f32,
-    subtree: u32,
-    node: u32,
-}
-
-impl Eq for QueueEntry {}
-
-impl Ord for QueueEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.lbd
-            .total_cmp(&other.lbd)
-            .then_with(|| self.subtree.cmp(&other.subtree))
-            .then_with(|| self.node.cmp(&other.node))
-    }
-}
-
-impl PartialOrd for QueueEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
     }
 }
 
@@ -115,6 +109,27 @@ impl<S: Summarization> Index<S> {
         self.knn_with_stats(query, k).map(|(nn, _)| nn)
     }
 
+    /// Exact k-NN written into a caller-owned buffer (cleared first, best
+    /// first) — the allocation-free serving form of [`Index::knn`]: with a
+    /// warmed-up scratch pool and a buffer that has held `k` results
+    /// before, the call performs no heap allocation at all.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on a length mismatch or `k == 0`.
+    pub fn knn_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        out: &mut Vec<Neighbor>,
+    ) -> Result<(), IndexError> {
+        self.validate(query, k)?;
+        let mut scratch = self.scratch();
+        let _ = self.knn_on_scratch(&mut scratch, query, k);
+        out.clear();
+        scratch.knn.drain_sorted_into(out);
+        Ok(())
+    }
+
     /// Exact k-NN plus per-query work counters.
     ///
     /// # Errors
@@ -124,6 +139,15 @@ impl<S: Summarization> Index<S> {
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<Neighbor>, QueryStats), IndexError> {
+        self.validate(query, k)?;
+        let mut scratch = self.scratch();
+        let stats = self.knn_on_scratch(&mut scratch, query, k);
+        let mut out = Vec::with_capacity(k.min(self.n_series()));
+        scratch.knn.drain_sorted_into(&mut out);
+        Ok((out, stats))
+    }
+
+    fn validate(&self, query: &[f32], k: usize) -> Result<(), IndexError> {
         if query.len() != self.series_len {
             return Err(IndexError::BadQuery(format!(
                 "query length {} != series length {}",
@@ -134,18 +158,16 @@ impl<S: Summarization> Index<S> {
         if k == 0 {
             return Err(IndexError::BadQuery("k must be at least 1".into()));
         }
-
-        // Work in z-normalized space, like every indexed series.
-        let mut q = query.to_vec();
-        sofa_simd::znormalize(&mut q);
-        Ok(self.knn_znormed(&q, k))
+        Ok(())
     }
 
     /// Exact k-NN for a batch of queries (row-major), best first per
     /// query. Queries are distributed across the worker pool — each runs
     /// the serial per-query path, so a batch keeps every lane busy with
     /// zero intra-query synchronization (the FAISS mini-batch model the
-    /// paper uses for its flat competitor, applied to the tree).
+    /// paper uses for its flat competitor, applied to the tree). Each
+    /// lane checks out one scratch for the whole batch, so the per-query
+    /// allocations are limited to the output vectors.
     ///
     /// # Errors
     /// Returns [`IndexError::BadQuery`] if the buffer is not a whole
@@ -175,141 +197,142 @@ impl<S: Summarization> Index<S> {
             (0..n_queries).map(|_| Mutex::new(Vec::new())).collect();
         let next_query = AtomicUsize::new(0);
         self.pool.broadcast(|_| {
-            // Lane-local scratch reused across every query this lane
-            // claims: the normalized-query and query-word buffers are
-            // allocated once per lane, not once per batch member.
-            let mut q: Vec<f32> = Vec::with_capacity(n);
-            let mut qword: Vec<u8> = Vec::new();
+            // One scratch per lane for the whole batch: queues, heaps,
+            // context buffers and the DFT executor are reused across
+            // every query this lane claims.
+            let mut scratch = self.scratch();
             loop {
                 let i = next_query.fetch_add(1, Ordering::Relaxed);
                 if i >= n_queries {
                     break;
                 }
-                q.clear();
-                q.extend_from_slice(&queries[i * n..(i + 1) * n]);
-                sofa_simd::znormalize(&mut q);
-                let (neighbors, _) = self.knn_one_serial_reusing(&q, k, &mut qword);
-                *results[i].lock() = neighbors;
+                let _ = self.knn_serial_on_scratch(&mut scratch, &queries[i * n..(i + 1) * n], k);
+                let mut out = Vec::with_capacity(k);
+                scratch.knn.drain_sorted_into(&mut out);
+                *results[i].lock() = out;
             }
         });
         Ok(results.into_iter().map(Mutex::into_inner).collect())
     }
 
-    /// Answers one z-normalized query, on the pool when it has more than
-    /// one lane.
-    fn knn_znormed(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+    /// Normalizes `query` into the scratch and answers it — on the pool
+    /// when it has more than one lane, serially otherwise. The neighbors
+    /// are left in `scratch.knn`.
+    fn knn_on_scratch(&self, scratch: &mut QueryScratch, query: &[f32], k: usize) -> QueryStats {
         if self.pool.threads() == 1 {
             // Serial fast path: identical algorithm without any task
             // dispatch, whose cost would dominate sub-millisecond queries
             // and mask the algorithmic comparison.
-            return self.knn_one_serial(q, k);
+            return self.knn_serial_on_scratch(scratch, query, k);
         }
-
-        let ctx = QueryContext::new(&self.summarization, q);
-        // The query word is the quantization of the context's values — no
-        // second transform needed. One buffer serves the whole query.
-        let mut qword = Vec::new();
-        ctx.word_into(&mut qword);
-        let root_lbd = RootLbd::new(&ctx);
-
-        let knn = KnnSet::new(k);
+        self.prepare_scratch(scratch, query, k);
+        let s: &QueryScratch = scratch;
+        let ctx = QueryContext::borrowed(&self.query_env, &s.values);
         let stats = AtomicStats::default();
 
         // --- Phase 1: approximate search seeds the BSF.
-        self.approximate_into(q, &qword, &ctx, &knn);
+        self.approximate_into(&s.q, &s.qword, &ctx, &s.root_lbd, &s.knn);
 
         // --- Phase 2: collect unpruned leaves into priority queues. Pool
         // lanes claim subtrees off an atomic counter.
-        let num_queues = self.config.num_queues.max(1);
-        let queues: Vec<Mutex<BinaryHeap<Reverse<QueueEntry>>>> =
-            (0..num_queues).map(|_| Mutex::new(BinaryHeap::new())).collect();
         let next_subtree = AtomicUsize::new(0);
         let push_counter = AtomicUsize::new(0);
-        let done: Vec<AtomicBool> = (0..num_queues).map(|_| AtomicBool::new(false)).collect();
-
-        self.pool.broadcast(|_| loop {
-            let s = next_subtree.fetch_add(1, Ordering::Relaxed);
-            if s >= self.subtrees.len() {
-                break;
+        self.pool.broadcast(|lane| {
+            let mut stack = s.stacks[lane].lock();
+            loop {
+                let i = next_subtree.fetch_add(1, Ordering::Relaxed);
+                if i >= self.subtrees.len() {
+                    break;
+                }
+                self.collect_subtree(
+                    &self.subtrees[i],
+                    i as u32,
+                    &ctx,
+                    &s.root_lbd,
+                    &s.knn,
+                    &s.queues,
+                    &push_counter,
+                    &mut stack,
+                    &stats,
+                );
             }
-            self.collect_subtree(
-                &self.subtrees[s],
-                s as u32,
-                &ctx,
-                &root_lbd,
-                &knn,
-                &queues,
-                &push_counter,
-                &stats,
-            );
         });
 
         // --- Phase 3: refine from the queues, one lane per worker slot.
         self.pool.broadcast(|worker| {
-            self.refine_from_queues(worker, q, &queues, &done, &ctx, &knn, &stats);
+            self.refine_from_queues(worker, &s.q, &s.queues, &s.done, &ctx, &s.knn, &stats);
         });
 
         let snapshot = stats.snapshot();
         self.record_query_counters(&snapshot);
-        (knn.into_sorted(), snapshot)
+        snapshot
     }
 
-    /// Mirrors one query's block-sweep counters into the index-lifetime
-    /// totals reported by [`crate::IndexStats`].
+    /// The fully serial query path: same three phases, no synchronization
+    /// beyond the (uncontended) shared-state types. Used by 1-lane pools
+    /// and by every [`Index::knn_batch`] lane. The neighbors are left in
+    /// `scratch.knn`.
+    fn knn_serial_on_scratch(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &[f32],
+        k: usize,
+    ) -> QueryStats {
+        self.prepare_scratch(scratch, query, k);
+        let s: &mut QueryScratch = scratch;
+        let ctx = QueryContext::borrowed(&self.query_env, &s.values);
+        let stats = AtomicStats::default();
+
+        self.approximate_into(&s.q, &s.qword, &ctx, &s.root_lbd, &s.knn);
+
+        let push_counter = AtomicUsize::new(0);
+        {
+            let mut stack = s.stacks[0].lock();
+            for (i, subtree) in self.subtrees.iter().enumerate() {
+                self.collect_subtree(
+                    subtree,
+                    i as u32,
+                    &ctx,
+                    &s.root_lbd,
+                    &s.knn,
+                    &s.queues,
+                    &push_counter,
+                    &mut stack,
+                    &stats,
+                );
+            }
+        }
+        self.refine_from_queues(0, &s.q, &s.queues, &s.done, &ctx, &s.knn, &stats);
+        let snapshot = stats.snapshot();
+        self.record_query_counters(&snapshot);
+        snapshot
+    }
+
+    /// Fills the scratch's per-query state: normalized query, context
+    /// values, query word, root-penalty table, k-NN set and queue flags.
+    /// Performs no allocation once the buffers are warm.
+    fn prepare_scratch(&self, s: &mut QueryScratch, query: &[f32], k: usize) {
+        s.q.clear();
+        s.q.extend_from_slice(query);
+        sofa_simd::znormalize(&mut s.q);
+        self.summarization.query_values_reusing(&s.q, &mut s.transform, &mut s.values);
+        s.begin(k);
+        let ctx = QueryContext::borrowed(&self.query_env, &s.values);
+        // The query word is the quantization of the context's values — no
+        // second transform needed.
+        ctx.word_into(&mut s.qword);
+        s.root_lbd.rebuild(&ctx);
+    }
+
+    /// Mirrors one query's sweep counters into the index-lifetime totals
+    /// reported by [`crate::IndexStats`].
     fn record_query_counters(&self, stats: &QueryStats) {
         self.counters.record_query();
         self.counters.record_block_sweep(
             stats.block_groups_swept as u64,
             stats.block_lanes_abandoned as u64,
         );
-    }
-
-    /// The fully serial query path: same three phases, no synchronization
-    /// beyond the (uncontended) shared-state types. Used by 1-lane pools.
-    fn knn_one_serial(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
-        let mut qword = Vec::new();
-        self.knn_one_serial_reusing(q, k, &mut qword)
-    }
-
-    /// [`Index::knn_one_serial`] with a caller-owned query-word buffer, so
-    /// the batch workers summarize every query they claim without a fresh
-    /// allocation.
-    fn knn_one_serial_reusing(
-        &self,
-        q: &[f32],
-        k: usize,
-        qword: &mut Vec<u8>,
-    ) -> (Vec<Neighbor>, QueryStats) {
-        let ctx = QueryContext::new(&self.summarization, q);
-        ctx.word_into(qword);
-        let root_lbd = RootLbd::new(&ctx);
-        let knn = KnnSet::new(k);
-        let stats = AtomicStats::default();
-
-        self.approximate_into(q, qword, &ctx, &knn);
-
-        let num_queues = self.config.num_queues.max(1);
-        let queues: Vec<Mutex<BinaryHeap<Reverse<QueueEntry>>>> =
-            (0..num_queues).map(|_| Mutex::new(BinaryHeap::new())).collect();
-        let push_counter = AtomicUsize::new(0);
-        let done: Vec<AtomicBool> = (0..num_queues).map(|_| AtomicBool::new(false)).collect();
-
-        for (s, subtree) in self.subtrees.iter().enumerate() {
-            self.collect_subtree(
-                subtree,
-                s as u32,
-                &ctx,
-                &root_lbd,
-                &knn,
-                &queues,
-                &push_counter,
-                &stats,
-            );
-        }
-        self.refine_from_queues(0, q, &queues, &done, &ctx, &knn, &stats);
-        let snapshot = stats.snapshot();
-        self.record_query_counters(&snapshot);
-        (knn.into_sorted(), snapshot)
+        self.counters.record_collect_sweep(stats.collect_groups_swept as u64);
     }
 
     /// Approximate 1-NN only (the paper's "Approximate Search" stage used
@@ -319,21 +342,13 @@ impl<S: Summarization> Index<S> {
     /// # Errors
     /// Returns [`IndexError::BadQuery`] on a length mismatch.
     pub fn approximate_nn(&self, query: &[f32]) -> Result<Neighbor, IndexError> {
-        if query.len() != self.series_len {
-            return Err(IndexError::BadQuery(format!(
-                "query length {} != series length {}",
-                query.len(),
-                self.series_len
-            )));
-        }
-        let mut q = query.to_vec();
-        sofa_simd::znormalize(&mut q);
-        let ctx = QueryContext::new(&self.summarization, &q);
-        let mut qword = Vec::new();
-        ctx.word_into(&mut qword);
-        let knn = KnnSet::new(1);
-        self.approximate_into(&q, &qword, &ctx, &knn);
-        knn.sorted().first().copied().ok_or_else(|| IndexError::BadQuery("index is empty".into()))
+        self.validate(query, 1)?;
+        let mut scratch = self.scratch();
+        self.prepare_scratch(&mut scratch, query, 1);
+        let s: &QueryScratch = &scratch;
+        let ctx = QueryContext::borrowed(&self.query_env, &s.values);
+        self.approximate_into(&s.q, &s.qword, &ctx, &s.root_lbd, &s.knn);
+        s.knn.sorted().first().copied().ok_or_else(|| IndexError::BadQuery("index is empty".into()))
     }
 
     /// Approximate search (paper §IV-C): identify the leaf with the
@@ -343,20 +358,31 @@ impl<S: Summarization> Index<S> {
     /// descent then follows the child with the smaller node-level mindist,
     /// which is robust even when individual word bits of the query are
     /// noisy. When no subtree matches the key, the subtree whose root has
-    /// the smallest mindist is used instead.
-    fn approximate_into(&self, q: &[f32], qword: &[u8], ctx: &QueryContext<'_>, knn: &KnnSet) {
+    /// the smallest mindist is used instead — evaluated through the
+    /// precomputed [`RootLbd`] table, once per subtree (the former
+    /// `min_by` recomputed the full scalar `mindist_node` for both sides
+    /// of every comparison).
+    fn approximate_into(
+        &self,
+        q: &[f32],
+        qword: &[u8],
+        ctx: &QueryContext<'_>,
+        root_lbd: &RootLbd,
+        knn: &KnnSet,
+    ) {
         let key = root_key(qword, self.summarization.symbol_bits());
         let subtree = match self.subtrees.binary_search_by_key(&key, |s| s.key) {
             Ok(i) => &self.subtrees[i],
-            Err(_) => self
-                .subtrees
-                .iter()
-                .min_by(|a, b| {
-                    let da = mindist_node(ctx, &a.nodes[0].prefixes, &a.nodes[0].bits);
-                    let db = mindist_node(ctx, &b.nodes[0].prefixes, &b.nodes[0].bits);
-                    da.total_cmp(&db)
-                })
-                .expect("index has at least one subtree"),
+            Err(_) => {
+                let mut best = (f32::INFINITY, 0usize);
+                for (i, st) in self.subtrees.iter().enumerate() {
+                    let d = root_lbd.eval(st.key);
+                    if d < best.0 {
+                        best = (d, i);
+                    }
+                }
+                &self.subtrees[best.1]
+            }
         };
         let mut node = &subtree.nodes[0];
         loop {
@@ -397,8 +423,12 @@ impl<S: Summarization> Index<S> {
         }
     }
 
-    /// DFS over one subtree, pruning by node lower bound and pushing
-    /// surviving leaves into the queues round-robin.
+    /// Prices one subtree against the bound and pushes its surviving
+    /// leaves into the queues: one [`RootLbd`] XOR evaluation gates the
+    /// whole subtree, then the collect block prices leaves 8 per
+    /// dispatched kernel call (whole groups abandoning mid-sum against
+    /// the BSF). Lanes left stale by online splits — and subtrees without
+    /// a block — fall back to the scalar DFS.
     #[allow(clippy::too_many_arguments)]
     fn collect_subtree(
         &self,
@@ -407,20 +437,122 @@ impl<S: Summarization> Index<S> {
         ctx: &QueryContext<'_>,
         root_lbd: &RootLbd,
         knn: &KnnSet,
-        queues: &[Mutex<BinaryHeap<Reverse<QueueEntry>>>],
+        queues: &[Mutex<LeafQueue>],
         push_counter: &AtomicUsize,
+        stack: &mut Vec<u32>,
         stats: &AtomicStats,
     ) {
-        let mut stack: Vec<u32> = vec![0];
+        // The root's 1-bit-per-position label is fully determined by the
+        // subtree key: the precomputed XOR-penalty evaluation prices the
+        // whole subtree in a few bit operations (this gate runs for every
+        // subtree of every query).
+        let root_bound = root_lbd.eval(subtree.key);
+        if root_bound >= knn.bound() {
+            stats.nodes_pruned.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if subtree.nodes.len() == 1 {
+            // Single-leaf subtree (wide forests produce thousands): the
+            // root evaluation above *is* the leaf's exact bound — its
+            // 1-bit prefixes are fully determined by the key — so a
+            // block sweep would only re-derive it the slow way.
+            if let NodeKind::Leaf { rows, .. } = &subtree.nodes[0].kind {
+                if !rows.is_empty() {
+                    push_leaf(root_bound, subtree_idx, 0, queues, push_counter);
+                    stats.leaves_collected.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+        let Some(cb) = &subtree.collect else {
+            stack.clear();
+            stack.push(0);
+            self.collect_dfs(
+                subtree,
+                subtree_idx,
+                ctx,
+                Some(root_bound),
+                knn,
+                queues,
+                push_counter,
+                stack,
+                stats,
+            );
+            return;
+        };
+        let mut lbs = [0.0f32; BLOCK_LANES];
+        for g in 0..cb.block.n_groups() {
+            let bound = knn.bound();
+            let lanes = cb.block.lanes_in(g);
+            stats.collect_groups_swept.fetch_add(1, Ordering::Relaxed);
+            if mindist_node_block(ctx, &cb.block, g, bound, &mut lbs) {
+                // Every lane's (partial) sum exceeded the bound: 8 leaves
+                // pruned in one shot.
+                stats.nodes_pruned.fetch_add(lanes, Ordering::Relaxed);
+                continue;
+            }
+            for (i, &lbd) in lbs.iter().enumerate().take(lanes) {
+                // Re-read the bound: it tightens as refinement overlaps.
+                if lbd >= knn.bound() {
+                    stats.nodes_pruned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let id = cb.node_ids[g * BLOCK_LANES + i];
+                match &subtree.nodes[id as usize].kind {
+                    NodeKind::Leaf { rows, .. } => {
+                        if rows.is_empty() {
+                            continue;
+                        }
+                        push_leaf(lbd, subtree_idx, id, queues, push_counter);
+                        stats.leaves_collected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    NodeKind::Inner { left, right, .. } => {
+                        // Stale lane: this leaf split after the block was
+                        // built. Its lane bound (the parent interval)
+                        // stayed valid for the descendants; finish them
+                        // with a scalar descent.
+                        stack.clear();
+                        stack.push(*left);
+                        stack.push(*right);
+                        self.collect_dfs(
+                            subtree,
+                            subtree_idx,
+                            ctx,
+                            None,
+                            knn,
+                            queues,
+                            push_counter,
+                            stack,
+                            stats,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scalar collect DFS over a pre-seeded `stack` of node ids: the
+    /// fallback for subtrees without a collect block and for stale
+    /// post-split lanes. `root_bound` supplies node 0's precomputed
+    /// [`RootLbd`] evaluation when the DFS starts at the subtree root.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_dfs(
+        &self,
+        subtree: &Subtree,
+        subtree_idx: u32,
+        ctx: &QueryContext<'_>,
+        root_bound: Option<f32>,
+        knn: &KnnSet,
+        queues: &[Mutex<LeafQueue>],
+        push_counter: &AtomicUsize,
+        stack: &mut Vec<u32>,
+        stats: &AtomicStats,
+    ) {
         while let Some(id) = stack.pop() {
             let node = &subtree.nodes[id as usize];
-            // The root's 1-bit-per-position label is fully determined by
-            // the subtree key: use the precomputed XOR-penalty evaluation
-            // (this scan touches every subtree, so it is hot).
-            let lbd = if id == 0 {
-                root_lbd.eval(subtree.key)
-            } else {
-                mindist_node(ctx, &node.prefixes, &node.bits)
+            let lbd = match (id, root_bound) {
+                (0, Some(b)) => b,
+                _ => mindist_node(ctx, &node.prefixes, &node.bits),
             };
             if lbd >= knn.bound() {
                 stats.nodes_pruned.fetch_add(1, Ordering::Relaxed);
@@ -431,12 +563,7 @@ impl<S: Summarization> Index<S> {
                     if rows.is_empty() {
                         continue;
                     }
-                    let slot = push_counter.fetch_add(1, Ordering::Relaxed) % queues.len();
-                    queues[slot].lock().push(Reverse(QueueEntry {
-                        lbd,
-                        subtree: subtree_idx,
-                        node: id,
-                    }));
+                    push_leaf(lbd, subtree_idx, id, queues, push_counter);
                     stats.leaves_collected.fetch_add(1, Ordering::Relaxed);
                 }
                 NodeKind::Inner { left, right, .. } => {
@@ -455,7 +582,7 @@ impl<S: Summarization> Index<S> {
         &self,
         worker: usize,
         q: &[f32],
-        queues: &[Mutex<BinaryHeap<Reverse<QueueEntry>>>],
+        queues: &[Mutex<LeafQueue>],
         done: &[AtomicBool],
         ctx: &QueryContext<'_>,
         knn: &KnnSet,
@@ -503,7 +630,8 @@ impl<S: Summarization> Index<S> {
     /// the block kernel lower-bounds 8 candidates per call over the SoA
     /// word block, then exact distances stream over the leaf's contiguous
     /// arena run. Leaves touched by online inserts fall back to the
-    /// per-row path until [`Index::repack_leaves`].
+    /// per-row path until [`Index::repack_leaves`] (which the auto-repack
+    /// trigger runs for you by default).
     fn refine_leaf(
         &self,
         entry: QueueEntry,
@@ -597,4 +725,18 @@ impl<S: Summarization> Index<S> {
         stats.series_lbd_checked.fetch_add(rows.len(), Ordering::Relaxed);
         stats.series_refined.fetch_add(refined, Ordering::Relaxed);
     }
+}
+
+/// Pushes one surviving leaf into the queues, round-robin on the shared
+/// push counter.
+#[inline]
+fn push_leaf(
+    lbd: f32,
+    subtree: u32,
+    node: u32,
+    queues: &[Mutex<LeafQueue>],
+    push_counter: &AtomicUsize,
+) {
+    let slot = push_counter.fetch_add(1, Ordering::Relaxed) % queues.len();
+    queues[slot].lock().push(Reverse(QueueEntry { lbd, subtree, node }));
 }

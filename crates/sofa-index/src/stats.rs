@@ -25,6 +25,8 @@ pub(crate) struct KernelCounters {
     /// Candidate lanes pruned by the block sweep (whole-group abandons
     /// plus individual lanes whose lower bound met the BSF).
     pub block_lanes_abandoned: AtomicU64,
+    /// 8-leaf groups swept by the collect-phase node-block kernel.
+    pub collect_groups_swept: AtomicU64,
 }
 
 impl KernelCounters {
@@ -35,6 +37,10 @@ impl KernelCounters {
     pub(crate) fn record_block_sweep(&self, groups: u64, lanes_abandoned: u64) {
         self.block_groups_swept.fetch_add(groups, Ordering::Relaxed);
         self.block_lanes_abandoned.fetch_add(lanes_abandoned, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_collect_sweep(&self, groups: u64) {
+        self.collect_groups_swept.fetch_add(groups, Ordering::Relaxed);
     }
 }
 
@@ -70,6 +76,9 @@ pub struct IndexStats {
     pub block_groups_swept: u64,
     /// Candidate lanes pruned by the block sweep.
     pub block_lanes_abandoned: u64,
+    /// 8-leaf groups swept by the collect-phase node-block kernel (each
+    /// replaces up to 8 scalar `mindist_node` evaluations).
+    pub collect_groups_swept: u64,
 }
 
 impl<S: Summarization> Index<S> {
@@ -113,6 +122,7 @@ impl<S: Summarization> Index<S> {
             queries_served: self.counters.queries.load(Ordering::Relaxed),
             block_groups_swept: self.counters.block_groups_swept.load(Ordering::Relaxed),
             block_lanes_abandoned: self.counters.block_lanes_abandoned.load(Ordering::Relaxed),
+            collect_groups_swept: self.counters.collect_groups_swept.load(Ordering::Relaxed),
         }
     }
 }
@@ -185,5 +195,6 @@ mod tests {
         let after = idx.stats();
         assert_eq!(after.queries_served, 1);
         assert!(after.block_groups_swept > 0, "block sweep never ran: {after:?}");
+        assert!(after.collect_groups_swept > 0, "collect sweep never ran: {after:?}");
     }
 }

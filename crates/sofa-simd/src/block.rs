@@ -21,6 +21,12 @@
 //! and `weights` hold the query's `l` exact values and lower-bound
 //! weights.
 //!
+//! A "candidate" is anything with one quantization interval per position:
+//! the kernel serves both leaf refinement (`sofa-summaries`' `WordBlock`,
+//! full-cardinality symbol intervals) and the tree's collect phase
+//! (`NodeBlock`, variable-cardinality prefix intervals — unconstrained
+//! positions store `(-inf, +inf)` and contribute exactly `0.0`).
+//!
 //! ## Early abandoning
 //!
 //! After every 4 positions the 8 running sums are compared against

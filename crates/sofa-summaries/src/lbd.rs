@@ -27,39 +27,134 @@
 
 use crate::traits::Summarization;
 use sofa_simd::{F32x8, LANES};
+use std::borrow::Cow;
 
-/// Precomputed query-side state for mindist evaluation against many words
-/// of one summarization model. Built once per query.
-pub struct QueryContext<'a> {
-    /// Exact query values per word position.
-    values: Vec<f32>,
+/// Query-*independent* evaluation state for one summarization model:
+/// breakpoint tables, lower-bound weights and alphabet geometry — everything
+/// a [`QueryContext`] needs except the query's own values.
+///
+/// Built once per index (cloning the model's tables, a few KB) and shared
+/// by every query, so constructing a per-query context is allocation-free:
+/// the serving path's fixed per-query cost is one transform into a reused
+/// buffer instead of three vector allocations plus table gathering.
+#[derive(Clone, Debug)]
+pub struct QueryEnv {
+    /// Breakpoint table per position (cloned from the model once).
+    tables: Vec<Vec<f32>>,
     /// Lower-bound weight per position.
     weights: Vec<f32>,
-    /// Breakpoint table per position.
-    tables: Vec<&'a [f32]>,
     /// Alphabet size (shared across positions).
     alphabet: usize,
     /// Bits per symbol.
     bits: u8,
 }
 
+impl QueryEnv {
+    /// Captures the model's breakpoint tables and weights.
+    #[must_use]
+    pub fn new(summarization: &dyn Summarization) -> Self {
+        let l = summarization.word_len();
+        QueryEnv {
+            tables: (0..l).map(|j| summarization.breakpoints(j).to_vec()).collect(),
+            weights: (0..l).map(|j| summarization.weight(j)).collect(),
+            alphabet: summarization.alphabet(),
+            bits: summarization.symbol_bits(),
+        }
+    }
+
+    /// Word length of the model this environment was built from.
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Interval `[lo, hi]` covered by symbols `lo_sym ..= hi_sym` at
+    /// position `j`, with infinities at the edges.
+    #[inline]
+    fn interval(&self, j: usize, lo_sym: usize, hi_sym: usize) -> (f32, f32) {
+        symbols_interval(&self.tables[j], self.alphabet, lo_sym, hi_sym)
+    }
+}
+
+/// Interval covered by full-cardinality symbols `lo_sym ..= hi_sym` of a
+/// breakpoint table, with infinities at the alphabet edges — the one
+/// implementation of the edge rule, shared by the scalar kernels here and
+/// the SoA block builders in [`crate::block`] (the bit-for-bit
+/// block-vs-scalar guarantee rests on there being exactly one copy).
+#[inline]
+#[must_use]
+pub(crate) fn symbols_interval(
+    bp: &[f32],
+    alphabet: usize,
+    lo_sym: usize,
+    hi_sym: usize,
+) -> (f32, f32) {
+    let lo = if lo_sym == 0 { f32::NEG_INFINITY } else { bp[lo_sym - 1] };
+    let hi = if hi_sym + 1 >= alphabet { f32::INFINITY } else { bp[hi_sym] };
+    (lo, hi)
+}
+
+/// Interval covered by a node's `bits`-bit `prefix` at one position: the
+/// union of all full-cardinality symbols sharing the prefix, unbounded
+/// for zero-bit (unconstrained) positions. Shared by [`mindist_node`] and
+/// the [`crate::NodeBlock`] builder for the same single-copy reason as
+/// [`symbols_interval`].
+#[inline]
+#[must_use]
+pub(crate) fn prefix_interval(
+    prefix: u8,
+    bits: u8,
+    symbol_bits: u8,
+    alphabet: usize,
+    bp: &[f32],
+) -> (f32, f32) {
+    debug_assert!(bits <= symbol_bits);
+    if bits == 0 {
+        return (f32::NEG_INFINITY, f32::INFINITY);
+    }
+    let shift = symbol_bits - bits;
+    let lo_sym = (prefix as usize) << shift;
+    let hi_sym = (((prefix as usize) + 1) << shift) - 1;
+    symbols_interval(bp, alphabet, lo_sym, hi_sym)
+}
+
+/// Precomputed query-side state for mindist evaluation against many words
+/// of one summarization model. Built once per query.
+///
+/// Two constructions exist: [`QueryContext::new`] owns everything (computes
+/// the query values through a fresh transformer and clones the model's
+/// tables — convenient for tests and one-off evaluation), while
+/// [`QueryContext::borrowed`] wraps a shared [`QueryEnv`] and a
+/// caller-owned values buffer without allocating — the index's serving
+/// path, where contexts are rebuilt per query from pooled scratch.
+pub struct QueryContext<'a> {
+    /// Exact query values per word position.
+    values: Cow<'a, [f32]>,
+    /// Tables/weights/alphabet (owned or index-shared).
+    env: Cow<'a, QueryEnv>,
+}
+
 impl<'a> QueryContext<'a> {
-    /// Builds the context: computes the query's exact values through the
-    /// model's transformer and captures breakpoint tables and weights.
+    /// Builds an owning context: computes the query's exact values through
+    /// the model's transformer and captures breakpoint tables and weights.
     #[must_use]
     pub fn new(summarization: &'a dyn Summarization, query: &[f32]) -> Self {
         let l = summarization.word_len();
         let mut values = vec![0.0f32; l];
         summarization.transformer().query_values_into(query, &mut values);
-        let weights = (0..l).map(|j| summarization.weight(j)).collect();
-        let tables = (0..l).map(|j| summarization.breakpoints(j)).collect();
-        QueryContext {
-            values,
-            weights,
-            tables,
-            alphabet: summarization.alphabet(),
-            bits: summarization.symbol_bits(),
-        }
+        QueryContext { values: Cow::Owned(values), env: Cow::Owned(QueryEnv::new(summarization)) }
+    }
+
+    /// Wraps a shared environment and an already-computed values buffer
+    /// (see [`crate::Summarization::query_values_reusing`]); performs no
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics if `values` does not match the environment's word length.
+    #[must_use]
+    pub fn borrowed(env: &'a QueryEnv, values: &'a [f32]) -> Self {
+        assert_eq!(values.len(), env.word_len(), "values/environment word length mismatch");
+        QueryContext { values: Cow::Borrowed(values), env: Cow::Borrowed(env) }
     }
 
     /// Word length.
@@ -79,7 +174,7 @@ impl<'a> QueryContext<'a> {
     /// kernels alongside [`QueryContext::values`].
     #[must_use]
     pub fn weights(&self) -> &[f32] {
-        &self.weights
+        &self.env.weights
     }
 
     /// The query's *word*: each exact value quantized against its
@@ -102,19 +197,16 @@ impl<'a> QueryContext<'a> {
         out.extend(
             self.values
                 .iter()
-                .zip(self.tables.iter())
+                .zip(self.env.tables.iter())
                 .map(|(&v, bp)| bp.partition_point(|&b| b <= v) as u8),
         );
     }
 
-    /// Interval `[lo, hi]` covered by symbols `lo_sym ..= hi_sym` at
-    /// position `j`, with infinities at the edges.
+    /// The environment, hoisted once so hot loops skip the per-access
+    /// `Cow` discriminant check.
     #[inline]
-    fn interval(&self, j: usize, lo_sym: usize, hi_sym: usize) -> (f32, f32) {
-        let bp = self.tables[j];
-        let lo = if lo_sym == 0 { f32::NEG_INFINITY } else { bp[lo_sym - 1] };
-        let hi = if hi_sym + 1 >= self.alphabet { f32::INFINITY } else { bp[hi_sym] };
-        (lo, hi)
+    fn env(&self) -> &QueryEnv {
+        &self.env
     }
 }
 
@@ -144,22 +236,40 @@ impl RootLbd {
     /// Panics if the word is longer than 64 positions.
     #[must_use]
     pub fn new(ctx: &QueryContext<'_>) -> Self {
+        let mut root = RootLbd { qkey: 0, penalties: Vec::with_capacity(ctx.word_len()) };
+        root.rebuild(ctx);
+        root
+    }
+
+    /// An empty table awaiting [`RootLbd::rebuild`] — the shape held in
+    /// reusable query scratch.
+    #[must_use]
+    pub fn empty() -> Self {
+        RootLbd { qkey: 0, penalties: Vec::new() }
+    }
+
+    /// Recomputes the table for a new query, reusing the penalty buffer
+    /// (allocation-free once the buffer has reached the word length).
+    ///
+    /// # Panics
+    /// Panics if the word is longer than 64 positions.
+    pub fn rebuild(&mut self, ctx: &QueryContext<'_>) {
         let l = ctx.word_len();
         assert!(l <= 64, "root keys support at most 64 positions");
-        let half = ctx.alphabet / 2;
-        let mut qkey = 0u64;
-        let mut penalties = Vec::with_capacity(l);
+        let env = ctx.env();
+        let half = env.alphabet / 2;
+        self.qkey = 0;
+        self.penalties.clear();
         for j in 0..l {
-            let mid = ctx.tables[j][half - 1];
+            let mid = env.tables[j][half - 1];
             let q = ctx.values[j];
             // Query's side of the midpoint = its key bit.
             let bit = u64::from(q >= mid);
-            qkey |= bit << j;
+            self.qkey |= bit << j;
             // Distance to the *other* half-line is the distance to `mid`.
             let d = q - mid;
-            penalties.push(ctx.weights[j] * d * d);
+            self.penalties.push(env.weights[j] * d * d);
         }
-        RootLbd { qkey, penalties }
     }
 
     /// The query's root key.
@@ -205,12 +315,13 @@ fn interval_dist(q: f32, lo: f32, hi: f32) -> f32 {
 #[allow(clippy::needless_range_loop)] // parallel indexing into word/values/weights
 pub fn mindist_scalar(ctx: &QueryContext<'_>, word: &[u8]) -> f32 {
     assert_eq!(word.len(), ctx.word_len());
+    let env = ctx.env();
     let mut sum = 0.0f32;
     for j in 0..word.len() {
         let s = word[j] as usize;
-        let (lo, hi) = ctx.interval(j, s, s);
+        let (lo, hi) = env.interval(j, s, s);
         let d = interval_dist(ctx.values[j], lo, hi);
-        sum += ctx.weights[j] * d * d;
+        sum += env.weights[j] * d * d;
     }
     sum
 }
@@ -231,6 +342,7 @@ pub fn mindist_scalar(ctx: &QueryContext<'_>, word: &[u8]) -> f32 {
 #[must_use]
 pub fn mindist_simd(ctx: &QueryContext<'_>, word: &[u8], bsf_sq: f32) -> f32 {
     assert_eq!(word.len(), ctx.word_len());
+    let env = ctx.env();
     let l = word.len();
     let mut sum = 0.0f32;
     let chunks = l / LANES;
@@ -243,14 +355,14 @@ pub fn mindist_simd(ctx: &QueryContext<'_>, word: &[u8], bsf_sq: f32) -> f32 {
         for i in 0..LANES {
             let j = base + i;
             let s = word[j] as usize;
-            let (l_, h_) = ctx.interval(j, s, s);
+            let (l_, h_) = env.interval(j, s, s);
             lo[i] = l_;
             hi[i] = h_;
         }
         let vq = F32x8::from_slice(&ctx.values[base..]);
         let vlo = F32x8::from_array(lo);
         let vhi = F32x8::from_array(hi);
-        let vw = F32x8::from_slice(&ctx.weights[base..]);
+        let vw = F32x8::from_slice(&env.weights[base..]);
         // Caldist: the two non-zero branch results.
         let d_below = vlo - vq; // positive where q < lo
         let d_above = vq - vhi; // positive where q > hi
@@ -269,9 +381,9 @@ pub fn mindist_simd(ctx: &QueryContext<'_>, word: &[u8], bsf_sq: f32) -> f32 {
     #[allow(clippy::needless_range_loop)] // parallel indexing into word/values
     for j in chunks * LANES..l {
         let s = word[j] as usize;
-        let (lo, hi) = ctx.interval(j, s, s);
+        let (lo, hi) = env.interval(j, s, s);
         let d = interval_dist(ctx.values[j], lo, hi);
-        sum += ctx.weights[j] * d * d;
+        sum += env.weights[j] * d * d;
     }
     sum
 }
@@ -290,20 +402,17 @@ pub fn mindist_simd(ctx: &QueryContext<'_>, word: &[u8], bsf_sq: f32) -> f32 {
 pub fn mindist_node(ctx: &QueryContext<'_>, prefixes: &[u8], bits: &[u8]) -> f32 {
     assert_eq!(prefixes.len(), ctx.word_len());
     assert_eq!(bits.len(), ctx.word_len());
-    let full_bits = ctx.bits;
+    let env = ctx.env();
+    let full_bits = env.bits;
     let mut sum = 0.0f32;
     for j in 0..prefixes.len() {
         let b = bits[j];
-        debug_assert!(b <= full_bits);
         if b == 0 {
             continue; // interval covers everything: distance 0
         }
-        let shift = full_bits - b;
-        let lo_sym = (prefixes[j] as usize) << shift;
-        let hi_sym = (((prefixes[j] as usize) + 1) << shift) - 1;
-        let (lo, hi) = ctx.interval(j, lo_sym, hi_sym);
+        let (lo, hi) = prefix_interval(prefixes[j], b, full_bits, env.alphabet, &env.tables[j]);
         let d = interval_dist(ctx.values[j], lo, hi);
-        sum += ctx.weights[j] * d * d;
+        sum += env.weights[j] * d * d;
     }
     sum
 }

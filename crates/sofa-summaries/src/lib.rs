@@ -44,13 +44,13 @@ pub mod sfa;
 pub mod tlb;
 pub mod traits;
 
-pub use block::{mindist_block, WordBlock};
+pub use block::{mindist_block, mindist_node_block, NodeBlock, WordBlock};
 pub use dft::DftSummary;
-pub use lbd::{mindist_node, mindist_scalar, mindist_simd, QueryContext, RootLbd};
+pub use lbd::{mindist_node, mindist_scalar, mindist_simd, QueryContext, QueryEnv, RootLbd};
 pub use mcb::{BinningStrategy, CoefficientSelection, McbConfig, McbModel};
 pub use numeric::{Apca, ApcaSegment, OrthoPoly, Pla};
 pub use paa::Paa;
 pub use sax::{ISax, SaxConfig};
 pub use sfa::{Sfa, SfaConfig};
 pub use tlb::{tlb_of, TlbReport};
-pub use traits::{SeriesTransformer, Summarization};
+pub use traits::{SeriesTransformer, Summarization, TransformScratch};

@@ -10,7 +10,7 @@
 //! symbols, the paper's default) iSAX and SAX coincide.
 
 use crate::paa::Paa;
-use crate::traits::{SeriesTransformer, Summarization, DEFAULT_ALPHABET};
+use crate::traits::{SeriesTransformer, Summarization, TransformScratch, DEFAULT_ALPHABET};
 use sofa_stats::sax_breakpoints;
 
 /// Configuration for an [`ISax`] summarization.
@@ -101,6 +101,12 @@ impl Summarization for ISax {
 
     fn transformer(&self) -> Box<dyn SeriesTransformer + '_> {
         Box::new(SaxTransformer { model: self, paa_buf: vec![0.0; self.paa.segments()] })
+    }
+
+    fn query_values_reusing(&self, query: &[f32], scratch: &mut TransformScratch, out: &mut [f32]) {
+        // PAA writes straight into `out`; no scratch needed at all.
+        let _ = scratch;
+        self.paa.transform_into(query, out);
     }
 
     fn name(&self) -> &str {

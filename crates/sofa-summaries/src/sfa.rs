@@ -8,7 +8,7 @@
 //! against candidate words' intervals.
 
 use crate::mcb::{BinningStrategy, CoefficientSelection, McbConfig, McbModel};
-use crate::traits::{SeriesTransformer, Summarization};
+use crate::traits::{SeriesTransformer, Summarization, TransformScratch};
 use sofa_fft::{RealDft, RealDftPlan};
 use std::sync::Arc;
 
@@ -94,6 +94,23 @@ impl Summarization for Sfa {
         let dft = RealDft::from_plan(Arc::clone(&self.plan));
         let spectrum = vec![0.0f32; 2 * dft.num_coefficients()];
         Box::new(SfaTransformer { sfa: self, dft, spectrum })
+    }
+
+    fn query_values_reusing(&self, query: &[f32], scratch: &mut TransformScratch, out: &mut [f32]) {
+        // The scratch caches the DFT executor (per-thread FFT buffers) and
+        // the spectrum; both survive across queries, so the steady state
+        // allocates nothing — the ROADMAP-noted "normalize + DFT + setup"
+        // fixed cost becomes pure compute.
+        let n = self.model.series_len;
+        if scratch.dft.as_ref().map_or(true, |d| d.len() != n) {
+            scratch.dft = Some(RealDft::from_plan(Arc::clone(&self.plan)));
+        }
+        let dft = scratch.dft.as_mut().expect("executor cached above");
+        scratch.buf.resize(2 * dft.num_coefficients(), 0.0);
+        dft.transform_into(query, &mut scratch.buf);
+        for (o, pos) in out.iter_mut().zip(self.model.positions.iter()) {
+            *o = scratch.buf[pos.flat_index()];
+        }
     }
 
     fn name(&self) -> &str {

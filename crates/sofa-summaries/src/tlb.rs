@@ -55,10 +55,15 @@ pub fn tlb_of(
         rows.push(i);
     }
 
+    // One shared env + one reused values buffer for the whole query loop
+    // (QueryContext::new would clone the breakpoint tables per query).
+    let env = crate::lbd::QueryEnv::new(summarization);
+    let mut values = vec![0.0f32; l];
     let mut total = 0.0f64;
     let mut pairs = 0usize;
     for q in queries.chunks(n) {
-        let ctx = QueryContext::new(summarization, q);
+        transformer.query_values_into(q, &mut values);
+        let ctx = QueryContext::borrowed(&env, &values);
         for (word, &row) in words.iter().zip(rows.iter()) {
             let candidate = &data[row * n..(row + 1) * n];
             let ed_sq = euclidean_sq(q, candidate);

@@ -28,6 +28,24 @@
 /// 8 bits").
 pub const DEFAULT_ALPHABET: usize = 256;
 
+/// Reusable, lifetime-free scratch for
+/// [`Summarization::query_values_reusing`].
+///
+/// A [`SeriesTransformer`] borrows its model, so it cannot be stored in
+/// long-lived per-index scratch. This type holds the transformer's
+/// *buffers* instead — a cached [`sofa_fft::RealDft`] executor and a
+/// generic float buffer — which each model re-borrows per call. After the
+/// first call for a given model the steady state performs no heap
+/// allocation.
+#[derive(Debug, Default)]
+pub struct TransformScratch {
+    /// Cached real-DFT executor (SFA), rebuilt when the series length
+    /// changes.
+    pub(crate) dft: Option<sofa_fft::RealDft>,
+    /// Generic float workspace (the DFT spectrum for SFA; unused by SAX).
+    pub(crate) buf: Vec<f32>,
+}
+
 /// A learned or fixed summarization model. Immutable once built; shared
 /// across index worker threads.
 pub trait Summarization: Send + Sync {
@@ -55,6 +73,19 @@ pub trait Summarization: Send + Sync {
     /// transform needs (FFT buffers, PAA accumulators). The model itself
     /// stays shared and immutable.
     fn transformer(&self) -> Box<dyn SeriesTransformer + '_>;
+
+    /// Computes the query-side exact values like
+    /// [`SeriesTransformer::query_values_into`], but through caller-owned
+    /// [`TransformScratch`] so repeated queries perform no heap allocation
+    /// after warm-up. The default implementation falls back to a fresh
+    /// (allocating) transformer; hot-path models override it.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != word_len()` or the query length mismatches.
+    fn query_values_reusing(&self, query: &[f32], scratch: &mut TransformScratch, out: &mut [f32]) {
+        let _ = scratch;
+        self.transformer().query_values_into(query, out);
+    }
 
     /// Human-readable name for reports ("iSAX", "SFA EW +VAR", ...).
     fn name(&self) -> &str;

@@ -97,6 +97,7 @@ pub struct Builder {
     selection: CoefficientSelection,
     seed: u64,
     pool: Option<Arc<ExecPool>>,
+    auto_repack_pct: Option<u32>,
 }
 
 impl Default for Builder {
@@ -113,6 +114,7 @@ impl Default for Builder {
             selection: CoefficientSelection::HighestVariance,
             seed: 0x50FA,
             pool: None,
+            auto_repack_pct: IndexConfig::default().auto_repack_pct,
         }
     }
 }
@@ -192,12 +194,24 @@ impl Builder {
         self
     }
 
+    /// Auto-repack threshold in percent: after an online insert, when
+    /// more than this share of leaves lost their packed layout, the index
+    /// repacks itself on its worker pool (default 25). `None` disables
+    /// the trigger — call `repack_leaves()` manually.
+    #[must_use]
+    pub fn auto_repack_pct(mut self, pct: Option<u32>) -> Self {
+        self.auto_repack_pct = pct;
+        self
+    }
+
     fn index_config(&self) -> IndexConfig {
         // Lane-derived knobs (worker count, refinement-queue count) must
         // follow the *effective* execution width: a shared pool overrides
         // `threads`.
         let lanes = self.pool.as_ref().map_or(self.threads, |p| p.threads());
-        IndexConfig::with_threads(lanes).leaf_capacity(self.leaf_capacity)
+        IndexConfig::with_threads(lanes)
+            .leaf_capacity(self.leaf_capacity)
+            .auto_repack_pct(self.auto_repack_pct)
     }
 
     /// The shared pool if one was supplied, else a fresh pool with
@@ -304,6 +318,22 @@ macro_rules! forward_index_api {
             /// Returns [`IndexError::BadQuery`] on a length mismatch or `k == 0`.
             pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, IndexError> {
                 self.inner.knn(query, k)
+            }
+
+            /// Exact k-NN written into a caller-owned buffer (cleared
+            /// first, best first) — the allocation-free serving form of
+            /// `knn`: with a warm index and a reused buffer, the
+            /// steady-state serial path performs zero heap allocations.
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] on a length mismatch or `k == 0`.
+            pub fn knn_into(
+                &self,
+                query: &[f32],
+                k: usize,
+                out: &mut Vec<Neighbor>,
+            ) -> Result<(), IndexError> {
+                self.inner.knn_into(query, k, out)
             }
 
             /// Exact k-NN for a row-major batch of queries, best first

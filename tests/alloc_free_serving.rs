@@ -1,0 +1,107 @@
+//! Zero-allocation steady-state serving, asserted by a counting allocator.
+//!
+//! The collect-batching PR's claim is not "fewer" allocations but **zero**
+//! on the warm serial `knn` path: every per-query buffer lives in a
+//! pooled `QueryScratch`, the query context borrows an index-owned
+//! `QueryEnv`, and results drain into a caller-owned buffer via
+//! `knn_into`. This binary installs a global allocator that counts every
+//! `alloc`/`realloc` and proves the claim: after a warm-up pass over the
+//! query set, replaying the same queries performs not a single heap
+//! allocation.
+//!
+//! The test lives in its own integration-test binary because a
+//! `#[global_allocator]` is process-wide; keeping exactly one `#[test]`
+//! here means no concurrent test can pollute the counter.
+
+use sofa::{Neighbor, SofaIndex};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `System`, plus a relaxed counter of allocation events (alloc +
+/// realloc; deallocations are free of new memory and not counted).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation unchanged to `System`; the counter is
+// a relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+fn dataset(count: usize, n: usize, seed: usize) -> Vec<f32> {
+    let mut data = Vec::with_capacity(count * n);
+    for r in 0..count {
+        for t in 0..n {
+            let x = t as f32;
+            let r = (r + seed) as f32;
+            data.push((x * 0.19 + r).sin() + 0.6 * (x * (0.5 + (r % 7.0) * 0.13)).cos());
+        }
+    }
+    data
+}
+
+#[test]
+fn steady_state_knn_performs_zero_heap_allocations() {
+    let n = 96;
+    let data = dataset(600, n, 0);
+    // threads(1): the serial path. (Multi-lane single queries still pay
+    // the pool's boxed task dispatch — amortized away by `knn_batch` —
+    // so the zero-allocation claim is about the per-query algorithm, and
+    // the serial path runs exactly that and nothing else.)
+    let sofa = SofaIndex::builder()
+        .threads(1)
+        .leaf_capacity(40)
+        .sample_ratio(0.2)
+        .build_sofa(&data, n)
+        .expect("build");
+
+    let queries = dataset(24, n, 9000);
+    let mut out: Vec<Neighbor> = Vec::new();
+
+    // Warm-up: create the pooled scratch, size every buffer (queues,
+    // heaps, DFT spectrum, word/context buffers) to this query set, and
+    // resolve the kernel-dispatch OnceLock.
+    for _ in 0..2 {
+        for (qi, q) in queries.chunks(n).enumerate() {
+            let k = [1usize, 5, 10][qi % 3];
+            sofa.knn_into(q, k, &mut out).expect("warmup query");
+        }
+    }
+
+    // Measured pass: the same queries (so collected-leaf counts and heap
+    // sizes are reproduced exactly) must allocate nothing at all.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..4 {
+        for (qi, q) in queries.chunks(n).enumerate() {
+            let k = [1usize, 5, 10][qi % 3];
+            sofa.knn_into(q, k, &mut out).expect("measured query");
+            assert!(!out.is_empty());
+        }
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "steady-state knn_into path allocated {allocations} time(s) across 96 queries"
+    );
+}
