@@ -8,6 +8,9 @@
 //!
 //! OPTIONS
 //!   --quick            small sizes for smoke runs
+//!   --profile <name>   named experiment bundle: `deep` runs the
+//!                      deep-tree serving profile (ext-deep) and supplies
+//!                      its experiment list when none is given
 //!   --scale <N>        divide paper series counts by N   (default 10000)
 //!   --queries <N>      queries per dataset               (default 15)
 //!   --threads <list>   comma-separated core sweep        (default 1,2,4)
@@ -32,10 +35,12 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut write_path: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut profile: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => cfg = BenchConfig::quick(),
+            "--profile" => profile = Some(parse(it.next(), "--profile")),
             "--scale" => cfg.scale = parse(it.next(), "--scale"),
             "--queries" => cfg.n_queries = parse(it.next(), "--queries"),
             "--leaf" => cfg.leaf_capacity = parse(it.next(), "--leaf"),
@@ -54,6 +59,15 @@ fn main() {
             other if other.starts_with('-') => die(&format!("unknown option {other}")),
             id => ids.push(id.to_string()),
         }
+    }
+    // A named profile supplies its experiment bundle when the command
+    // line names none — `repro --quick --profile deep` is a complete
+    // invocation (the CI deep-tree smoke leg).
+    match profile.as_deref() {
+        None => {}
+        Some("deep") if ids.is_empty() => ids.push("ext-deep".to_string()),
+        Some("deep") => {}
+        Some(other) => die(&format!("unknown profile {other} (known: deep)")),
     }
     if ids.is_empty() {
         die("no experiment given (try `all`)");
@@ -114,7 +128,7 @@ fn die(msg: &str) -> ! {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--scale N] [--queries N] [--threads a,b,c] \
+        "usage: repro [--quick] [--profile deep] [--scale N] [--queries N] [--threads a,b,c] \
          [--leaf N] [--write FILE] [--json FILE] <experiment>...\nexperiments: {} | all",
         all_experiments().iter().map(|e| e.id).collect::<Vec<_>>().join(" ")
     );

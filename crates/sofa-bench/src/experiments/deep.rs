@@ -1,0 +1,313 @@
+//! Extension experiment: deep-tree serving (`ext-deep`).
+//!
+//! The scaled-down registry profiles build *flat forests* — thousands of
+//! single-leaf subtrees priced by the `RootLbd` XOR gate alone — so the
+//! collect sweep's hierarchy never engages there (the PR-4 bench note).
+//! This experiment turns the new root-key concentration knob up instead:
+//! nearly every series belongs to one hierarchically clustered prototype
+//! family sharing a root key, so the index grows **deep subtrees with
+//! separable sub-branches** (the MESSI-on-seismic regime). The query
+//! stream is *known-item serving* — near-duplicates of indexed series
+//! (dedup lookups, re-identification), the workload where the best-so-far
+//! collapses immediately and pricing the collect fringe becomes the
+//! dominant query cost. The same stream is answered on two builds of the
+//! same data — hierarchy-aware level blocks (the default) versus the
+//! PR-4 leaf-only collect sweep (`collect_levels(0)`) — so the win of a
+//! near-root prune retiring whole leaf ranges is measured directly, A/B,
+//! in one binary.
+//!
+//! Measurement protocol: the two arms are rebuilt fresh in alternating
+//! order (ABBA) so allocator/page locality cannot favor either side, each
+//! pass visits the queries at a rotated offset so scheduler throttling
+//! decorrelates from query identity, and the per-query minimum across all
+//! passes is reported — the standard noise-floor estimate on shared
+//! hardware.
+//!
+//! The experiment also exercises the online half of deep-tree serving:
+//! an insert burst with auto-repack disabled (stale lanes answered through
+//! the parent-interval fallback), the `fallback_leaf_pct` health stat
+//! (with a warn-level note past 50%), and an incremental repack restoring
+//! the packed layout. Exactness versus the flat brute force is asserted at
+//! every stage; the `deep_exactness_deviations` metric must stay 0.
+
+use super::Suite;
+use crate::report::{f1, f2, f3, Report};
+use sofa::baselines::FlatL2;
+use sofa::stats::percentile;
+use sofa::SofaIndex;
+
+/// Relative tolerance for distance agreement with the flat baseline
+/// (different kernels sum in different orders).
+const TOL: f32 = 1e-3;
+
+/// Counts queries whose best-distance disagrees with the flat baseline
+/// beyond tolerance.
+fn exactness_deviations(index: &SofaIndex, flat: &FlatL2, queries: &[f32], n: usize) -> usize {
+    let mut deviations = 0usize;
+    for q in queries.chunks(n) {
+        let a = index.nn(q).expect("query").dist_sq;
+        let b = flat.nn(q).dist_sq;
+        if (a - b).abs() > TOL * a.max(1.0) {
+            deviations += 1;
+        }
+    }
+    deviations
+}
+
+/// Updates per-query minima over `passes` rotated sweeps of the stream.
+fn time_stream_min(index: &SofaIndex, queries: &[f32], n: usize, passes: usize, ms: &mut Vec<f64>) {
+    let nq = queries.len() / n;
+    if ms.is_empty() {
+        ms.resize(nq, f64::INFINITY);
+    }
+    for pass in 0..passes {
+        for j in 0..nq {
+            // Rotated visit order: throttle windows land on different
+            // queries each pass, so the per-query min discards them.
+            let qi = (j + pass * 17 + 5) % nq;
+            let q = &queries[qi * n..(qi + 1) * n];
+            let (_, secs) = crate::timed(|| {
+                index.nn(q).expect("query");
+            });
+            let v = crate::ms(secs);
+            if v < ms[qi] {
+                ms[qi] = v;
+            }
+        }
+    }
+}
+
+/// `ext-deep`: level-block collect versus the leaf-only sweep on a
+/// concentrated (deep-tree) known-item workload, plus the stale-lane /
+/// incremental repack serving cycle.
+pub fn ext_deep(suite: &Suite) -> Report {
+    let mut r = Report::new("ext-deep", "deep-tree collect: level blocks vs leaf-only sweep");
+    let mut spec = suite
+        .specs()
+        .iter()
+        .find(|s| s.name == "Deep1b")
+        .expect("registry")
+        .clone()
+        .with_concentration(0.99);
+    // Enough instance noise that sub-clusters spread over several
+    // quantization bins (fine splits instead of fat degenerate leaves).
+    spec.instance_noise = 0.25;
+    // Four times the standard scaled count (capped), because tree depth —
+    // not breadth — is what this profile exists to exercise.
+    let count = (spec.scaled_count(suite.cfg.scale, suite.cfg.min_series) * 4).clamp(2_400, 96_000);
+    let n_holdout = suite.cfg.n_queries.clamp(8, 32);
+    let dataset = spec.generate(count, n_holdout);
+    let n = dataset.series_len();
+    // Known-item query stream: near-duplicates of indexed rows spread
+    // across the whole archive.
+    let n_queries = 48usize;
+    let queries: Vec<f32> = (0..n_queries)
+        .flat_map(|qi| {
+            let row = qi * 997 % count;
+            dataset
+                .series(row)
+                .iter()
+                .enumerate()
+                .map(|(t, &x)| x * (1.0 + 0.0008 * (((t + qi) % 7) as f32 - 3.0)))
+                .collect::<Vec<f32>>()
+        })
+        .collect();
+    r.para(&format!(
+        "Workload: {} at root-key concentration 0.99 (hierarchical \
+         prototype family) — {count} series of length {n}; the timed \
+         stream is {n_queries} known-item queries (near-duplicates of \
+         indexed rows), where the BSF collapses immediately and collect \
+         pricing dominates. Word length 12, leaf capacity 8, serial query \
+         path (the A/B isolates the collect algorithm, not pool \
+         dispatch). `level` prices the top levels of internal nodes \
+         8-wide and retires whole descendant leaf ranges per pruned lane; \
+         `leaf-only` is the PR-4 sweep over the leaf fringe alone. Arms \
+         are rebuilt fresh in ABBA order and timed as per-query minima \
+         over rotated passes.",
+        spec.name
+    ));
+
+    let build = |levels: usize| {
+        let idx = SofaIndex::builder()
+            .threads(1)
+            .leaf_capacity(8)
+            .word_len(12)
+            .sample_ratio(suite.cfg.sample_ratio)
+            .collect_levels(levels)
+            .build_sofa(dataset.data(), n)
+            .expect("SOFA build");
+        for q in queries.chunks(n) {
+            idx.nn(q).expect("warmup");
+        }
+        idx
+    };
+    let default_levels = sofa::index::node::DEFAULT_COLLECT_LEVELS;
+
+    // Tree shape + exactness gate on the first level build.
+    let probe = build(default_levels);
+    let s = probe.stats();
+    r.para(&format!(
+        "Tree shape: {} subtrees, {} leaves, max depth {}, mean depth {} \
+         — concentrated as intended (the historical profiles build \
+         thousands of single-leaf subtrees at depth 0).",
+        s.subtrees,
+        s.leaves,
+        s.max_depth,
+        f1(s.avg_depth),
+    ));
+    r.metric("deep_tree_subtrees", s.subtrees as f64);
+    r.metric("deep_tree_leaves", s.leaves as f64);
+    r.metric("deep_tree_max_depth", s.max_depth as f64);
+
+    // Exactness first: both collect strategies must match the brute force
+    // on the known-item stream and on hold-out queries. This is the
+    // acceptance gate — a fast wrong answer is worthless.
+    let flat = FlatL2::new(dataset.data(), n, 1);
+    let leaf_only_probe = build(0);
+    let mut deviations = 0usize;
+    for qs in [&queries[..], dataset.queries()] {
+        deviations += exactness_deviations(&probe, &flat, qs, n);
+        deviations += exactness_deviations(&leaf_only_probe, &flat, qs, n);
+    }
+    assert_eq!(deviations, 0, "deep-tree collect must stay exact");
+    r.metric("deep_exactness_deviations", deviations as f64);
+
+    // Collect-work counters over the stream (level arm vs leaf-only arm).
+    let mut level_groups = 0usize;
+    let mut retired = 0usize;
+    let mut fringe_level = 0usize;
+    let mut fringe_leaf_only = 0usize;
+    for q in queries.chunks(n) {
+        let (_, sa) = probe.knn_with_stats(q, 1).expect("stats");
+        let (_, sb) = leaf_only_probe.knn_with_stats(q, 1).expect("stats");
+        level_groups += sa.collect_level_groups_swept;
+        retired += sa.collect_leaves_retired_by_levels;
+        fringe_level += sa.collect_groups_swept;
+        fringe_leaf_only += sb.collect_groups_swept;
+    }
+    drop(probe);
+    drop(leaf_only_probe);
+
+    // ABBA timing: fresh builds per round, alternating order.
+    let passes = 3usize;
+    let mut level_ms: Vec<f64> = Vec::new();
+    let mut leaf_ms: Vec<f64> = Vec::new();
+    for round in 0..4 {
+        if round % 2 == 0 {
+            let a = build(default_levels);
+            time_stream_min(&a, &queries, n, passes, &mut level_ms);
+            drop(a);
+            let b = build(0);
+            time_stream_min(&b, &queries, n, passes, &mut leaf_ms);
+        } else {
+            let b = build(0);
+            time_stream_min(&b, &queries, n, passes, &mut leaf_ms);
+            drop(b);
+            let a = build(default_levels);
+            time_stream_min(&a, &queries, n, passes, &mut level_ms);
+        }
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+
+    let nqf = n_queries as f64;
+    r.table(
+        &[
+            "collect",
+            "mean (ms)",
+            "p50 (ms)",
+            "p99 (ms)",
+            "fringe groups/query",
+            "level groups/query",
+        ],
+        &[
+            vec![
+                "level blocks".into(),
+                f3(mean(&level_ms)),
+                f3(percentile(&level_ms, 50.0)),
+                f3(percentile(&level_ms, 99.0)),
+                f2(fringe_level as f64 / nqf),
+                f2(level_groups as f64 / nqf),
+            ],
+            vec![
+                "leaf-only (PR-4)".into(),
+                f3(mean(&leaf_ms)),
+                f3(percentile(&leaf_ms, 50.0)),
+                f3(percentile(&leaf_ms, 99.0)),
+                f2(fringe_leaf_only as f64 / nqf),
+                "0.00".into(),
+            ],
+        ],
+    );
+    r.metric("deep_level_mean_ms", mean(&level_ms));
+    r.metric("deep_level_p50_ms", percentile(&level_ms, 50.0));
+    r.metric("deep_level_p99_ms", percentile(&level_ms, 99.0));
+    r.metric("deep_leaf_mean_ms", mean(&leaf_ms));
+    r.metric("deep_leaf_p50_ms", percentile(&leaf_ms, 50.0));
+    r.metric("deep_leaf_p99_ms", percentile(&leaf_ms, 99.0));
+    r.metric("deep_mean_speedup", mean(&leaf_ms) / mean(&level_ms).max(1e-12));
+    r.metric(
+        "deep_p99_speedup",
+        percentile(&leaf_ms, 99.0) / percentile(&level_ms, 99.0).max(1e-12),
+    );
+    r.metric("deep_level_groups_per_query", level_groups as f64 / nqf);
+    r.metric("deep_leaves_retired_per_query", retired as f64 / nqf);
+    r.para(&format!(
+        "Level-block collect answers the stream at {} ms mean / {} ms p99 \
+         versus {} / {} for the leaf-only sweep — a {:.2}x mean and \
+         {:.2}x p99 speedup. Per query, {} level groups retired {} leaf \
+         lanes through pruned ancestors, cutting the fringe sweep from {} \
+         to {} kernel groups.",
+        f3(mean(&level_ms)),
+        f3(percentile(&level_ms, 99.0)),
+        f3(mean(&leaf_ms)),
+        f3(percentile(&leaf_ms, 99.0)),
+        mean(&leaf_ms) / mean(&level_ms).max(1e-12),
+        percentile(&leaf_ms, 99.0) / percentile(&level_ms, 99.0).max(1e-12),
+        f2(level_groups as f64 / nqf),
+        f2(retired as f64 / nqf),
+        f2(fringe_leaf_only as f64 / nqf),
+        f2(fringe_level as f64 / nqf),
+    ));
+
+    // --- Online half: insert burst -> stale lanes -> incremental repack.
+    // Auto-repack is disabled so the fallback share is observable (the
+    // `fallback_leaf_pct` health stat this PR adds).
+    let split = (count * 4 / 5) * n;
+    let mut online = SofaIndex::builder()
+        .threads(1)
+        .leaf_capacity(8)
+        .word_len(12)
+        .sample_ratio(suite.cfg.sample_ratio)
+        .auto_repack_pct(None)
+        .build_sofa(&dataset.data()[..split], n)
+        .expect("SOFA build");
+    online.insert_all(&dataset.data()[split..]).expect("insert");
+    let stale = online.stats();
+    r.metric("deep_fallback_leaf_pct_after_burst", stale.fallback_leaf_pct);
+    if stale.fallback_leaf_pct > 50.0 {
+        r.warn(&format!(
+            "{}% of leaves are on the per-row fallback path after the \
+             insert burst (auto-repack disabled): serving has silently \
+             degraded to scalar refinement — run repack (incremental) or \
+             re-enable auto_repack_pct.",
+            f1(stale.fallback_leaf_pct),
+        ));
+    }
+    let stale_dev = exactness_deviations(&online, &flat, &queries, n);
+    online.repack_incremental();
+    let repacked_dev = exactness_deviations(&online, &flat, &queries, n);
+    assert_eq!(stale_dev + repacked_dev, 0, "stale/repacked serving must stay exact");
+    r.metric("deep_exactness_deviations_online", (stale_dev + repacked_dev) as f64);
+    let after = online.stats();
+    r.metric("deep_fallback_leaf_pct_after_repack", after.fallback_leaf_pct);
+    r.para(&format!(
+        "Insert burst (last 20% of the stream, auto-repack off) left \
+         {}% of leaves on the per-row fallback path; queries stayed exact \
+         through the stale-lane parent-interval bounds, and one \
+         incremental repack (only stale subtrees rebuild their blocks) \
+         brought the share back to {}%.",
+        f1(stale.fallback_leaf_pct),
+        f1(after.fallback_leaf_pct),
+    ));
+    r
+}

@@ -3,6 +3,7 @@
 //! experiment ids to runners.
 
 pub mod approx;
+pub mod deep;
 pub mod illustrate;
 pub mod numeric;
 pub mod queries;
@@ -190,6 +191,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Extension: single-query vs batch-query throughput",
             run: throughput::ext_throughput,
         },
+        Experiment {
+            id: "ext-deep",
+            title: "Extension: deep-tree collect (level blocks vs leaf-only)",
+            run: deep::ext_deep,
+        },
     ]
 }
 
@@ -227,6 +233,7 @@ mod tests {
             "ext-approx",
             "ext-numeric",
             "ext-throughput",
+            "ext-deep",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

@@ -22,6 +22,7 @@
 //! | `tab6`   | Table VI/Fig14R| TLB on the 17-dataset registry |
 //! | `fig15`  | Figure 15      | critical-difference analysis |
 //! | `ext-throughput` | extension | single-query vs `knn_batch` QPS on the worker pool |
+//! | `ext-deep` | extension | deep-tree collect: level blocks vs leaf-only sweep (also `--profile deep`) |
 //!
 //! Experiments return [`report::Report`]s (markdown with embedded data
 //! tables) that the binary prints and can append to `EXPERIMENTS.md`.

@@ -51,6 +51,14 @@ impl Report {
         let _ = writeln!(self.body, "{text}\n");
     }
 
+    /// Appends a warn-level note: rendered bold in the markdown body and
+    /// echoed to stderr so an operator skimming a long `repro` run cannot
+    /// miss it (e.g. the fallback-leaf share climbing past its threshold).
+    pub fn warn(&mut self, text: &str) {
+        eprintln!("warn[{}]: {text}", self.id);
+        let _ = writeln!(self.body, "**WARN:** {text}\n");
+    }
+
     /// Appends a markdown table.
     ///
     /// # Panics
@@ -140,6 +148,13 @@ mod tests {
         assert!(s.contains("| a | b |"));
         assert!(s.contains("| 1 | 2 |"));
         assert!(s.contains("hello"));
+    }
+
+    #[test]
+    fn warn_renders_bold_note() {
+        let mut r = Report::new("x", "y");
+        r.warn("fallback share at 60%");
+        assert!(r.render().contains("**WARN:** fallback share at 60%"));
     }
 
     #[test]

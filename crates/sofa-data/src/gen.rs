@@ -89,6 +89,19 @@ pub struct Generator {
     protos: Vec<Vec<f32>>,
     /// Pre-computed per-prototype noise scale (`instance_noise * std`).
     noise_scales: Vec<f32>,
+    /// Probability that an instance is drawn from the blended prototype
+    /// *family* instead of a uniform pick — the root-key concentration
+    /// knob ([`Generator::concentration`]).
+    concentration: f32,
+    /// The hierarchically clustered family (empty at concentration 0);
+    /// kept separate from `protos` so the pristine pool survives knob
+    /// changes.
+    family: Vec<Vec<f32>>,
+    /// Per-family-member noise scale (parallel with `family`).
+    family_noise_scales: Vec<f32>,
+    /// Instance-noise fraction (kept so `concentration` can rescale the
+    /// family members' noise after blending).
+    instance_noise: f32,
     rng: StdRng,
 }
 
@@ -98,6 +111,21 @@ pub const DEFAULT_PROTOTYPES: usize = 64;
 /// Default instance-noise fraction (relative to prototype standard
 /// deviation).
 pub const DEFAULT_INSTANCE_NOISE: f32 = 0.25;
+
+/// Number of sub-prototypes in the concentrated family (see
+/// [`Generator::concentration`]): one leaf per branch of a
+/// [`FAMILY_DEPTH`]-deep binary perturbation hierarchy.
+pub const FAMILY_SIZE: usize = 1 << FAMILY_DEPTH;
+
+/// Depth of the family's binary perturbation hierarchy.
+pub const FAMILY_DEPTH: usize = 4;
+
+/// Perturbation amplitude of the hierarchy's top split, relative to the
+/// base prototype; each deeper split halves-ish it ([`FAMILY_DECAY`]).
+const FAMILY_SCALE: f32 = 0.30;
+
+/// Per-level decay of the perturbation amplitude.
+const FAMILY_DECAY: f32 = 0.62;
 
 impl Generator {
     /// Creates a generator with the default prototype pool (stream 0).
@@ -135,7 +163,84 @@ impl Generator {
             .collect();
         let rng =
             StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15 ^ stream.wrapping_mul(0xA5A5_A5A5));
-        Generator { kind, series_len, protos, noise_scales, rng }
+        Generator {
+            kind,
+            series_len,
+            protos,
+            noise_scales,
+            concentration: 0.0,
+            family: Vec::new(),
+            family_noise_scales: Vec::new(),
+            instance_noise,
+            rng,
+        }
+    }
+
+    /// Sets the **root-key concentration**: the probability (clamped to
+    /// `[0, 1]`) that an instance is emitted from the concentrated
+    /// *prototype family* instead of a uniform prototype pick.
+    ///
+    /// At `0` (the default) every prototype is equally likely — the
+    /// wide-forest regime where the index's root fan-out does the
+    /// pruning. Above `0`, a [`FAMILY_SIZE`]-member **hierarchically
+    /// clustered family** is derived beside the (untouched) pool: every
+    /// member is the base prototype plus a chain of [`FAMILY_DEPTH`]
+    /// shared perturbations of geometrically decaying amplitude, one per
+    /// branch bit — a binary cluster tree, the fractal shape real archives have
+    /// (event families within a seismic source, visual words within a
+    /// descriptor space). Members share the base's coarse shape (hence
+    /// mostly its summarization root key), so the index grows **deep
+    /// subtrees**, and because siblings separate at *every* scale, a
+    /// query near one member is far from the other branch at each level
+    /// — the regime where hierarchy-aware collect pruning retires whole
+    /// leaf ranges per pruned ancestor. A flat single-cluster
+    /// concentration would instead produce a deep tree of near-ties that
+    /// *nothing* can prune. Queries generated with the same concentration
+    /// probe those sub-clusters.
+    #[must_use]
+    pub fn concentration(mut self, concentration: f32) -> Self {
+        self.concentration = concentration.clamp(0.0, 1.0);
+        // The family lives next to the pool rather than overwriting its
+        // head, so the pristine prototypes survive: setting the knob back
+        // to 0 (or calling this repeatedly) always re-derives from — and
+        // samples — the original pool.
+        self.family.clear();
+        self.family_noise_scales.clear();
+        if self.concentration > 0.0 && self.protos.len() > 1 {
+            // Build the family as a binary cluster tree over the base
+            // prototype. Perturbation directions are taken
+            // deterministically from the tail of the already-seeded pool
+            // (one per (level, branch-prefix)), so no extra RNG state is
+            // introduced.
+            let base = &self.protos[0];
+            let dir = |k: usize, prefix: usize| -> &Vec<f32> {
+                // Unique pool index per tree node: 2^k + prefix walks
+                // level k's nodes; wrap within the pool tail.
+                let idx = ((1 << k) + prefix) % (self.protos.len() - 1).max(1) + 1;
+                &self.protos[idx]
+            };
+            for j in 0..FAMILY_SIZE {
+                let mut member = base.clone();
+                let mut scale = FAMILY_SCALE;
+                for k in 0..FAMILY_DEPTH {
+                    let prefix = j >> (FAMILY_DEPTH - 1 - k);
+                    for ((x, &b), &d) in
+                        member.iter_mut().zip(base.iter()).zip(dir(k, prefix).iter())
+                    {
+                        *x += scale * (d - b);
+                    }
+                    scale *= FAMILY_DECAY;
+                }
+                self.family.push(member);
+            }
+            for proto in &self.family {
+                let mean = proto.iter().sum::<f32>() / proto.len().max(1) as f32;
+                let var = proto.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+                    / proto.len().max(1) as f32;
+                self.family_noise_scales.push(self.instance_noise * var.sqrt().max(1e-3));
+            }
+        }
+        self
     }
 
     /// Series length.
@@ -153,10 +258,17 @@ impl Generator {
     /// Generates the next series (raw, not z-normalized).
     #[must_use]
     pub fn next_series(&mut self) -> Vec<f32> {
-        let p = self.rng.random_range(0..self.protos.len());
-        let scale = self.noise_scales[p];
+        // The extra RNG draws only happen when the knob is set, so every
+        // pre-existing dataset stays byte-identical at concentration 0.
+        let (proto, scale) =
+            if !self.family.is_empty() && self.rng.random::<f32>() < self.concentration {
+                let p = self.rng.random_range(0..self.family.len());
+                (&self.family[p], self.family_noise_scales[p])
+            } else {
+                let p = self.rng.random_range(0..self.protos.len());
+                (&self.protos[p], self.noise_scales[p])
+            };
         let non_negative = matches!(self.kind, SignalKind::Descriptor { .. });
-        let proto = &self.protos[p];
         let mut out = Vec::with_capacity(self.series_len);
         for &x in proto {
             let v = x + scale * gauss(&mut self.rng);
@@ -439,6 +551,57 @@ mod tests {
             frac / 30.0
         };
         assert!(avg_high(0.9) > avg_high(0.1) + 0.2);
+    }
+
+    #[test]
+    fn concentration_skews_toward_one_prototype() {
+        // At concentration 0.95 nearly all instances orbit prototype 0:
+        // their pairwise distances collapse versus the uniform stream.
+        let spread = |conc: f32| {
+            let mut g = Generator::new(SignalKind::Seismic { hf: 0.6, snr: 5.0 }, 128, 77)
+                .concentration(conc);
+            let rows: Vec<Vec<f32>> = (0..40)
+                .map(|_| {
+                    let mut s = g.next_series();
+                    sofa_simd::znormalize(&mut s);
+                    s
+                })
+                .collect();
+            let mut total = 0.0f64;
+            let mut count = 0usize;
+            for i in 0..rows.len() {
+                for j in i + 1..rows.len() {
+                    let d: f32 = rows[i].iter().zip(&rows[j]).map(|(a, b)| (a - b) * (a - b)).sum();
+                    total += f64::from(d);
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        assert!(spread(0.95) < spread(0.0) * 0.7, "concentration must tighten the cluster");
+    }
+
+    #[test]
+    fn zero_concentration_is_byte_identical_to_default() {
+        let mut a = Generator::new(SignalKind::RandomWalk, 64, 5);
+        let mut b = Generator::new(SignalKind::RandomWalk, 64, 5).concentration(0.0);
+        assert_eq!(a.generate_flat(10), b.generate_flat(10));
+    }
+
+    #[test]
+    fn resetting_concentration_restores_the_pristine_pool() {
+        // The family lives beside the pool, so turning the knob on and
+        // back off must reproduce the default stream exactly (the pool is
+        // never mutated).
+        let mut a = Generator::new(SignalKind::RandomWalk, 64, 5);
+        let mut b =
+            Generator::new(SignalKind::RandomWalk, 64, 5).concentration(0.9).concentration(0.0);
+        assert_eq!(a.generate_flat(10), b.generate_flat(10));
+        // Re-applying the knob is idempotent, not compounding.
+        let mut c = Generator::new(SignalKind::RandomWalk, 64, 5).concentration(0.9);
+        let mut d =
+            Generator::new(SignalKind::RandomWalk, 64, 5).concentration(0.3).concentration(0.9);
+        assert_eq!(c.generate_flat(10), d.generate_flat(10));
     }
 
     #[test]

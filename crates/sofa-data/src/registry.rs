@@ -44,11 +44,29 @@ pub struct DatasetSpec {
     /// of the same cluster sit. Descriptor collections are tightly
     /// clustered (near-duplicate patches), seismic archives less so.
     pub instance_noise: f32,
+    /// Root-key concentration (see [`Generator::concentration`]): the
+    /// probability that an instance comes from the hierarchically
+    /// clustered prototype *family* (a binary cluster tree over the base
+    /// prototype) instead of a uniform pool pick. `0` (every registry
+    /// default) keeps the historical wide-forest workloads
+    /// byte-identical; deep-tree profiles raise it via
+    /// [`DatasetSpec::with_concentration`] so a few deep, separably
+    /// branched subtrees dominate at bench scale.
+    pub concentration: f32,
     /// Deterministic per-dataset seed.
     pub seed: u64,
 }
 
 impl DatasetSpec {
+    /// Returns this spec with the given root-key concentration — the
+    /// deep-tree variant of the dataset (used by the `ext-deep` bench
+    /// profile and the deep-tree exactness suite).
+    #[must_use]
+    pub fn with_concentration(mut self, concentration: f32) -> Self {
+        self.concentration = concentration.clamp(0.0, 1.0);
+        self
+    }
+
     /// Scales the paper's series count by `1/divisor`, clamped to
     /// `[min_count, paper_count]`.
     #[must_use]
@@ -78,7 +96,8 @@ impl DatasetSpec {
             0,
             prototypes,
             noise,
-        );
+        )
+        .concentration(self.concentration);
         let data = g.generate_flat(count);
         let mut qg = Generator::with_options(
             self.kind.clone(),
@@ -87,7 +106,8 @@ impl DatasetSpec {
             1,
             prototypes,
             noise,
-        );
+        )
+        .concentration(self.concentration);
         let queries = qg.generate_flat(n_queries);
         Dataset::new(self.name.to_string(), self.series_len, data, queries)
     }
@@ -134,6 +154,7 @@ pub fn registry() -> Vec<DatasetSpec> {
                 kind,
                 expected_speedup_rank: rank,
                 instance_noise,
+                concentration: 0.0,
                 seed: 0x50FA_0000 + i as u64,
             }
         })
@@ -196,6 +217,18 @@ mod tests {
         let b = r[3].generate(20, 2);
         assert_eq!(a.data(), b.data());
         assert_eq!(a.queries(), b.queries());
+    }
+
+    #[test]
+    fn concentration_variant_keeps_shape_and_changes_stream() {
+        let r = registry();
+        let base = r[0].generate(60, 4);
+        let deep = r[0].clone().with_concentration(0.97).generate(60, 4);
+        assert_eq!(deep.n_series(), 60);
+        assert_eq!(deep.series_len(), base.series_len());
+        assert_ne!(base.data(), deep.data(), "concentration must reshape the stream");
+        // Clamping.
+        assert_eq!(r[0].clone().with_concentration(7.0).concentration, 1.0);
     }
 
     #[test]

@@ -25,7 +25,48 @@ fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// task has executed (see [`Scope::spawn`]).
 type TaskFn = Box<dyn FnOnce() + Send + 'static>;
 
+/// A *borrowed* broadcast task: one lane's invocation of a shared
+/// `Fn(usize) + Sync` closure that lives on the broadcasting caller's
+/// stack. No box, no clone — the queue carries only this pointer pair, so
+/// a warm [`ExecPool::broadcast`] performs zero heap allocations (the
+/// serving path issues two broadcasts per pool-parallel query).
+struct SharedTask {
+    /// Type-erased `&F`.
+    data: *const (),
+    /// Monomorphized trampoline reconstructing `&F` and calling it.
+    call: unsafe fn(*const (), usize),
+    /// Lane index passed to the closure.
+    lane: usize,
+}
+
+// SAFETY: `data` points at a `Sync` closure (enforced by the only
+// constructor, `ExecPool::broadcast`, whose `F: Fn(usize) + Sync` bound
+// makes `&F` shareable across threads), and the broadcasting caller
+// blocks until every lane has executed, so the referent outlives every
+// use of the pointer.
+unsafe impl Send for SharedTask {}
+
+/// Calls the broadcast closure at `data` for `lane`.
+///
+/// # Safety
+/// `data` must point to a live `F` for the duration of the call.
+unsafe fn shared_call<F: Fn(usize) + Sync>(data: *const (), lane: usize) {
+    let f = unsafe { &*data.cast::<F>() };
+    f(lane);
+}
+
+/// The payload of one queued task.
+enum TaskBody {
+    /// An owned, lifetime-erased closure ([`Scope::spawn`]).
+    Boxed(TaskFn),
+    /// One lane of a borrowed broadcast closure ([`ExecPool::broadcast`]).
+    Shared(SharedTask),
+}
+
 /// Completion state shared between one scope's tasks and its `run` caller.
+/// States are pooled (see `ExecPool::checkout_scope`): a completed state
+/// is returned to the pool's cache and reused by later scopes, so warm
+/// broadcasts allocate nothing.
 #[derive(Default)]
 struct ScopeState {
     /// Tasks spawned but not yet finished.
@@ -38,8 +79,16 @@ struct ScopeState {
 
 impl ScopeState {
     /// Runs one task body, recording a panic and signaling completion.
-    fn execute(self: &Arc<Self>, func: TaskFn) {
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(func)) {
+    fn execute(self: &Arc<Self>, body: TaskBody) {
+        let result = match body {
+            TaskBody::Boxed(func) => catch_unwind(AssertUnwindSafe(func)),
+            // SAFETY: see `SharedTask` — the broadcasting caller keeps
+            // the closure alive until this scope fully drains.
+            TaskBody::Shared(task) => {
+                catch_unwind(AssertUnwindSafe(|| unsafe { (task.call)(task.data, task.lane) }))
+            }
+        };
+        if let Err(payload) = result {
             let mut slot = lock(&self.panic);
             if slot.is_none() {
                 *slot = Some(payload);
@@ -53,15 +102,16 @@ impl ScopeState {
     }
 }
 
-/// One queued task: the erased closure plus its scope's completion state.
+/// One queued task: the body plus its scope's completion state.
 struct Task {
-    func: TaskFn,
+    body: TaskBody,
     scope: Arc<ScopeState>,
 }
 
 impl Task {
     fn execute(self) {
-        self.scope.execute(self.func);
+        let scope = self.scope;
+        scope.execute(self.body);
     }
 }
 
@@ -102,6 +152,9 @@ pub struct ExecPool {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
     lanes: usize,
+    /// Completed scope states awaiting reuse; keeps warm `run`/`broadcast`
+    /// calls from allocating a fresh `Arc<ScopeState>` each time.
+    scope_cache: Mutex<Vec<Arc<ScopeState>>>,
 }
 
 impl std::fmt::Debug for ExecPool {
@@ -139,7 +192,21 @@ impl ExecPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        ExecPool { inner, workers, lanes }
+        ExecPool { inner, workers, lanes, scope_cache: Mutex::new(Vec::new()) }
+    }
+
+    /// Pops a reusable scope state (or creates the first few). A cached
+    /// state is always quiescent: its last scope drained fully (pending
+    /// 0) and any panic payload was taken before it was returned.
+    fn checkout_scope(&self) -> Arc<ScopeState> {
+        lock(&self.scope_cache).pop().unwrap_or_default()
+    }
+
+    /// Returns a drained scope state to the cache for the next scope.
+    fn return_scope(&self, state: Arc<ScopeState>) {
+        debug_assert_eq!(*lock(&state.pending), 0);
+        debug_assert!(lock(&state.panic).is_none());
+        lock(&self.scope_cache).push(state);
     }
 
     /// [`ExecPool::new`] wrapped in an [`Arc`], ready to hand to several
@@ -168,11 +235,12 @@ impl ExecPool {
     where
         F: FnOnce(&Scope<'pool, 'scope>) -> R,
     {
-        let scope =
-            Scope { pool: self, state: Arc::new(ScopeState::default()), _scope: PhantomData };
+        let scope = Scope { pool: self, state: self.checkout_scope(), _scope: PhantomData };
         let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
         self.help_until_done(&scope.state);
-        if let Some(payload) = lock(&scope.state.panic).take() {
+        let panic = lock(&scope.state.panic).take();
+        self.return_scope(scope.state);
+        if let Some(payload) = panic {
             resume_unwind(payload);
         }
         match result {
@@ -186,6 +254,14 @@ impl ExecPool {
     /// atomic-counter work loops used by the build and query phases. On a
     /// 1-lane pool this is a plain call with zero synchronization.
     ///
+    /// Unlike [`ExecPool::run`], the lanes share one *borrowed* closure:
+    /// each queued task is a pre-sized pointer pair into the caller's
+    /// stack frame rather than a fresh box, and the scope state comes
+    /// from the pool's cache — so a warm broadcast performs **zero heap
+    /// allocations**, which is what extends the serving path's
+    /// zero-allocation guarantee to pool-parallel single queries (two
+    /// broadcasts per query: collect, refine).
+    ///
     /// # Panics
     /// Re-raises the first panic from any lane, after all lanes finish.
     pub fn broadcast<F>(&self, f: F)
@@ -196,13 +272,32 @@ impl ExecPool {
             f(0);
             return;
         }
-        self.run(|scope| {
-            let f = &f;
-            for lane in 1..self.lanes {
-                scope.spawn(move || f(lane));
-            }
-            f(0);
-        });
+        let state = self.checkout_scope();
+        *lock(&state.pending) = self.lanes - 1;
+        for lane in 1..self.lanes {
+            // SAFETY (erasure): `&f` outlives this call — `f(0)` plus
+            // `help_until_done` below block until every lane has
+            // executed, mirroring the `Scope::spawn` argument; `F: Sync`
+            // makes the shared `&F` sound across threads.
+            self.inner.push(Task {
+                body: TaskBody::Shared(SharedTask {
+                    data: (&raw const f).cast::<()>(),
+                    call: shared_call::<F>,
+                    lane,
+                }),
+                scope: Arc::clone(&state),
+            });
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| f(0)));
+        self.help_until_done(&state);
+        let panic = lock(&state.panic).take();
+        self.return_scope(state);
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        if let Err(payload) = result {
+            resume_unwind(payload);
+        }
     }
 
     /// Executes this scope's queued tasks until none are pending, then
@@ -312,7 +407,7 @@ impl<'pool, 'scope> Scope<'pool, 'scope> {
         let func: TaskFn = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(func)
         };
-        self.pool.inner.push(Task { func, scope: Arc::clone(&self.state) });
+        self.pool.inner.push(Task { body: TaskBody::Boxed(func), scope: Arc::clone(&self.state) });
     }
 }
 
@@ -504,6 +599,37 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn broadcast_panic_propagates_and_scope_state_stays_reusable() {
+        let pool = ExecPool::new(3);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(|lane| {
+                if lane == 2 {
+                    panic!("lane boom");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker-lane panic must propagate to the caller");
+        // The recycled scope state must serve the next broadcast cleanly.
+        let counter = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn sequential_scopes_share_one_cached_state() {
+        // The allocation half of the broadcast fast path: after warm-up,
+        // every run/broadcast checks the same state out and back in.
+        let pool = ExecPool::new(2);
+        for _ in 0..20 {
+            pool.broadcast(|_| {});
+            pool.run(|scope| scope.spawn(|| {}));
+        }
+        assert_eq!(lock(&pool.scope_cache).len(), 1);
     }
 
     #[test]

@@ -86,6 +86,11 @@ impl<S: Summarization> Index<S> {
             )));
         }
         let n_series = data.len() / n;
+        if n_series > u32::MAX as usize {
+            // Row ids, storage slots and leaf row lists are all `u32`;
+            // past that the silent casts below would truncate.
+            return Err(IndexError::TooManyRows { rows: n_series });
+        }
         let l = summarization.word_len();
         let symbol_bits = summarization.symbol_bits();
         if l > 64 {
@@ -184,31 +189,63 @@ impl<S: Summarization> Index<S> {
     /// [`crate::CollectBlock`] so the collect phase prices leaves 8-wide
     /// again.
     ///
-    /// The bulk build calls this automatically, and — when
-    /// [`crate::IndexConfig::auto_repack_pct`] is set (the default) — so
-    /// do online inserts once enough leaves have dropped their packing.
-    /// Inserts ([`Index::insert`]) keep the index exact but leave the
-    /// touched leaves un-packed (per-row fallback refinement); call this
-    /// after an insert burst to restore the fast path everywhere when the
-    /// auto-trigger is disabled. The permutation is applied in place
-    /// (cycle-walking with one temporary row), so no second copy of the
-    /// dataset is ever held.
+    /// The bulk build calls this automatically. Online inserts instead
+    /// trigger the cheaper [`Index::repack_incremental`] (when
+    /// [`crate::IndexConfig::auto_repack_pct`] is set, the default);
+    /// call this full variant to force every block to rebuild — e.g.
+    /// after changing assumptions about the stored layout. The
+    /// permutation is applied in place (cycle-walking with one temporary
+    /// row), so no second copy of the dataset is ever held.
     pub fn repack_leaves(&mut self) {
+        self.repack_core(true);
+    }
+
+    /// Incremental repack: restores the packed layout like
+    /// [`Index::repack_leaves`], but only subtrees with stale lanes
+    /// (leaves touched by online inserts or splits) rebuild their word
+    /// and collect blocks. Untouched subtrees reuse their existing blocks
+    /// — their arena runs are either left in place entirely or shifted by
+    /// a constant (when an earlier subtree grew), which only updates each
+    /// pack's start slot. This is what the auto-repack trigger runs.
+    ///
+    /// Cost model: the block construction — the dominant repack cost, and
+    /// the only allocation-heavy part — scales with the *touched* portion
+    /// of the tree; the slot-assignment bookkeeping and the permutation's
+    /// cycle scan remain one O(total rows) pass (data movement is still
+    /// limited to rows whose runs actually shifted). A hole-tracking
+    /// allocator that bounds even the scan to touched regions is a
+    /// recorded ROADMAP deferral.
+    pub fn repack_incremental(&mut self) {
+        self.repack_core(false);
+    }
+
+    /// The one repack implementation (see [`Index::repack_leaves`] /
+    /// [`Index::repack_incremental`]): `full` rebuilds every subtree's
+    /// blocks, `!full` only the stale ones.
+    fn repack_core(&mut self, full: bool) {
         let n = self.series_len;
         let l = self.word_len;
         // Slot assignment: leaves in (subtree, arena) order, rows in leaf
-        // order. `bases[s]` is the first slot of subtree `s`.
+        // order. `bases[s]` is the first slot of subtree `s`;
+        // `old_bases[s]` is where its run currently starts (the first
+        // leaf's pack), used to shift clean subtrees without rebuilding.
         let mut new_slot_to_row: Vec<u32> = Vec::with_capacity(self.slot_to_row.len());
         let mut bases: Vec<usize> = Vec::with_capacity(self.subtrees.len());
+        let mut old_bases: Vec<Option<u32>> = Vec::with_capacity(self.subtrees.len());
         let mut leaves = 0usize;
         for st in &self.subtrees {
             bases.push(new_slot_to_row.len());
+            let mut first_pack = None;
             for node in &st.nodes {
-                if let NodeKind::Leaf { rows, .. } = &node.kind {
+                if let NodeKind::Leaf { rows, pack } = &node.kind {
+                    if first_pack.is_none() {
+                        first_pack = pack.as_ref().map(|p| p.start);
+                    }
                     new_slot_to_row.extend_from_slice(rows);
                     leaves += 1;
                 }
             }
+            old_bases.push(first_pack);
         }
         self.total_leaves = leaves;
         self.unpacked_leaves = 0;
@@ -218,7 +255,9 @@ impl<S: Summarization> Index<S> {
             new_row_to_slot[row as usize] = slot as u32;
         }
         // In-place permutation of both arenas: content currently at
-        // storage slot `old` moves to `dest[old]`.
+        // storage slot `old` moves to `dest[old]`. Fixed points (runs
+        // that keep their slots — every subtree before the first insert
+        // site) are skipped without touching the data.
         let dest: Vec<u32> =
             self.slot_to_row.iter().map(|&row| new_row_to_slot[row as usize]).collect();
         permute_rows(&mut self.data, &mut self.words, n, l, &dest);
@@ -230,13 +269,41 @@ impl<S: Summarization> Index<S> {
         // slice).
         let words = &self.words;
         let summarization: &dyn Summarization = &self.summarization;
+        let collect_levels = self.config.collect_levels;
         let per_lane = self.subtrees.len().div_ceil(self.pool.threads()).max(1);
         self.pool.run(|scope| {
-            for (chunk, base_chunk) in
-                self.subtrees.chunks_mut(per_lane).zip(bases.chunks(per_lane))
+            for ((chunk, base_chunk), old_base_chunk) in self
+                .subtrees
+                .chunks_mut(per_lane)
+                .zip(bases.chunks(per_lane))
+                .zip(old_bases.chunks(per_lane))
             {
                 scope.spawn(move || {
-                    for (st, &base) in chunk.iter_mut().zip(base_chunk.iter()) {
+                    for ((st, &base), &old_base) in
+                        chunk.iter_mut().zip(base_chunk.iter()).zip(old_base_chunk.iter())
+                    {
+                        if !full && st.stale_leaves == 0 {
+                            if let Some(old) = old_base {
+                                // Clean subtree: every leaf is packed and
+                                // no label changed since its blocks were
+                                // built, so the word/collect blocks are
+                                // reused verbatim. Its contiguous run may
+                                // have shifted as a whole (an earlier
+                                // subtree grew); only the start slots
+                                // need the delta.
+                                let delta = base as i64 - i64::from(old);
+                                if delta != 0 {
+                                    for node in st.nodes.iter_mut() {
+                                        if let NodeKind::Leaf { pack: Some(pack), .. } =
+                                            &mut node.kind
+                                        {
+                                            pack.start = (i64::from(pack.start) + delta) as u32;
+                                        }
+                                    }
+                                }
+                                continue;
+                            }
+                        }
                         let mut next = base;
                         for node in st.nodes.iter_mut() {
                             if let NodeKind::Leaf { rows, pack } = &mut node.kind {
@@ -255,10 +322,15 @@ impl<S: Summarization> Index<S> {
                         // XOR gate alone — so building one would only
                         // cost memory and scan locality.
                         st.collect = if st.nodes.len() > 1 {
-                            Some(crate::node::CollectBlock::build(summarization, st))
+                            Some(crate::node::CollectBlock::build(
+                                summarization,
+                                st,
+                                collect_levels,
+                            ))
                         } else {
                             None
                         };
+                        st.stale_leaves = 0;
                     }
                 });
             }
@@ -328,7 +400,7 @@ fn build_subtree(
     build_node(rows, prefixes, bits, &mut nodes, words, l, symbol_bits, config.leaf_capacity);
     // The collect block is attached by `repack_leaves` (phase 4), which
     // runs right after the subtrees are assembled.
-    Subtree { key, nodes, collect: None }
+    Subtree { key, nodes, collect: None, stale_leaves: 0 }
 }
 
 /// Recursively materializes the node for `rows`, returning its arena id.
@@ -536,6 +608,13 @@ mod tests {
     }
 
     #[test]
+    fn too_many_rows_error_is_typed_and_displayed() {
+        let e = IndexError::TooManyRows { rows: 5_000_000_000 };
+        assert_eq!(e.clone(), IndexError::TooManyRows { rows: 5_000_000_000 });
+        assert!(e.to_string().contains("u32 row-id space"), "{e}");
+    }
+
+    #[test]
     fn rejects_bad_input() {
         let sax = ISax::new(64, &SaxConfig { word_len: 8, alphabet: 256 });
         assert!(matches!(
@@ -588,6 +667,119 @@ mod tests {
         let idx = sax_index(200, 64, 20, 2);
         let (transform, tree) = idx.build_breakdown();
         assert!(transform >= 0.0 && tree >= 0.0);
+    }
+
+    /// Structural invariant of the packed layout: every packed leaf's
+    /// contiguous slot run holds exactly its rows, in order.
+    fn assert_layout_consistent(idx: &Index<ISax>) {
+        for st in idx.subtrees() {
+            for leaf in st.leaves() {
+                let pack = leaf.pack().expect("leaf must be packed");
+                assert_eq!(pack.block.n(), leaf.rows().len());
+                for (i, &row) in leaf.rows().iter().enumerate() {
+                    let slot = pack.start as usize + i;
+                    assert_eq!(idx.slot_to_row[slot], row, "slot {slot} holds the wrong row");
+                    assert_eq!(idx.row_to_slot[row as usize] as usize, slot);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_repack_restores_packing_and_exactness() {
+        let n = 64;
+        let data = dataset(700, n);
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let mut idx = Index::build(
+            sax,
+            &data[..400 * n],
+            IndexConfig::with_threads(2).leaf_capacity(12).auto_repack_pct(None),
+        )
+        .expect("build");
+        idx.insert_all(&data[400 * n..]).expect("insert");
+        let before = idx.stats();
+        assert!(before.packed_leaves < before.leaves, "inserts must leave stale leaves");
+        assert!(idx.subtrees().iter().any(|st| st.stale_leaves > 0));
+
+        idx.repack_incremental();
+        let after = idx.stats();
+        assert_eq!(after.packed_leaves, after.leaves, "incremental repack must pack everything");
+        assert!(idx.subtrees().iter().all(|st| st.stale_leaves == 0));
+        assert_layout_consistent(&idx);
+
+        // Answers agree with a bulk-built index over the same data.
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let bulk = Index::build(sax, &data, IndexConfig::with_threads(2).leaf_capacity(12))
+            .expect("build");
+        for q in dataset(8, n).chunks(n) {
+            let a = idx.knn(q, 5).expect("query");
+            let b = bulk.knn(q, 5).expect("query");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.row, y.row);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_repack_is_a_noop_on_a_clean_index() {
+        let n = 64;
+        let idx0 = sax_index(500, n, 20, 2);
+        let starts: Vec<u32> = idx0
+            .subtrees()
+            .iter()
+            .flat_map(|st| st.leaves().map(|l| l.pack().unwrap().start))
+            .collect();
+        let mut idx = idx0;
+        idx.repack_incremental();
+        let after: Vec<u32> = idx
+            .subtrees()
+            .iter()
+            .flat_map(|st| st.leaves().map(|l| l.pack().unwrap().start))
+            .collect();
+        assert_eq!(starts, after, "clean subtrees must keep their runs");
+        assert_layout_consistent(&idx);
+    }
+
+    #[test]
+    fn deep_tree_builds_collect_levels() {
+        // Hand every row the same root key region by using one shared
+        // prototype shape: a concentrated tree deep enough for levels.
+        let n = 64;
+        let mut data = Vec::with_capacity(1200 * n);
+        for r in 0..1200 {
+            for t in 0..n {
+                // One square-wave base shape (segment signs, hence root
+                // keys, stay fixed) with per-row amplitude modulation
+                // spanning several quantile boundaries: every row lands
+                // in one root subtree, which then splits deep.
+                let base = if (t / 8) % 2 == 0 { 1.0f32 } else { -1.0 };
+                let x = t as f32;
+                data.push(base * (1.0 + 0.6 * ((x * 0.1 + r as f32 * 0.7).sin())));
+            }
+        }
+        let sax = ISax::new(n, &SaxConfig { word_len: 8, alphabet: 256 });
+        let idx =
+            Index::build(sax, &data, IndexConfig::with_threads(1).leaf_capacity(8)).expect("build");
+        let deep = idx
+            .subtrees()
+            .iter()
+            .filter_map(|st| st.collect.as_ref())
+            .find(|cb| !cb.levels.is_empty())
+            .expect("a concentrated tree must build level blocks");
+        // Spans partition sanity: each level's spans are disjoint,
+        // ordered, and within the fringe.
+        for lanes in &deep.levels {
+            let mut prev_end = 0u32;
+            for &(lo, hi) in &lanes.leaf_spans {
+                assert!(lo < hi, "empty span");
+                assert!(lo >= prev_end, "overlapping spans");
+                assert!(hi as usize <= deep.node_ids.len());
+                prev_end = hi;
+            }
+        }
+        // The hierarchy engages at query time.
+        let (_, stats) = idx.knn_with_stats(&data[..n], 3).expect("query");
+        assert!(stats.collect_level_groups_swept > 0, "level sweep never ran: {stats:?}");
     }
 
     #[test]

@@ -28,6 +28,14 @@ pub struct IndexConfig {
     /// `None` disables the trigger (manual repacking only).
     /// Default: `Some(25)`.
     pub auto_repack_pct: Option<u32>,
+    /// How many levels of internal nodes below each subtree root the
+    /// collect phase prices through hierarchy-aware level blocks before
+    /// falling through to the leaf fringe. A pruned level lane retires its
+    /// whole descendant leaf range — the decisive saving on deep trees
+    /// (concentrated root keys), while shallow subtrees skip the levels
+    /// automatically. `0` disables the hierarchy sweep (leaf-only collect
+    /// blocks). Default: [`crate::node::DEFAULT_COLLECT_LEVELS`].
+    pub collect_levels: usize,
 }
 
 impl Default for IndexConfig {
@@ -38,6 +46,7 @@ impl Default for IndexConfig {
             num_threads: threads,
             num_queues: threads,
             auto_repack_pct: Some(25),
+            collect_levels: crate::node::DEFAULT_COLLECT_LEVELS,
         }
     }
 }
@@ -62,10 +71,20 @@ impl IndexConfig {
 
     /// Sets (or, with `None`, disables) the auto-repack threshold — the
     /// percentage of un-packed leaves that triggers an automatic
-    /// [`crate::Index::repack_leaves`] after an online insert.
+    /// incremental repack ([`crate::Index::repack_incremental`]) after an
+    /// online insert.
     #[must_use]
     pub fn auto_repack_pct(mut self, pct: Option<u32>) -> Self {
         self.auto_repack_pct = pct;
+        self
+    }
+
+    /// Sets how many hierarchy levels the collect phase sweeps through
+    /// level blocks before the leaf fringe (`0` = leaf-only collect, the
+    /// pre-hierarchy behavior).
+    #[must_use]
+    pub fn collect_levels(mut self, levels: usize) -> Self {
+        self.collect_levels = levels;
         self
     }
 }
@@ -81,6 +100,15 @@ mod tests {
         assert_eq!(c.num_queues, c.num_threads);
         assert!(c.num_threads >= 1);
         assert_eq!(c.auto_repack_pct, Some(25));
+        assert_eq!(c.collect_levels, crate::node::DEFAULT_COLLECT_LEVELS);
+    }
+
+    #[test]
+    fn collect_levels_configurable() {
+        let c = IndexConfig::default().collect_levels(0);
+        assert_eq!(c.collect_levels, 0);
+        let c = IndexConfig::default().collect_levels(9);
+        assert_eq!(c.collect_levels, 9);
     }
 
     #[test]

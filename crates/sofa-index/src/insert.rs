@@ -46,6 +46,12 @@ impl<S: Summarization> Index<S> {
                 self.series_len
             )));
         }
+        let next_row = self.data.len() / self.series_len;
+        if next_row > u32::MAX as usize {
+            // Row ids and storage slots are `u32`; one more row would
+            // silently truncate every cast downstream.
+            return Err(IndexError::TooManyRows { rows: next_row + 1 });
+        }
         // Append normalized values and the word. The new row takes the
         // next storage slot (the arena tail), so existing packed runs are
         // undisturbed; only the leaf receiving the row loses its pack.
@@ -53,7 +59,7 @@ impl<S: Summarization> Index<S> {
         sofa_simd::znormalize(&mut z);
         let mut word = vec![0u8; self.word_len];
         self.summarization.transformer().word_into(&z, &mut word);
-        let row = (self.data.len() / self.series_len) as u32;
+        let row = next_row as u32;
         self.data.extend_from_slice(&z);
         self.words.extend_from_slice(&word);
         self.row_to_slot.push(row);
@@ -80,6 +86,7 @@ impl<S: Summarization> Index<S> {
                         kind: NodeKind::Leaf { rows: vec![], pack: None },
                     }],
                     collect: None,
+                    stale_leaves: 1,
                 };
                 self.subtrees.insert(i, subtree);
                 // The new leaf starts un-packed (it is about to receive
@@ -132,6 +139,10 @@ impl<S: Summarization> Index<S> {
             symbol_bits,
             self.config.leaf_capacity,
         );
+        // Stale-lane accounting is per subtree (the incremental repack
+        // rebuilds exactly the subtrees whose count is non-zero) with the
+        // global tally kept alongside for the trigger threshold.
+        subtree.stale_leaves += newly_unpacked + splits;
         self.total_leaves += splits;
         self.unpacked_leaves += newly_unpacked + splits;
         Ok(row)
@@ -139,22 +150,26 @@ impl<S: Summarization> Index<S> {
 
     /// The auto-repack trigger (ROADMAP PR-3 deferred item): once
     /// un-packed leaves exceed the configured percentage of the tree,
-    /// rebuild the packed layout on the worker pool right away instead of
-    /// waiting for an operator call. Amortized over the insert burst that
-    /// un-packed those leaves, this keeps long-running serving instances
-    /// on the batched leaf/collect sweeps.
+    /// restore the packed layout on the worker pool right away instead of
+    /// waiting for an operator call. The trigger runs the *incremental*
+    /// repack — only subtrees with stale lanes rebuild their word and
+    /// collect blocks, untouched subtrees reuse theirs — so the dominant
+    /// repack cost (block construction) scales with the touched portion
+    /// of the tree (slot bookkeeping remains one O(n) scan; see
+    /// [`Index::repack_incremental`]), keeping long-running serving
+    /// instances on the batched leaf/collect sweeps.
     fn maybe_auto_repack(&mut self) {
         let Some(pct) = self.config.auto_repack_pct else { return };
-        // Amortization floor: a repack permutes the whole arena, so it
-        // must be paid for by a batch of un-packed leaves. Without the
-        // floor, a tree with single-digit leaf counts (the default
+        // Amortization floor: a repack still permutes shifted arena runs,
+        // so it must be paid for by a batch of un-packed leaves. Without
+        // the floor, a tree with single-digit leaf counts (the default
         // leaf_capacity is 20k) would exceed any percentage after one
         // insert and repack on *every* insert — quadratic bursts.
         const MIN_UNPACKED: usize = 8;
         if self.unpacked_leaves >= MIN_UNPACKED
             && self.unpacked_leaves * 100 > self.total_leaves.max(1) * pct as usize
         {
-            self.repack_leaves();
+            self.repack_incremental();
         }
     }
 

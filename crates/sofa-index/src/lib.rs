@@ -47,7 +47,7 @@ pub mod stats;
 
 pub use bsf::{AtomicDistance, KnnSet, Neighbor};
 pub use config::IndexConfig;
-pub use node::{CollectBlock, LeafPack, Node, NodeKind, Subtree};
+pub use node::{CollectBlock, LeafPack, LevelLanes, Node, NodeKind, Subtree};
 pub use query::QueryStats;
 pub use sofa_exec::ExecPool;
 pub use stats::IndexStats;
@@ -62,6 +62,14 @@ pub enum IndexError {
     BadDataset(String),
     /// A query's length does not match the indexed series length.
     BadQuery(String),
+    /// The build (or an insert) would exceed `u32::MAX` rows — row ids,
+    /// storage slots and leaf row lists are all `u32`, so a larger index
+    /// would silently truncate ids. Shard the dataset across indexes
+    /// instead.
+    TooManyRows {
+        /// The row count that was requested.
+        rows: usize,
+    },
 }
 
 impl std::fmt::Display for IndexError {
@@ -69,6 +77,9 @@ impl std::fmt::Display for IndexError {
         match self {
             IndexError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
             IndexError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            IndexError::TooManyRows { rows } => {
+                write!(f, "too many rows: {rows} exceeds the u32 row-id space")
+            }
         }
     }
 }

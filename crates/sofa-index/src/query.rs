@@ -25,13 +25,13 @@
 
 use crate::bsf::{KnnSet, Neighbor};
 use crate::node::{root_key, LeafPack, NodeKind, Subtree};
-use crate::scratch::{LeafQueue, QueryScratch, QueueEntry};
+use crate::scratch::{LaneScratch, LeafQueue, QueryScratch, QueueEntry};
 use crate::{Index, IndexError};
 use parking_lot::Mutex;
 use sofa_simd::{euclidean_sq_early_abandon, BLOCK_LANES};
 use sofa_summaries::{
-    mindist_block, mindist_node, mindist_node_block, mindist_simd, QueryContext, RootLbd,
-    Summarization,
+    mindist_block, mindist_level_block, mindist_node, mindist_node_block, mindist_simd,
+    QueryContext, RootLbd, Summarization,
 };
 use std::cmp::Reverse;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -61,6 +61,12 @@ pub struct QueryStats {
     pub block_lanes_abandoned: usize,
     /// 8-leaf groups swept by the collect-phase node-block kernel.
     pub collect_groups_swept: usize,
+    /// 8-node groups swept by the hierarchy-level collect kernel (deep
+    /// trees only; each pruned lane retires a whole leaf range).
+    pub collect_level_groups_swept: usize,
+    /// Leaf-fringe lanes retired wholesale by a pruned ancestor level
+    /// lane — leaves the collect phase never had to price individually.
+    pub collect_leaves_retired_by_levels: usize,
 }
 
 #[derive(Default)]
@@ -74,6 +80,8 @@ struct AtomicStats {
     block_groups_swept: AtomicUsize,
     block_lanes_abandoned: AtomicUsize,
     collect_groups_swept: AtomicUsize,
+    collect_level_groups_swept: AtomicUsize,
+    collect_leaves_retired_by_levels: AtomicUsize,
 }
 
 impl AtomicStats {
@@ -88,6 +96,10 @@ impl AtomicStats {
             block_groups_swept: self.block_groups_swept.load(Ordering::Relaxed),
             block_lanes_abandoned: self.block_lanes_abandoned.load(Ordering::Relaxed),
             collect_groups_swept: self.collect_groups_swept.load(Ordering::Relaxed),
+            collect_level_groups_swept: self.collect_level_groups_swept.load(Ordering::Relaxed),
+            collect_leaves_retired_by_levels: self
+                .collect_leaves_retired_by_levels
+                .load(Ordering::Relaxed),
         }
     }
 }
@@ -238,12 +250,13 @@ impl<S: Summarization> Index<S> {
         let next_subtree = AtomicUsize::new(0);
         let push_counter = AtomicUsize::new(0);
         self.pool.broadcast(|lane| {
-            let mut stack = s.stacks[lane].lock();
+            let mut lane_scratch = s.lanes[lane].lock();
             loop {
                 let i = next_subtree.fetch_add(1, Ordering::Relaxed);
                 if i >= self.subtrees.len() {
                     break;
                 }
+                debug_assert!(i <= u32::MAX as usize, "subtree index exceeds u32");
                 self.collect_subtree(
                     &self.subtrees[i],
                     i as u32,
@@ -252,7 +265,7 @@ impl<S: Summarization> Index<S> {
                     &s.knn,
                     &s.queues,
                     &push_counter,
-                    &mut stack,
+                    &mut lane_scratch,
                     &stats,
                 );
             }
@@ -287,8 +300,9 @@ impl<S: Summarization> Index<S> {
 
         let push_counter = AtomicUsize::new(0);
         {
-            let mut stack = s.stacks[0].lock();
+            let mut lane_scratch = s.lanes[0].lock();
             for (i, subtree) in self.subtrees.iter().enumerate() {
+                debug_assert!(i <= u32::MAX as usize, "subtree index exceeds u32");
                 self.collect_subtree(
                     subtree,
                     i as u32,
@@ -297,7 +311,7 @@ impl<S: Summarization> Index<S> {
                     &s.knn,
                     &s.queues,
                     &push_counter,
-                    &mut stack,
+                    &mut lane_scratch,
                     &stats,
                 );
             }
@@ -332,7 +346,11 @@ impl<S: Summarization> Index<S> {
             stats.block_groups_swept as u64,
             stats.block_lanes_abandoned as u64,
         );
-        self.counters.record_collect_sweep(stats.collect_groups_swept as u64);
+        self.counters.record_collect_sweep(
+            stats.collect_groups_swept as u64,
+            stats.collect_level_groups_swept as u64,
+            stats.collect_leaves_retired_by_levels as u64,
+        );
     }
 
     /// Approximate 1-NN only (the paper's "Approximate Search" stage used
@@ -425,10 +443,13 @@ impl<S: Summarization> Index<S> {
 
     /// Prices one subtree against the bound and pushes its surviving
     /// leaves into the queues: one [`RootLbd`] XOR evaluation gates the
-    /// whole subtree, then the collect block prices leaves 8 per
-    /// dispatched kernel call (whole groups abandoning mid-sum against
-    /// the BSF). Lanes left stale by online splits — and subtrees without
-    /// a block — fall back to the scalar DFS.
+    /// whole subtree; on deep subtrees a top-down **level sweep** then
+    /// prices the top levels of internal nodes 8 per dispatched kernel
+    /// call, where each pruned lane retires its entire descendant leaf
+    /// range; finally the surviving leaf-fringe lanes are priced 8 per
+    /// call (whole groups abandoning mid-sum against the BSF). Lanes left
+    /// stale by online splits — and subtrees without a block — fall back
+    /// to the scalar DFS.
     #[allow(clippy::too_many_arguments)]
     fn collect_subtree(
         &self,
@@ -439,7 +460,7 @@ impl<S: Summarization> Index<S> {
         knn: &KnnSet,
         queues: &[Mutex<LeafQueue>],
         push_counter: &AtomicUsize,
-        stack: &mut Vec<u32>,
+        lane_scratch: &mut LaneScratch,
         stats: &AtomicStats,
     ) {
         // The root's 1-bit-per-position label is fully determined by the
@@ -465,6 +486,7 @@ impl<S: Summarization> Index<S> {
             }
         }
         let Some(cb) = &subtree.collect else {
+            let stack = &mut lane_scratch.stack;
             stack.clear();
             stack.push(0);
             self.collect_dfs(
@@ -481,9 +503,65 @@ impl<S: Summarization> Index<S> {
             return;
         };
         let mut lbs = [0.0f32; BLOCK_LANES];
+
+        // --- Level sweep (deep subtrees only): price the top levels of
+        // internal nodes top-down; a pruned lane marks its whole
+        // descendant leaf range dead before the fringe is ever touched.
+        // Because the fringe is in DFS order, every lane's descendants
+        // form the contiguous span `[leaf_lo, leaf_hi)`; at the moment
+        // level `d` is swept, a lane's span is either fully alive or was
+        // killed wholesale by an ancestor, so checking its first leaf
+        // suffices.
+        let use_levels = !cb.levels.is_empty();
+        if use_levels {
+            lane_scratch.reset_dead(cb.node_ids.len());
+            let mut retired = 0usize;
+            for (lvl, lanes_meta) in cb.levels.iter().enumerate() {
+                let block = cb.level_blocks.level(lvl);
+                for g in 0..block.n_groups() {
+                    let lanes = block.lanes_in(g);
+                    let base = g * BLOCK_LANES;
+                    if (0..lanes)
+                        .all(|i| lane_scratch.dead[lanes_meta.leaf_spans[base + i].0 as usize])
+                    {
+                        continue;
+                    }
+                    stats.collect_level_groups_swept.fetch_add(1, Ordering::Relaxed);
+                    let bound = knn.bound();
+                    let group_abandoned =
+                        mindist_level_block(ctx, &cb.level_blocks, lvl, g, bound, &mut lbs);
+                    for (i, &lbd) in lbs.iter().enumerate().take(lanes) {
+                        let (lo, hi) = lanes_meta.leaf_spans[base + i];
+                        if lane_scratch.dead[lo as usize] {
+                            continue;
+                        }
+                        // On a whole-group abandon every lane's (partial)
+                        // sum already exceeded the bound; otherwise
+                        // re-read the bound, which tightens as refinement
+                        // overlaps.
+                        if group_abandoned || lbd >= knn.bound() {
+                            stats.nodes_pruned.fetch_add(1, Ordering::Relaxed);
+                            retired += (hi - lo) as usize;
+                            lane_scratch.mark_dead(lo as usize, hi as usize);
+                        }
+                    }
+                }
+            }
+            stats.collect_leaves_retired_by_levels.fetch_add(retired, Ordering::Relaxed);
+        }
+
+        // --- Leaf-fringe sweep over the survivors.
+        let LaneScratch { stack, dead, dead_in_group } = lane_scratch;
+        #[allow(clippy::needless_range_loop)] // g also derives the lane base
         for g in 0..cb.block.n_groups() {
-            let bound = knn.bound();
             let lanes = cb.block.lanes_in(g);
+            let base = g * BLOCK_LANES;
+            if use_levels && dead_in_group[g] as usize == lanes {
+                // The whole group was retired by ancestor prunes: no
+                // kernel call, and the skip test is one byte compare.
+                continue;
+            }
+            let bound = knn.bound();
             stats.collect_groups_swept.fetch_add(1, Ordering::Relaxed);
             if mindist_node_block(ctx, &cb.block, g, bound, &mut lbs) {
                 // Every lane's (partial) sum exceeded the bound: 8 leaves
@@ -492,12 +570,15 @@ impl<S: Summarization> Index<S> {
                 continue;
             }
             for (i, &lbd) in lbs.iter().enumerate().take(lanes) {
+                if use_levels && dead[base + i] {
+                    continue; // already counted at the ancestor prune
+                }
                 // Re-read the bound: it tightens as refinement overlaps.
                 if lbd >= knn.bound() {
                     stats.nodes_pruned.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
-                let id = cb.node_ids[g * BLOCK_LANES + i];
+                let id = cb.node_ids[base + i];
                 match &subtree.nodes[id as usize].kind {
                     NodeKind::Leaf { rows, .. } => {
                         if rows.is_empty() {

@@ -27,6 +27,10 @@ pub(crate) struct KernelCounters {
     pub block_lanes_abandoned: AtomicU64,
     /// 8-leaf groups swept by the collect-phase node-block kernel.
     pub collect_groups_swept: AtomicU64,
+    /// 8-node groups swept by the hierarchy-level collect kernel.
+    pub collect_level_groups_swept: AtomicU64,
+    /// Leaf-fringe lanes retired wholesale by pruned ancestor level lanes.
+    pub collect_leaves_retired_by_levels: AtomicU64,
 }
 
 impl KernelCounters {
@@ -39,8 +43,10 @@ impl KernelCounters {
         self.block_lanes_abandoned.fetch_add(lanes_abandoned, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_collect_sweep(&self, groups: u64) {
+    pub(crate) fn record_collect_sweep(&self, groups: u64, level_groups: u64, retired: u64) {
         self.collect_groups_swept.fetch_add(groups, Ordering::Relaxed);
+        self.collect_level_groups_swept.fetch_add(level_groups, Ordering::Relaxed);
+        self.collect_leaves_retired_by_levels.fetch_add(retired, Ordering::Relaxed);
     }
 }
 
@@ -79,6 +85,19 @@ pub struct IndexStats {
     /// 8-leaf groups swept by the collect-phase node-block kernel (each
     /// replaces up to 8 scalar `mindist_node` evaluations).
     pub collect_groups_swept: u64,
+    /// 8-node groups swept by the hierarchy-level collect kernel (deep
+    /// trees only).
+    pub collect_level_groups_swept: u64,
+    /// Leaf-fringe lanes the level sweep retired wholesale via pruned
+    /// ancestors — collect work that never happened.
+    pub collect_leaves_retired_by_levels: u64,
+    /// Percentage of leaves currently on the per-row fallback refinement
+    /// path (no packed storage / word block). With
+    /// [`crate::IndexConfig::auto_repack_pct`] set to `None`, insert-heavy
+    /// workloads grow this unboundedly and silently degrade to scalar
+    /// refinement — monitor it and call [`Index::repack_leaves`] (or the
+    /// incremental [`Index::repack_incremental`]) when it climbs.
+    pub fallback_leaf_pct: f64,
 }
 
 impl<S: Summarization> Index<S> {
@@ -123,6 +142,19 @@ impl<S: Summarization> Index<S> {
             block_groups_swept: self.counters.block_groups_swept.load(Ordering::Relaxed),
             block_lanes_abandoned: self.counters.block_lanes_abandoned.load(Ordering::Relaxed),
             collect_groups_swept: self.counters.collect_groups_swept.load(Ordering::Relaxed),
+            collect_level_groups_swept: self
+                .counters
+                .collect_level_groups_swept
+                .load(Ordering::Relaxed),
+            collect_leaves_retired_by_levels: self
+                .counters
+                .collect_leaves_retired_by_levels
+                .load(Ordering::Relaxed),
+            fallback_leaf_pct: if leaves == 0 {
+                0.0
+            } else {
+                100.0 * (leaves - packed_leaves) as f64 / leaves as f64
+            },
         }
     }
 }
@@ -163,6 +195,25 @@ mod tests {
     }
 
     #[test]
+    fn fallback_leaf_pct_tracks_unpacked_leaves() {
+        let sax = ISax::new(64, &SaxConfig { word_len: 8, alphabet: 256 });
+        let mut idx = Index::build(
+            sax,
+            &dataset(400, 64),
+            IndexConfig::with_threads(1).leaf_capacity(10).auto_repack_pct(None),
+        )
+        .unwrap();
+        assert_eq!(idx.stats().fallback_leaf_pct, 0.0);
+        idx.insert_all(&dataset(200, 64)).unwrap();
+        let s = idx.stats();
+        assert!(s.fallback_leaf_pct > 0.0, "inserts must surface fallback leaves: {s:?}");
+        let expect = 100.0 * (s.leaves - s.packed_leaves) as f64 / s.leaves as f64;
+        assert!((s.fallback_leaf_pct - expect).abs() < 1e-12);
+        idx.repack_leaves();
+        assert_eq!(idx.stats().fallback_leaf_pct, 0.0);
+    }
+
+    #[test]
     fn smaller_leaves_mean_deeper_trees() {
         let build = |leaf: usize| {
             let sax = ISax::new(64, &SaxConfig { word_len: 8, alphabet: 256 });
@@ -185,6 +236,7 @@ mod tests {
                 .unwrap();
         let before = idx.stats();
         assert_eq!(before.packed_leaves, before.leaves, "bulk build must pack every leaf");
+        assert_eq!(before.fallback_leaf_pct, 0.0);
         assert_eq!(before.queries_served, 0);
         assert!(["scalar", "portable", "avx2"].contains(&before.kernel_tier));
 

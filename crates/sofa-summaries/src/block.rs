@@ -260,6 +260,96 @@ fn build_bounds(n: usize, l: usize, resolve: impl Fn(usize, usize) -> (f32, f32)
     bounds
 }
 
+/// Position-major SoA interval blocks over the top levels of a subtree —
+/// the [`NodeBlock`] treatment generalized from one flat lane set to a
+/// *hierarchy*.
+///
+/// Level `d` holds one [`NodeBlock`] over the subtree's internal nodes at
+/// depth `d + 1` (the root itself is priced by the caller's root gate).
+/// The index's collect phase sweeps the levels top-down through the same
+/// dispatched [`sofa_simd::block_lower_bound`] tiers: a level lane whose
+/// bound meets the best-so-far retires its *entire descendant leaf range*
+/// before the leaf fringe is ever priced — the coarse-subtree pruning that
+/// a leaf-only block sweep gives up on deep trees. Which lane covers
+/// which leaves is the caller's bookkeeping (the index stores per-lane
+/// leaf spans next to its node ids); this type owns only the interval
+/// data, so the bit-for-bit guarantee of [`mindist_node_block`] carries
+/// over level by level.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct LevelBlocks {
+    /// One node block per hierarchy level, top-down.
+    levels: Vec<NodeBlock>,
+}
+
+impl LevelBlocks {
+    /// Builds one [`NodeBlock`] per level over `levels`, each a top-down
+    /// list of the `(prefixes, bits)` labels at that depth.
+    ///
+    /// # Panics
+    /// Panics if any node's `prefixes`/`bits` length differs from the
+    /// model's word length.
+    #[must_use]
+    pub fn build(summarization: &dyn Summarization, levels: &[Vec<(&[u8], &[u8])>]) -> Self {
+        LevelBlocks {
+            levels: levels.iter().map(|nodes| NodeBlock::build(summarization, nodes)).collect(),
+        }
+    }
+
+    /// An empty hierarchy (no level sweep — the leaf-only fallback).
+    #[must_use]
+    pub fn empty() -> Self {
+        LevelBlocks::default()
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `true` when no level was built.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The node block of one level (0 = the level just below the root).
+    ///
+    /// # Panics
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn level(&self, level: usize) -> &NodeBlock {
+        &self.levels[level]
+    }
+
+    /// Heap bytes held across all levels (for stats/reports).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.levels.iter().map(NodeBlock::heap_bytes).sum()
+    }
+}
+
+/// Squared lower bounds between `ctx`'s query and the 8 nodes of group
+/// `group` at `level` of `blocks` — [`mindist_node_block`] applied to one
+/// level of a hierarchy; identical kernel, identical bit-for-bit
+/// guarantee versus the scalar [`crate::mindist_node`].
+///
+/// # Panics
+/// Panics if `level`/`group` are out of range or the context's word
+/// length differs from the block's.
+#[inline]
+#[must_use]
+pub fn mindist_level_block(
+    ctx: &QueryContext<'_>,
+    blocks: &LevelBlocks,
+    level: usize,
+    group: usize,
+    bsf_sq: f32,
+    out: &mut [f32; BLOCK_LANES],
+) -> bool {
+    mindist_node_block(ctx, blocks.level(level), group, bsf_sq, out)
+}
+
 /// Squared lower bounds between `ctx`'s query and the 8 nodes of `block`
 /// group `group`, in one dispatched kernel call — the batched form of
 /// [`crate::mindist_node`].
@@ -512,6 +602,62 @@ mod tests {
         let abandoned = mindist_node_block(&ctx, &block, 0, f32::INFINITY, &mut out);
         assert!(!abandoned);
         assert_eq!(out, [0.0; BLOCK_LANES]);
+    }
+
+    #[test]
+    fn level_blocks_match_scalar_mindist_node_per_level() {
+        let n = 64;
+        let data = dataset(30, n);
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 64, ..Default::default() });
+        let words = words_of(&sfa, &data, n);
+        let symbol_bits = sfa.symbol_bits();
+        // Three "levels" of increasing cardinality, ragged lane counts.
+        let levels_owned: Vec<Vec<(Vec<u8>, Vec<u8>)>> = [(2usize, 1u8), (7, 2), (11, 3)]
+            .iter()
+            .map(|&(count, b)| {
+                words
+                    .chunks(16)
+                    .take(count)
+                    .map(|w| {
+                        let prefixes: Vec<u8> = w.iter().map(|&s| s >> (symbol_bits - b)).collect();
+                        (prefixes, vec![b; 16])
+                    })
+                    .collect()
+            })
+            .collect();
+        let level_refs: Vec<Vec<(&[u8], &[u8])>> = levels_owned
+            .iter()
+            .map(|lvl| lvl.iter().map(|(p, b)| (p.as_slice(), b.as_slice())).collect())
+            .collect();
+        let blocks = LevelBlocks::build(&sfa, &level_refs);
+        assert_eq!(blocks.n_levels(), 3);
+        assert!(!blocks.is_empty());
+        assert!(blocks.heap_bytes() > 0);
+        let ctx = QueryContext::new(&sfa, &data[9 * n..10 * n]);
+        let mut out = [0.0f32; BLOCK_LANES];
+        for (lvl, nodes) in levels_owned.iter().enumerate() {
+            let block = blocks.level(lvl);
+            assert_eq!(block.n(), nodes.len());
+            for g in 0..block.n_groups() {
+                let abandoned = mindist_level_block(&ctx, &blocks, lvl, g, f32::INFINITY, &mut out);
+                assert!(!abandoned);
+                for (lane, &lb) in out.iter().enumerate().take(block.lanes_in(g)) {
+                    let (p, b) = &nodes[g * BLOCK_LANES + lane];
+                    let scalar = crate::lbd::mindist_node(&ctx, p, b);
+                    assert_eq!(lb.to_bits(), scalar.to_bits(), "level {lvl} group {g} lane {lane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_level_blocks() {
+        let blocks = LevelBlocks::empty();
+        assert!(blocks.is_empty());
+        assert_eq!(blocks.n_levels(), 0);
+        assert_eq!(blocks.heap_bytes(), 0);
+        assert_eq!(blocks, LevelBlocks::default());
     }
 
     #[test]

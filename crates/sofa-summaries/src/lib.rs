@@ -44,7 +44,9 @@ pub mod sfa;
 pub mod tlb;
 pub mod traits;
 
-pub use block::{mindist_block, mindist_node_block, NodeBlock, WordBlock};
+pub use block::{
+    mindist_block, mindist_level_block, mindist_node_block, LevelBlocks, NodeBlock, WordBlock,
+};
 pub use dft::DftSummary;
 pub use lbd::{mindist_node, mindist_scalar, mindist_simd, QueryContext, QueryEnv, RootLbd};
 pub use mcb::{BinningStrategy, CoefficientSelection, McbConfig, McbModel};

@@ -98,6 +98,7 @@ pub struct Builder {
     seed: u64,
     pool: Option<Arc<ExecPool>>,
     auto_repack_pct: Option<u32>,
+    collect_levels: usize,
 }
 
 impl Default for Builder {
@@ -115,6 +116,7 @@ impl Default for Builder {
             seed: 0x50FA,
             pool: None,
             auto_repack_pct: IndexConfig::default().auto_repack_pct,
+            collect_levels: IndexConfig::default().collect_levels,
         }
     }
 }
@@ -204,6 +206,15 @@ impl Builder {
         self
     }
 
+    /// How many hierarchy levels the collect phase prices through level
+    /// blocks before the leaf fringe — the deep-tree coarse prune. `0`
+    /// restores the leaf-only collect sweep (useful for A/B benchmarks).
+    #[must_use]
+    pub fn collect_levels(mut self, levels: usize) -> Self {
+        self.collect_levels = levels;
+        self
+    }
+
     fn index_config(&self) -> IndexConfig {
         // Lane-derived knobs (worker count, refinement-queue count) must
         // follow the *effective* execution width: a shared pool overrides
@@ -212,6 +223,7 @@ impl Builder {
         IndexConfig::with_threads(lanes)
             .leaf_capacity(self.leaf_capacity)
             .auto_repack_pct(self.auto_repack_pct)
+            .collect_levels(self.collect_levels)
     }
 
     /// The shared pool if one was supplied, else a fresh pool with
@@ -397,6 +409,15 @@ macro_rules! forward_index_api {
             /// way; this only restores the fast path.
             pub fn repack_leaves(&mut self) {
                 self.inner.repack_leaves();
+            }
+
+            /// Incremental form of `repack_leaves`: only subtrees with
+            /// stale lanes rebuild their word/collect blocks; untouched
+            /// subtrees reuse theirs (runs shifted by a constant at
+            /// most). This is what the auto-repack trigger runs; call it
+            /// manually after insert bursts when the trigger is disabled.
+            pub fn repack_incremental(&mut self) {
+                self.inner.repack_incremental();
             }
 
             /// Structural statistics (Figure 8).

@@ -9,9 +9,12 @@
 //! query set, replaying the same queries performs not a single heap
 //! allocation.
 //!
-//! The test lives in its own integration-test binary because a
-//! `#[global_allocator]` is process-wide; keeping exactly one `#[test]`
-//! here means no concurrent test can pollute the counter.
+//! Two configurations are proven inside the single `#[test]` (a second
+//! test function would run concurrently and pollute the counter): the
+//! serial path (`threads(1)`) and the pool-parallel single-query path
+//! (`threads(2)`), whose two per-query `broadcast`s used to box one task
+//! per lane — the hole the pre-sized shared-task slots in `sofa-exec`
+//! closed.
 
 use sofa::{Neighbor, SofaIndex};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -61,27 +64,14 @@ fn dataset(count: usize, n: usize, seed: usize) -> Vec<f32> {
     data
 }
 
-#[test]
-fn steady_state_knn_performs_zero_heap_allocations() {
-    let n = 96;
-    let data = dataset(600, n, 0);
-    // threads(1): the serial path. (Multi-lane single queries still pay
-    // the pool's boxed task dispatch — amortized away by `knn_batch` —
-    // so the zero-allocation claim is about the per-query algorithm, and
-    // the serial path runs exactly that and nothing else.)
-    let sofa = SofaIndex::builder()
-        .threads(1)
-        .leaf_capacity(40)
-        .sample_ratio(0.2)
-        .build_sofa(&data, n)
-        .expect("build");
-
-    let queries = dataset(24, n, 9000);
+/// Runs the warm-up + measured replay over `sofa`, returning the number
+/// of allocation events the measured pass performed.
+fn measure_warm_replay(sofa: &SofaIndex, queries: &[f32], n: usize) -> u64 {
     let mut out: Vec<Neighbor> = Vec::new();
 
     // Warm-up: create the pooled scratch, size every buffer (queues,
-    // heaps, DFT spectrum, word/context buffers) to this query set, and
-    // resolve the kernel-dispatch OnceLock.
+    // heaps, DFT spectrum, word/context buffers, broadcast scope cache)
+    // to this query set, and resolve the kernel-dispatch OnceLock.
     for _ in 0..2 {
         for (qi, q) in queries.chunks(n).enumerate() {
             let k = [1usize, 5, 10][qi % 3];
@@ -99,9 +89,44 @@ fn steady_state_knn_performs_zero_heap_allocations() {
             assert!(!out.is_empty());
         }
     }
-    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_knn_performs_zero_heap_allocations() {
+    let n = 96;
+    let data = dataset(600, n, 0);
+    let queries = dataset(24, n, 9000);
+
+    // threads(1): the serial path — the per-query algorithm and nothing
+    // else.
+    let serial = SofaIndex::builder()
+        .threads(1)
+        .leaf_capacity(40)
+        .sample_ratio(0.2)
+        .build_sofa(&data, n)
+        .expect("build");
+    let allocations = measure_warm_replay(&serial, &queries, n);
     assert_eq!(
         allocations, 0,
-        "steady-state knn_into path allocated {allocations} time(s) across 96 queries"
+        "steady-state serial knn_into path allocated {allocations} time(s) across 96 queries"
+    );
+
+    // threads(2): the pool-parallel single-query path — collect and
+    // refine each broadcast over the pool. The broadcasts carry borrowed
+    // shared tasks and a cached scope state, so this path must be just as
+    // allocation-free as the serial one.
+    let parallel = SofaIndex::builder()
+        .threads(2)
+        .leaf_capacity(40)
+        .sample_ratio(0.2)
+        .build_sofa(&data, n)
+        .expect("build");
+    assert!(parallel.pool().threads() > 1, "test must exercise the broadcast path");
+    let allocations = measure_warm_replay(&parallel, &queries, n);
+    assert_eq!(
+        allocations, 0,
+        "steady-state pool-parallel knn_into path allocated {allocations} time(s) \
+         across 96 queries"
     );
 }
