@@ -7,19 +7,22 @@
 //! 256-length series), and the **collect-phase analogue** — the
 //! dispatched `mindist_node_block` against the scalar per-node
 //! `mindist_node` loop over the same 2000 tree-node summaries (PR 4's
-//! gate: ≥ 3× on an AVX2 host).
+//! gate: ≥ 3× on an AVX2 host) — plus PR 6's **quantized refine tier**:
+//! the integer `quant_lower_bound` sweep over 1-byte codes against the
+//! exact f32 sweep it short-circuits, with bytes/sec reported so the ~4x
+//! traffic cut shows up directly.
 //!
 //! Force a tier to compare paths on one machine:
 //! `SOFA_FORCE_SCALAR=1` / `SOFA_FORCE_PORTABLE=1`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use sofa_simd::{
     active_tier, euclidean_sq, euclidean_sq_early_abandon, euclidean_sq_early_abandon_portable,
-    euclidean_sq_portable, euclidean_sq_scalar,
+    euclidean_sq_portable, euclidean_sq_scalar, quant_lower_bound, BLOCK_LANES,
 };
 use sofa_summaries::{
     mindist_block, mindist_node, mindist_node_block, mindist_scalar, mindist_simd, NodeBlock,
-    QueryContext, Sfa, SfaConfig, Summarization, WordBlock,
+    QuantBlock, QuantGrid, QueryContext, Sfa, SfaConfig, Summarization, WordBlock,
 };
 use std::hint::black_box;
 
@@ -35,6 +38,9 @@ fn bench_euclidean(c: &mut Criterion) {
     let mut group = c.benchmark_group(format!("euclidean_256[{}]", active_tier().name()));
     let a = series(256, 1);
     let b = series(256, 2);
+    // Two 256-f32 operands per call: time and bytes/sec tell the same
+    // story from the two angles the refine funnel trades between.
+    group.throughput(Throughput::Bytes((2 * 256 * 4) as u64));
     group.bench_function("scalar", |bench| {
         bench.iter(|| euclidean_sq_scalar(black_box(&a), black_box(&b)));
     });
@@ -230,9 +236,81 @@ fn bench_node_mindist(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_quant(c: &mut Criterion) {
+    // The quantized middle refine tier: 2000 leaf rows as 1-byte codes,
+    // swept 8 lanes per integer kernel call, against the exact f32 sweep
+    // the tier short-circuits. Bytes/sec makes the 4x traffic cut visible
+    // directly.
+    let n = 256;
+    let count = 2000;
+    let mut data = Vec::with_capacity(count * n);
+    for r in 0..count {
+        data.extend_from_slice(&series(n, r + 3));
+    }
+    let grid = QuantGrid::train(&data, n).expect("non-degenerate training data");
+    let qb = QuantBlock::build(&grid, &data, n).expect("non-degenerate leaf data");
+    let query = series(n, 999);
+    let mut qcodes = vec![0u8; n];
+    let err_q = grid.quantize_query(&query, &mut qcodes);
+    // A representative BSF: the 5th percentile of exact distances.
+    let mut dists: Vec<f32> = data.chunks(n).map(|s| euclidean_sq(&query, s)).collect();
+    dists.sort_by(f32::total_cmp);
+    let bsf = dists[dists.len() / 20];
+    let nothr = [i32::MAX; BLOCK_LANES];
+
+    let mut group = c.benchmark_group(format!("quant_refine_2000_rows[{}]", active_tier().name()));
+    group.throughput(Throughput::Bytes((count * n * 4) as u64));
+    group.bench_function("exact_f32_sweep", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f32;
+            for s in data.chunks(n) {
+                acc += euclidean_sq_early_abandon(black_box(&query), black_box(s), black_box(bsf));
+            }
+            acc
+        });
+    });
+    group.throughput(Throughput::Bytes((count * n) as u64));
+    group.bench_function("quant_no_abandon", |bench| {
+        bench.iter(|| {
+            let mut acc = 0i32;
+            let mut sums = [0i32; BLOCK_LANES];
+            for g in 0..qb.n_groups() {
+                let _ = quant_lower_bound(
+                    black_box(&qcodes),
+                    black_box(qb.group_codes(g)),
+                    &nothr,
+                    &mut sums,
+                );
+                acc = acc.wrapping_add(sums[0]);
+            }
+            acc
+        });
+    });
+    group.bench_function("quant_early_abandon", |bench| {
+        bench.iter(|| {
+            let mut acc = 0i32;
+            let mut sums = [0i32; BLOCK_LANES];
+            let mut thr = [0i32; BLOCK_LANES];
+            for g in 0..qb.n_groups() {
+                qb.thresholds(g, black_box(bsf), err_q, &mut thr);
+                if !quant_lower_bound(
+                    black_box(&qcodes),
+                    black_box(qb.group_codes(g)),
+                    &thr,
+                    &mut sums,
+                ) {
+                    acc = acc.wrapping_add(sums[0]);
+                }
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_euclidean, bench_mindist, bench_node_mindist
+    targets = bench_euclidean, bench_mindist, bench_node_mindist, bench_quant
 }
 criterion_main!(benches);

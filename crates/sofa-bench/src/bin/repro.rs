@@ -9,12 +9,15 @@
 //! OPTIONS
 //!   --quick            small sizes for smoke runs
 //!   --profile <name>   named experiment bundle: `deep` runs the
-//!                      deep-tree serving profile (ext-deep) and supplies
-//!                      its experiment list when none is given
+//!                      deep-tree serving profile (ext-deep), `throughput`
+//!                      runs the serving-throughput profile
+//!                      (ext-throughput); each supplies its experiment
+//!                      list when none is given
 //!   --scale <N>        divide paper series counts by N   (default 10000)
 //!   --queries <N>      queries per dataset               (default 15)
 //!   --threads <list>   comma-separated core sweep        (default 1,2,4)
 //!   --leaf <N>         leaf capacity                     (default 500)
+//!   --quant <on|off>   quantized refine tier             (default on)
 //!   --write <path>     append rendered markdown to a file
 //!   --json <path>      overwrite a machine-readable metrics file
 //!                      (QPS, latency percentiles, pruning ratios — the
@@ -44,6 +47,14 @@ fn main() {
             "--scale" => cfg.scale = parse(it.next(), "--scale"),
             "--queries" => cfg.n_queries = parse(it.next(), "--queries"),
             "--leaf" => cfg.leaf_capacity = parse(it.next(), "--leaf"),
+            "--quant" => {
+                let v: String = parse(it.next(), "--quant");
+                cfg.quant_refine = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => die(&format!("--quant takes on|off, got {other}")),
+                };
+            }
             "--threads" => {
                 let list: String = parse(it.next(), "--threads");
                 cfg.threads = list
@@ -67,7 +78,9 @@ fn main() {
         None => {}
         Some("deep") if ids.is_empty() => ids.push("ext-deep".to_string()),
         Some("deep") => {}
-        Some(other) => die(&format!("unknown profile {other} (known: deep)")),
+        Some("throughput") if ids.is_empty() => ids.push("ext-throughput".to_string()),
+        Some("throughput") => {}
+        Some(other) => die(&format!("unknown profile {other} (known: deep, throughput)")),
     }
     if ids.is_empty() {
         die("no experiment given (try `all`)");
@@ -128,8 +141,9 @@ fn die(msg: &str) -> ! {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--profile deep] [--scale N] [--queries N] [--threads a,b,c] \
-         [--leaf N] [--write FILE] [--json FILE] <experiment>...\nexperiments: {} | all",
+        "usage: repro [--quick] [--profile deep|throughput] [--scale N] [--queries N] \
+         [--threads a,b,c] [--leaf N] [--quant on|off] [--write FILE] [--json FILE] \
+         <experiment>...\nexperiments: {} | all",
         all_experiments().iter().map(|e| e.id).collect::<Vec<_>>().join(" ")
     );
     std::process::exit(0);

@@ -27,6 +27,14 @@
 //! The headline remains the batch / per-call-spawn QPS ratio, plus the
 //! batch / pool-single ratio (which additionally needs multiple physical
 //! cores to show its full query-parallel scaling).
+//!
+//! When the quantized refine tier is enabled (`repro --quant on`, the
+//! default), each profile also runs an A/B arm: the same index answers
+//! the same batch with the tier toggled off at query time
+//! (`set_quant_refine`), so the tier's QPS and refine-bandwidth effect is
+//! one command away (`sofa_batch_qps_quant_off` /
+//! `refine_bytes_per_query_quant_off`) and free of the several-percent
+//! allocator-layout noise that separately-built indexes carry.
 
 use super::Suite;
 use crate::report::{f2, f3, Report};
@@ -64,13 +72,35 @@ fn mode_row(method: &str, mode: &str, secs: f64, per_query: &[f64]) -> Vec<Strin
 /// and appends its table and metrics to `r`; metric keys get `suffix`
 /// appended (empty for the primary Deep1b profile, so PR-over-PR
 /// comparisons keep their historical names).
-fn serve_profile(suite: &Suite, r: &mut Report, spec_name: &str, count_cap: usize, suffix: &str) {
+fn serve_profile(
+    suite: &Suite,
+    r: &mut Report,
+    spec_name: &str,
+    count_cap: usize,
+    suffix: &str,
+    noise_override: Option<f32>,
+) {
     let threads = suite.cfg.max_threads();
     // A throughput experiment needs more queries than the latency
     // workloads: widen the paper's per-dataset query count.
     let n_queries = (suite.cfg.n_queries * 16).clamp(64, 512);
-    let spec = suite.specs().iter().find(|s| s.name == spec_name).expect("registry").clone();
-    let count = spec.scaled_count(suite.cfg.scale, suite.cfg.min_series).min(count_cap);
+    let mut spec = suite.specs().iter().find(|s| s.name == spec_name).expect("registry").clone();
+    if let Some(noise) = noise_override {
+        // Low-contrast variant: drown the prototype structure in instance
+        // noise so distances concentrate — the archive regime where
+        // early-abandoning reads most of every surviving row and the
+        // refine phase is bandwidth-bound.
+        spec.instance_noise = noise;
+    }
+    // Regime probes (the noise-override profiles) need their full series
+    // count at any `--scale`: the bandwidth-bound behavior they exist to
+    // measure collapses on a small index. The plain profiles instead cap
+    // the scaled count so they stay in their intended regime.
+    let count = if noise_override.is_some() {
+        count_cap
+    } else {
+        spec.scaled_count(suite.cfg.scale, suite.cfg.min_series).min(count_cap)
+    };
     let dataset = spec.generate(count, n_queries);
     let n = dataset.series_len();
     r.para(&format!(
@@ -91,6 +121,7 @@ fn serve_profile(suite: &Suite, r: &mut Report, spec_name: &str, count_cap: usiz
         .threads(threads)
         .leaf_capacity(suite.cfg.leaf_capacity)
         .sample_ratio(suite.cfg.sample_ratio)
+        .quant_refine(suite.cfg.quant_refine)
         .build_sofa(dataset.data(), n)
         .expect("SOFA build");
     let flat = FlatL2::new(dataset.data(), n, threads);
@@ -176,6 +207,9 @@ fn serve_profile(suite: &Suite, r: &mut Report, spec_name: &str, count_cap: usiz
     let mut refined = 0usize;
     let mut lanes_abandoned = 0usize;
     let mut collect_groups = 0usize;
+    let mut quant_groups = 0usize;
+    let mut quant_killed = 0usize;
+    let mut refine_bytes = 0usize;
     let stat_queries = 32usize;
     for q in queries.chunks(n).take(stat_queries) {
         let (_, s) = sofa.knn_with_stats(q, 1).expect("stats query");
@@ -183,6 +217,9 @@ fn serve_profile(suite: &Suite, r: &mut Report, spec_name: &str, count_cap: usiz
         refined += s.series_refined;
         lanes_abandoned += s.block_lanes_abandoned;
         collect_groups += s.collect_groups_swept;
+        quant_groups += s.quant_groups_swept;
+        quant_killed += s.quant_lanes_killed;
+        refine_bytes += s.refine_bytes;
     }
     let pruning_ratio =
         if lbd_checked == 0 { 0.0 } else { 1.0 - refined as f64 / lbd_checked as f64 };
@@ -205,15 +242,78 @@ fn serve_profile(suite: &Suite, r: &mut Report, spec_name: &str, count_cap: usiz
     r.metric(&m("sofa_lbd_pruning_ratio"), pruning_ratio);
     r.metric(&m("sofa_block_lane_abandon_ratio"), block_abandon_ratio);
     r.metric(&m("sofa_collect_groups_per_query"), collect_groups as f64 / stat_queries as f64);
+    r.metric(&m("sofa_quant_groups_per_query"), quant_groups as f64 / stat_queries as f64);
+    r.metric(&m("sofa_quant_lanes_killed"), quant_killed as f64 / stat_queries as f64);
+    r.metric(&m("refine_bytes_per_query"), refine_bytes as f64 / stat_queries as f64);
     r.para(&format!(
         "Pruning power over this workload: {:.1}% of lower-bound-checked \
          candidates were pruned before any real distance ({:.1}% of checks \
          were retired by the 8-lane block sweep); the collect phase swept \
-         {:.1} node-block groups per query.",
+         {:.1} node-block groups per query. The quantized refine tier \
+         priced {:.1} code groups and killed {:.1} word-bound survivors \
+         per query before any f32 scan; the refine phase touched \
+         {:.0} bytes per query.",
         pruning_ratio * 100.0,
         block_abandon_ratio * 100.0,
         collect_groups as f64 / stat_queries as f64,
+        quant_groups as f64 / stat_queries as f64,
+        quant_killed as f64 / stat_queries as f64,
+        refine_bytes as f64 / stat_queries as f64,
     ));
+
+    // A/B arm: same index, same queries, quantized tier toggled off at
+    // query time (`set_quant_refine`). One command (`repro --profile
+    // throughput`) yields both sides of the comparison; skipped when the
+    // whole run is already `--quant off`. Using one index for both arms
+    // matters: two separately-built indexes differ by several percent
+    // from allocator layout alone, which would drown the tier's effect.
+    // Single batch timings additionally swing under container scheduler
+    // throttling, so the comparison rotates passes ABBA-style and keeps
+    // each side's minimum (the ext-deep recipe) instead of trusting one
+    // pass each.
+    if suite.cfg.quant_refine {
+        let time_batch = |on: bool| {
+            sofa.set_quant_refine(on);
+            crate::timed(|| sofa.knn_batch(queries, 1).expect("batch")).1
+        };
+        let mut on_best = f64::INFINITY;
+        let mut off_best = f64::INFINITY;
+        for round in 0..6 {
+            if round % 2 == 0 {
+                on_best = on_best.min(time_batch(true));
+                off_best = off_best.min(time_batch(false));
+            } else {
+                off_best = off_best.min(time_batch(false));
+                on_best = on_best.min(time_batch(true));
+            }
+        }
+        sofa.set_quant_refine(false);
+        let mut off_bytes = 0usize;
+        for q in queries.chunks(n).take(stat_queries) {
+            let (_, s) = sofa.knn_with_stats(q, 1).expect("stats query");
+            off_bytes += s.refine_bytes;
+        }
+        sofa.set_quant_refine(true);
+        let on_qps = nq / on_best;
+        let off_qps = nq / off_best;
+        r.metric(&m("sofa_batch_qps_quant_on_best"), on_qps);
+        r.metric(&m("sofa_batch_qps_quant_off"), off_qps);
+        r.metric(&m("sofa_quant_batch_speedup"), on_qps / off_qps);
+        r.metric(&m("refine_bytes_per_query_quant_off"), off_bytes as f64 / stat_queries as f64);
+        r.para(&format!(
+            "Quant A/B on {} (best of 6 rotated passes per side): batch \
+             throughput {} QPS with the quantized tier vs {} QPS without \
+             ({:.2}x); refine bytes per query {} vs {} ({:.1}% of the \
+             f32-only traffic).",
+            spec.name,
+            f2(on_qps),
+            f2(off_qps),
+            on_qps / off_qps,
+            refine_bytes / stat_queries,
+            off_bytes / stat_queries,
+            100.0 * refine_bytes as f64 / (off_bytes as f64).max(1.0),
+        ));
+    }
     r.para(&format!(
         "SOFA on {}: `knn_batch` throughput is {:.1}x the per-call-spawn \
          single-query baseline ({} vs {} QPS) and {:.1}x pool \
@@ -241,12 +341,26 @@ pub fn ext_throughput(suite: &Suite) -> Report {
     // sub-millisecond queries: the regime where a serving system lives
     // and where per-query dispatch overhead is visible at all. Cap the
     // series count so the workload stays in that regime at any scale.
-    serve_profile(suite, &mut r, "Deep1b", 4_000, "");
+    serve_profile(suite, &mut r, "Deep1b", 4_000, "", None);
     // LenDB is the paper's seismic case — 256-length series, where the
     // batched lower-bound sweeps (leaf and collect) dominate the per-
     // query cost instead of dispatch. Same cap as Deep1b on purpose: the
     // two profiles differ only in series length, so the QPS gap reads as
     // the cost of length alone.
-    serve_profile(suite, &mut r, "LenDB", 4_000, "_len256");
+    serve_profile(suite, &mut r, "LenDB", 4_000, "_len256", None);
+    // Low-frequency len-256 profile: ISC_EHB_DepthPhases (smooth seismic
+    // ringing, carrier at 0.22 of Nyquist) with the instance noise raised
+    // 0.25 -> 0.5, at 3x the series count. Smooth signals make the f32
+    // early-abandon structurally weak — the difference between two rows
+    // accumulates slowly over positions, so a doomed scan reads most of
+    // the row before crossing the bound — while the int8 sweep reads a
+    // quarter of the bytes at the same per-byte op rate. This is the
+    // archive regime the quantized tier targets; broadband LenDB above is
+    // its worst case (distance concentrates in the first positions, EA
+    // kills at the first checkpoint, and the tier's whole-group sweeps
+    // can only break even). The two len-256 A/B arms bracket the tier
+    // honestly: high-contrast LenDB shows its gated overhead, this
+    // profile shows its bandwidth win.
+    serve_profile(suite, &mut r, "ISC_EHB_DepthPhases", 12_000, "_hard256", Some(0.5));
     r
 }

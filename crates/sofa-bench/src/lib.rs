@@ -55,6 +55,10 @@ pub struct BenchConfig {
     pub leaf_capacity: usize,
     /// MCB sampling ratio for SOFA.
     pub sample_ratio: f64,
+    /// Whether SOFA indexes enable the quantized refine tier
+    /// (`repro --quant on|off`; the throughput profile also runs its own
+    /// on-vs-off A/B when this is on).
+    pub quant_refine: bool,
 }
 
 impl Default for BenchConfig {
@@ -66,6 +70,7 @@ impl Default for BenchConfig {
             threads: vec![1, 2, 4],
             leaf_capacity: 500,
             sample_ratio: 0.05,
+            quant_refine: true,
         }
     }
 }
@@ -81,6 +86,7 @@ impl BenchConfig {
             threads: vec![2],
             leaf_capacity: 100,
             sample_ratio: 0.2,
+            quant_refine: true,
         }
     }
 

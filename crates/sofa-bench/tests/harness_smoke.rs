@@ -15,6 +15,7 @@ fn quick_suite() -> Suite {
         threads: vec![1],
         leaf_capacity: 50,
         sample_ratio: 0.5,
+        quant_refine: true,
     })
 }
 

@@ -157,6 +157,7 @@ impl<S: Summarization> Index<S> {
         // order and builds the per-leaf SoA word blocks plus the
         // per-subtree collect blocks.
         let query_env = sofa_summaries::QueryEnv::new(&summarization);
+        let quant_enabled = std::sync::atomic::AtomicBool::new(config.quant_refine);
         let mut index = Index {
             summarization,
             config,
@@ -171,6 +172,8 @@ impl<S: Summarization> Index<S> {
             build_breakdown: (0.0, 0.0),
             counters: crate::stats::KernelCounters::default(),
             query_env,
+            quant_grid: None,
+            quant_enabled,
             scratches: parking_lot::Mutex::new(Vec::with_capacity(lanes + 2)),
             unpacked_leaves: 0,
             total_leaves: 0,
@@ -208,13 +211,12 @@ impl<S: Summarization> Index<S> {
     /// a constant (when an earlier subtree grew), which only updates each
     /// pack's start slot. This is what the auto-repack trigger runs.
     ///
-    /// Cost model: the block construction — the dominant repack cost, and
-    /// the only allocation-heavy part — scales with the *touched* portion
-    /// of the tree; the slot-assignment bookkeeping and the permutation's
-    /// cycle scan remain one O(total rows) pass (data movement is still
-    /// limited to rows whose runs actually shifted). A hole-tracking
-    /// allocator that bounds even the scan to touched regions is a
-    /// recorded ROADMAP deferral.
+    /// Cost model: every part of the repack scales with the *touched*
+    /// portion of the arena. Subtrees are stored in key order, so all
+    /// moved rows live at or above the first stale subtree's base slot:
+    /// the slot assignment, the permutation's cycle scan and the data
+    /// movement all run over that suffix only, and the clean prefix is
+    /// never read or written.
     pub fn repack_incremental(&mut self) {
         self.repack_core(false);
     }
@@ -225,23 +227,44 @@ impl<S: Summarization> Index<S> {
     fn repack_core(&mut self, full: bool) {
         let n = self.series_len;
         let l = self.word_len;
+        let total = self.slot_to_row.len();
+        // Everything before the first stale subtree is untouched: subtrees
+        // sit in key order, size changes always mark a subtree stale
+        // (inserts, splits, and brand-new subtrees all do), so the clean
+        // prefix keeps its exact cumulative bases — and every moved or
+        // appended row's current slot lies at or above `scan_lo`, the
+        // first stale subtree's base. The slot maps, the permutation and
+        // the data movement below all operate on that suffix only.
+        let first_stale = if full {
+            0
+        } else {
+            self.subtrees.iter().position(|st| st.stale_leaves > 0).unwrap_or(self.subtrees.len())
+        };
         // Slot assignment: leaves in (subtree, arena) order, rows in leaf
         // order. `bases[s]` is the first slot of subtree `s`;
         // `old_bases[s]` is where its run currently starts (the first
         // leaf's pack), used to shift clean subtrees without rebuilding.
-        let mut new_slot_to_row: Vec<u32> = Vec::with_capacity(self.slot_to_row.len());
+        let mut suffix_rows: Vec<u32> = Vec::new();
         let mut bases: Vec<usize> = Vec::with_capacity(self.subtrees.len());
         let mut old_bases: Vec<Option<u32>> = Vec::with_capacity(self.subtrees.len());
         let mut leaves = 0usize;
-        for st in &self.subtrees {
-            bases.push(new_slot_to_row.len());
+        let mut cursor = 0usize;
+        let mut scan_lo = total;
+        for (si, st) in self.subtrees.iter().enumerate() {
+            bases.push(cursor);
+            if si == first_stale {
+                scan_lo = cursor;
+            }
             let mut first_pack = None;
             for node in &st.nodes {
                 if let NodeKind::Leaf { rows, pack } = &node.kind {
                     if first_pack.is_none() {
                         first_pack = pack.as_ref().map(|p| p.start);
                     }
-                    new_slot_to_row.extend_from_slice(rows);
+                    if si >= first_stale {
+                        suffix_rows.extend_from_slice(rows);
+                    }
+                    cursor += rows.len();
                     leaves += 1;
                 }
             }
@@ -249,25 +272,52 @@ impl<S: Summarization> Index<S> {
         }
         self.total_leaves = leaves;
         self.unpacked_leaves = 0;
-        debug_assert_eq!(new_slot_to_row.len(), self.slot_to_row.len());
-        let mut new_row_to_slot = vec![0u32; new_slot_to_row.len()];
-        for (slot, &row) in new_slot_to_row.iter().enumerate() {
-            new_row_to_slot[row as usize] = slot as u32;
+        debug_assert_eq!(cursor, total);
+        debug_assert_eq!(suffix_rows.len(), total - scan_lo);
+        for (i, &row) in suffix_rows.iter().enumerate() {
+            debug_assert!(
+                self.row_to_slot[row as usize] as usize >= scan_lo,
+                "row {row} of a stale subtree sits below the clean prefix"
+            );
+            self.row_to_slot[row as usize] = (scan_lo + i) as u32;
         }
-        // In-place permutation of both arenas: content currently at
-        // storage slot `old` moves to `dest[old]`. Fixed points (runs
-        // that keep their slots — every subtree before the first insert
-        // site) are skipped without touching the data.
-        let dest: Vec<u32> =
-            self.slot_to_row.iter().map(|&row| new_row_to_slot[row as usize]).collect();
-        permute_rows(&mut self.data, &mut self.words, n, l, &dest);
-        self.slot_to_row = new_slot_to_row;
-        self.row_to_slot = new_row_to_slot;
+        // In-place permutation of the suffix of both arenas (in
+        // suffix-local slot coordinates): content currently at storage
+        // slot `scan_lo + i` moves to `scan_lo + dest[i]`. Fixed points
+        // (runs that keep their slots) are skipped without touching the
+        // data; the clean prefix is not even scanned.
+        let dest: Vec<u32> = self.slot_to_row[scan_lo..]
+            .iter()
+            .map(|&row| self.row_to_slot[row as usize] - scan_lo as u32)
+            .collect();
+        permute_rows(&mut self.data[scan_lo * n..], &mut self.words[scan_lo * l..], n, l, &dest);
+        self.slot_to_row[scan_lo..].copy_from_slice(&suffix_rows);
 
         // Word blocks and collect blocks, one subtree batch per pool lane
         // (subtrees are disjoint, so `chunks_mut` hands each lane its own
         // slice).
+        let quant_on = self.config.quant_refine && n <= crate::node::QUANT_REFINE_MAX_LEN && n > 0;
+        if quant_on && self.quant_grid.is_none() {
+            // Train the index-wide quantizer once, on a strided row sample
+            // (value ranges converge long before the full arena is seen;
+            // rows outside the sampled ranges clamp and stay sound). The
+            // grid then serves every leaf encode and every query.
+            const GRID_SAMPLE_MAX_ROWS: usize = 1 << 16;
+            let total_rows = self.data.len() / n;
+            self.quant_grid = if total_rows <= GRID_SAMPLE_MAX_ROWS {
+                sofa_summaries::QuantGrid::train(&self.data, n)
+            } else {
+                let stride = total_rows.div_ceil(GRID_SAMPLE_MAX_ROWS);
+                let mut sample = Vec::with_capacity(total_rows.div_ceil(stride) * n);
+                for r in (0..total_rows).step_by(stride) {
+                    sample.extend_from_slice(&self.data[r * n..(r + 1) * n]);
+                }
+                sofa_summaries::QuantGrid::train(&sample, n)
+            };
+        }
         let words = &self.words;
+        let data = &self.data;
+        let quant_grid = if quant_on { self.quant_grid.as_ref() } else { None };
         let summarization: &dyn Summarization = &self.summarization;
         let collect_levels = self.config.collect_levels;
         let per_lane = self.subtrees.len().div_ceil(self.pool.threads()).max(1);
@@ -279,8 +329,12 @@ impl<S: Summarization> Index<S> {
                 .zip(old_bases.chunks(per_lane))
             {
                 scope.spawn(move || {
-                    for ((st, &base), &old_base) in
-                        chunk.iter_mut().zip(base_chunk.iter()).zip(old_base_chunk.iter())
+                    let mut rebuilt = vec![false; chunk.len()];
+                    for ((i, (st, &base)), &old_base) in chunk
+                        .iter_mut()
+                        .zip(base_chunk.iter())
+                        .enumerate()
+                        .zip(old_base_chunk.iter())
                     {
                         if !full && st.stale_leaves == 0 {
                             if let Some(old) = old_base {
@@ -304,6 +358,7 @@ impl<S: Summarization> Index<S> {
                                 continue;
                             }
                         }
+                        rebuilt[i] = true;
                         let mut next = base;
                         for node in st.nodes.iter_mut() {
                             if let NodeKind::Leaf { rows, pack } = &mut node.kind {
@@ -313,7 +368,17 @@ impl<S: Summarization> Index<S> {
                                     summarization,
                                     &words[start * l..next * l],
                                 );
-                                *pack = Some(crate::node::LeafPack { start: start as u32, block });
+                                // The quant codes are built in a second
+                                // pass below: a leaf's codes are ~4x its
+                                // word block, so allocating them here
+                                // would interleave the word-sweep stream
+                                // (every query walks consecutive leaves'
+                                // word blocks) with cold code pages.
+                                *pack = Some(crate::node::LeafPack {
+                                    start: start as u32,
+                                    block,
+                                    quant: None,
+                                });
                             }
                         }
                         // Wide flat forests (thousands of single-leaf
@@ -331,6 +396,26 @@ impl<S: Summarization> Index<S> {
                             None
                         };
                         st.stale_leaves = 0;
+                    }
+                    if let Some(grid) = quant_grid {
+                        // Deferred quant pass: only now that every rebuilt
+                        // leaf's word/collect blocks sit contiguously does
+                        // the tier allocate its (much larger) code blocks.
+                        for (st, &was_rebuilt) in chunk.iter_mut().zip(rebuilt.iter()) {
+                            if !was_rebuilt {
+                                continue;
+                            }
+                            for node in st.nodes.iter_mut() {
+                                if let NodeKind::Leaf { rows, pack: Some(pack) } = &mut node.kind {
+                                    let start = pack.start as usize;
+                                    pack.quant = sofa_summaries::QuantBlock::build(
+                                        grid,
+                                        &data[start * n..(start + rows.len()) * n],
+                                        n,
+                                    );
+                                }
+                            }
+                        }
                     }
                 });
             }

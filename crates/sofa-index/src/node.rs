@@ -9,7 +9,7 @@
 //! one position by one bit (set to 0 and 1 — the iSAX split), chosen to
 //! balance the series between them (as in iSAX 2.0 / MESSI).
 
-use sofa_summaries::{LevelBlocks, NodeBlock, Summarization, WordBlock};
+use sofa_summaries::{LevelBlocks, NodeBlock, QuantBlock, Summarization, WordBlock};
 
 /// Node id within one subtree's arena.
 pub type NodeId = u32;
@@ -28,7 +28,20 @@ pub struct LeafPack {
     pub start: u32,
     /// SoA lower-bound block over the leaf's words (8 candidates/group).
     pub block: WordBlock,
+    /// Scalar-quantized codes + per-row error bounds over the same rows,
+    /// encoded under the index-wide grid — the compressed middle refine
+    /// tier. `None` when the tier is disabled
+    /// ([`crate::IndexConfig::quant_refine`]) or no grid could be trained
+    /// (degenerate constant/non-finite data); refinement then goes
+    /// straight from the word bound to the exact scan.
+    pub quant: Option<QuantBlock>,
 }
+
+/// Longest series length the quantized refine tier covers. The refine
+/// phase quantizes the query into a fixed stack buffer of this size (it
+/// must stay allocation-free), so repacking skips the tier for longer
+/// series — they simply keep the two-stage word → `f32` path.
+pub(crate) const QUANT_REFINE_MAX_LEN: usize = 2048;
 
 /// The payload of a node.
 #[derive(Clone, Debug)]

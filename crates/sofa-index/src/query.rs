@@ -28,13 +28,23 @@ use crate::node::{root_key, LeafPack, NodeKind, Subtree};
 use crate::scratch::{LaneScratch, LeafQueue, QueryScratch, QueueEntry};
 use crate::{Index, IndexError};
 use parking_lot::Mutex;
-use sofa_simd::{euclidean_sq_early_abandon, BLOCK_LANES};
+use sofa_simd::{euclidean_sq_early_abandon, quant_lower_bound, BLOCK_LANES, BOUNDS_STRIDE};
 use sofa_summaries::{
     mindist_block, mindist_level_block, mindist_node, mindist_node_block, mindist_simd,
     QueryContext, RootLbd, Summarization,
 };
 use std::cmp::Reverse;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Minimum word-bound survivors in an 8-lane group before the quantized
+/// refine tier prices it. The integer sweep streams the whole group's
+/// codes (`8n` bytes) until every lane resolves, so a sparse group —
+/// where most lanes are already dead and the few survivors keep the
+/// sweep alive to the end — costs more than the `f32` scans it could
+/// retire. Only near-full groups, where one pass over the codes can
+/// kill several rows at a quarter of their `f32` traffic, clear the
+/// bar (value tuned empirically on the `ext-throughput` A/B arms).
+const QUANT_MIN_SURVIVORS: usize = 6;
 
 /// Counters describing how much work one query performed — the raw
 /// material for the paper's pruning-power discussion (§V-E).
@@ -67,6 +77,15 @@ pub struct QueryStats {
     /// Leaf-fringe lanes retired wholesale by a pruned ancestor level
     /// lane — leaves the collect phase never had to price individually.
     pub collect_leaves_retired_by_levels: usize,
+    /// 8-candidate groups swept by the quantized refine kernel (the
+    /// compressed middle tier between the word bound and the exact scan).
+    pub quant_groups_swept: usize,
+    /// Candidate lanes the quantized tier pruned after the word bound let
+    /// them through — exact `f32` scans that never happened.
+    pub quant_lanes_killed: usize,
+    /// Estimated refine-phase bytes read: word-block bounds swept + quant
+    /// codes swept + exact rows scanned. The funnel's bandwidth metric.
+    pub refine_bytes: usize,
 }
 
 #[derive(Default)]
@@ -82,6 +101,26 @@ struct AtomicStats {
     collect_groups_swept: AtomicUsize,
     collect_level_groups_swept: AtomicUsize,
     collect_leaves_retired_by_levels: AtomicUsize,
+    quant_groups_swept: AtomicUsize,
+    quant_lanes_killed: AtomicUsize,
+    refine_bytes: AtomicUsize,
+}
+
+/// Per-query scratch of the quantized refine tier: the query's codes
+/// under the index-wide grid and its reconstruction-error norm. The grid
+/// is shared by every leaf, so both are computed at most once per query —
+/// lazily, on the first group that engages the tier — and reused across
+/// every leaf a worker refines. `err_q == NaN` marks the codes as
+/// not-yet-computed.
+struct QuantScratch {
+    codes: [u8; crate::node::QUANT_REFINE_MAX_LEN],
+    err_q: f64,
+}
+
+impl QuantScratch {
+    fn new() -> Self {
+        Self { codes: [0; crate::node::QUANT_REFINE_MAX_LEN], err_q: f64::NAN }
+    }
 }
 
 impl AtomicStats {
@@ -100,6 +139,9 @@ impl AtomicStats {
             collect_leaves_retired_by_levels: self
                 .collect_leaves_retired_by_levels
                 .load(Ordering::Relaxed),
+            quant_groups_swept: self.quant_groups_swept.load(Ordering::Relaxed),
+            quant_lanes_killed: self.quant_lanes_killed.load(Ordering::Relaxed),
+            refine_bytes: self.refine_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -350,6 +392,11 @@ impl<S: Summarization> Index<S> {
             stats.collect_groups_swept as u64,
             stats.collect_level_groups_swept as u64,
             stats.collect_leaves_retired_by_levels as u64,
+        );
+        self.counters.record_quant_sweep(
+            stats.quant_groups_swept as u64,
+            stats.quant_lanes_killed as u64,
+            stats.refine_bytes as u64,
         );
     }
 
@@ -670,6 +717,7 @@ impl<S: Summarization> Index<S> {
         stats: &AtomicStats,
     ) {
         let nq = queues.len();
+        let mut quant = QuantScratch::new();
         loop {
             let mut progressed = false;
             for offset in 0..nq {
@@ -690,7 +738,7 @@ impl<S: Summarization> Index<S> {
                     stats.queues_abandoned.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
-                self.refine_leaf(entry, q, ctx, knn, stats);
+                self.refine_leaf(entry, q, ctx, knn, stats, &mut quant);
             }
             if !progressed && done.iter().all(|d| d.load(Ordering::Acquire)) {
                 break;
@@ -720,13 +768,14 @@ impl<S: Summarization> Index<S> {
         ctx: &QueryContext<'_>,
         knn: &KnnSet,
         stats: &AtomicStats,
+        qscratch: &mut QuantScratch,
     ) {
         let subtree = &self.subtrees[entry.subtree as usize];
         let node = &subtree.nodes[entry.node as usize];
         stats.leaves_refined.fetch_add(1, Ordering::Relaxed);
         match &node.kind {
             NodeKind::Leaf { rows, pack: Some(pack) } => {
-                self.refine_leaf_packed(pack, rows.len(), q, ctx, knn, stats);
+                self.refine_leaf_packed(pack, rows.len(), q, ctx, knn, stats, qscratch);
             }
             NodeKind::Leaf { rows, pack: None } => {
                 self.refine_leaf_rows(rows, q, ctx, knn, stats);
@@ -735,7 +784,14 @@ impl<S: Summarization> Index<S> {
         }
     }
 
-    /// The batched refinement path over a packed leaf.
+    /// The batched refinement path over a packed leaf — a three-stage
+    /// funnel. The word lower bound prices 8 lanes per call over the SoA
+    /// bounds; word survivors are re-priced by the scalar-quantized tier
+    /// (one integer sweep over 1-byte codes, ~4x less traffic than the
+    /// raw series); only lanes both tiers fail to kill pay the exact
+    /// `f32` scan. Both cheap tiers are conservative lower bounds, so the
+    /// funnel never changes results — only how much memory they cost.
+    #[allow(clippy::too_many_arguments)]
     fn refine_leaf_packed(
         &self,
         pack: &LeafPack,
@@ -744,13 +800,23 @@ impl<S: Summarization> Index<S> {
         ctx: &QueryContext<'_>,
         knn: &KnnSet,
         stats: &AtomicStats,
+        qscratch: &mut QuantScratch,
     ) {
         let block = &pack.block;
         debug_assert_eq!(block.n(), n_rows);
         let start = pack.start as usize;
+        let n = self.series_len;
+        let quant = match (&self.quant_grid, pack.quant.as_ref()) {
+            (Some(grid), Some(qb)) if self.quant_refine_enabled() => Some((grid, qb)),
+            _ => None,
+        };
         let mut lbs = [0.0f32; BLOCK_LANES];
+        let mut qthr = [0i32; BLOCK_LANES];
+        let mut qsums = [0i32; BLOCK_LANES];
         let mut refined = 0usize;
         let mut lanes_abandoned = 0usize;
+        let mut quant_groups = 0usize;
+        let mut quant_killed = 0usize;
         for g in 0..block.n_groups() {
             let bound = knn.bound();
             let lanes = block.lanes_in(g);
@@ -760,12 +826,51 @@ impl<S: Summarization> Index<S> {
                 lanes_abandoned += lanes;
                 continue;
             }
+            // Quantized middle tier: one integer sweep re-prices the
+            // whole group from 1-byte codes before any lane touches the
+            // f32 arena. Only engaged when enough lanes survived the word
+            // bound: the sweep reads all 8 lanes' codes (`8n` bytes,
+            // roughly the traffic of two `f32` row scans), so pricing a
+            // lone straggler costs more than the one scan it could save.
+            let mut quant_priced = false;
+            if let Some((grid, qb)) = quant {
+                let survivors = lbs.iter().take(lanes).filter(|&&l| l < bound).count();
+                if survivors >= QUANT_MIN_SURVIVORS {
+                    if qscratch.err_q.is_nan() {
+                        // First engagement anywhere in this query: encode
+                        // the query under the index-wide grid. Every
+                        // later leaf reuses the same codes.
+                        qscratch.err_q = grid.quantize_query(q, &mut qscratch.codes[..n]);
+                    }
+                    qb.thresholds(g, knn.bound(), qscratch.err_q, &mut qthr);
+                    quant_groups += 1;
+                    if quant_lower_bound(&qscratch.codes[..n], qb.group_codes(g), &qthr, &mut qsums)
+                    {
+                        // Every lane's integer sum crossed its threshold:
+                        // all word survivors die without touching f32
+                        // data (partial sums only grow, so the verdict
+                        // is already final).
+                        quant_killed += lbs.iter().take(lanes).filter(|&&l| l < bound).count();
+                        lanes_abandoned += lbs.iter().take(lanes).filter(|&&l| l >= bound).count();
+                        continue;
+                    }
+                    quant_priced = true;
+                }
+            }
             for (i, &lbd) in lbs.iter().enumerate().take(lanes) {
                 // Re-read the bound: it tightens as lanes refine.
                 let bound = knn.bound();
                 if lbd >= bound {
                     lanes_abandoned += 1;
                     continue;
+                }
+                if quant_priced {
+                    let (_, qb) = quant.expect("quant_priced implies a quant block");
+                    let qlb = qb.lane_bound(qsums[i], qb.group_errs(g)[i], qscratch.err_q);
+                    if qlb >= f64::from(bound) {
+                        quant_killed += 1;
+                        continue;
+                    }
                 }
                 refined += 1;
                 let slot = start + g * BLOCK_LANES + i;
@@ -775,10 +880,19 @@ impl<S: Summarization> Index<S> {
                 }
             }
         }
+        // Refine-traffic estimate: word bounds are BOUNDS_STRIDE f32 per
+        // position per group, quant codes 8 bytes per position per group,
+        // exact rows n f32 each.
+        let bytes = block.n_groups() * block.word_len() * BOUNDS_STRIDE * 4
+            + quant_groups * n * BLOCK_LANES
+            + refined * n * 4;
         stats.series_lbd_checked.fetch_add(n_rows, Ordering::Relaxed);
         stats.series_refined.fetch_add(refined, Ordering::Relaxed);
         stats.block_groups_swept.fetch_add(block.n_groups(), Ordering::Relaxed);
         stats.block_lanes_abandoned.fetch_add(lanes_abandoned, Ordering::Relaxed);
+        stats.quant_groups_swept.fetch_add(quant_groups, Ordering::Relaxed);
+        stats.quant_lanes_killed.fetch_add(quant_killed, Ordering::Relaxed);
+        stats.refine_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// The per-row fallback path (leaves invalidated by online inserts).
@@ -805,6 +919,9 @@ impl<S: Summarization> Index<S> {
         }
         stats.series_lbd_checked.fetch_add(rows.len(), Ordering::Relaxed);
         stats.series_refined.fetch_add(refined, Ordering::Relaxed);
+        // Per-row traffic: one symbol word per row plus the exact rows.
+        let bytes = rows.len() * self.word_len + refined * self.series_len * 4;
+        stats.refine_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 }
 

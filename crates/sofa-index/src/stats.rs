@@ -31,6 +31,14 @@ pub(crate) struct KernelCounters {
     pub collect_level_groups_swept: AtomicU64,
     /// Leaf-fringe lanes retired wholesale by pruned ancestor level lanes.
     pub collect_leaves_retired_by_levels: AtomicU64,
+    /// 8-candidate groups swept by the quantized refine kernel.
+    pub quant_groups_swept: AtomicU64,
+    /// Candidate lanes the quantized tier pruned after the word bound let
+    /// them through — exact `f32` scans that never happened.
+    pub quant_lanes_killed: AtomicU64,
+    /// Estimated refine-phase bytes read (word bounds + quant codes +
+    /// exact rows), the bandwidth the funnel exists to reduce.
+    pub refine_bytes: AtomicU64,
 }
 
 impl KernelCounters {
@@ -47,6 +55,12 @@ impl KernelCounters {
         self.collect_groups_swept.fetch_add(groups, Ordering::Relaxed);
         self.collect_level_groups_swept.fetch_add(level_groups, Ordering::Relaxed);
         self.collect_leaves_retired_by_levels.fetch_add(retired, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_quant_sweep(&self, groups: u64, lanes_killed: u64, bytes: u64) {
+        self.quant_groups_swept.fetch_add(groups, Ordering::Relaxed);
+        self.quant_lanes_killed.fetch_add(lanes_killed, Ordering::Relaxed);
+        self.refine_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 }
 
@@ -91,6 +105,15 @@ pub struct IndexStats {
     /// Leaf-fringe lanes the level sweep retired wholesale via pruned
     /// ancestors — collect work that never happened.
     pub collect_leaves_retired_by_levels: u64,
+    /// 8-candidate groups swept by the quantized refine kernel.
+    pub quant_groups_swept: u64,
+    /// Candidate lanes the quantized tier pruned after the word bound let
+    /// them through — exact `f32` scans that never happened.
+    pub quant_lanes_killed: u64,
+    /// Mean estimated refine-phase bytes read per query (word bounds +
+    /// quant codes + exact rows) — the memory traffic the quantized tier
+    /// cuts. `0.0` before the first query.
+    pub refine_bytes_per_query: f64,
     /// Percentage of leaves currently on the per-row fallback refinement
     /// path (no packed storage / word block). With
     /// [`crate::IndexConfig::auto_repack_pct`] set to `None`, insert-heavy
@@ -150,6 +173,16 @@ impl<S: Summarization> Index<S> {
                 .counters
                 .collect_leaves_retired_by_levels
                 .load(Ordering::Relaxed),
+            quant_groups_swept: self.counters.quant_groups_swept.load(Ordering::Relaxed),
+            quant_lanes_killed: self.counters.quant_lanes_killed.load(Ordering::Relaxed),
+            refine_bytes_per_query: {
+                let q = self.counters.queries.load(Ordering::Relaxed);
+                if q == 0 {
+                    0.0
+                } else {
+                    self.counters.refine_bytes.load(Ordering::Relaxed) as f64 / q as f64
+                }
+            },
             fallback_leaf_pct: if leaves == 0 {
                 0.0
             } else {

@@ -75,6 +75,21 @@ pub(crate) mod x86 {
         unsafe { block_lower_bound(values, weights, bounds, bsf_sq, out) }
     }
 
+    /// Safe wrapper over the AVX2 quantized lower-bound kernel. Re-checks
+    /// the layout itself (soundness boundary, as above).
+    pub(crate) fn quant_lower_bound_checked(
+        qcodes: &[u8],
+        codes: &[u8],
+        thr: &[i32; 8],
+        out: &mut [i32; 8],
+    ) -> bool {
+        assert!(supported(), "AVX2 kernels dispatched on a CPU without AVX2+FMA");
+        assert_eq!(codes.len(), qcodes.len() * 8);
+        // SAFETY: AVX2 verified above; the layout assert guarantees every
+        // 8-byte lane load stays in bounds.
+        unsafe { quant_lower_bound(qcodes, codes, thr, out) }
+    }
+
     /// Pairwise horizontal sum matching `F32x8::horizontal_sum` exactly:
     /// `(a0+a1 + (a2+a3)) + (a4+a5 + (a6+a7))`.
     ///
@@ -240,5 +255,75 @@ pub(crate) mod x86 {
         _mm256_storeu_ps(out.as_mut_ptr(), acc);
         let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(acc, vbsf);
         _mm256_movemask_ps(gt) == 0xFF
+    }
+
+    /// AVX2 quantized lower-bound sweep: 8 candidates per call over
+    /// position-major `u8` codes (see `crate::quant`), two positions per
+    /// step. The two 8-lane rows are interleaved bytewise
+    /// (`unpacklo_epi8`: `[p₀l₀, p₁l₀, p₀l₁, p₁l₁, …]`) so that after an
+    /// unsigned absolute difference against the pair-splatted query codes
+    /// and a `u8 → i16` widening, `madd_epi16(v, v)` pairs *same-lane
+    /// adjacent-position* squares — one multiply-add covers 16 code bytes
+    /// where a naive per-position `mullo_epi32` covers 8 (and at twice the
+    /// instruction cost), which is what lets this sweep beat the `f32`
+    /// kernel per byte. `|d| ≤ 255`, so `d² ≤ 65025` and each i16 product
+    /// pair fits i32 exactly. Integer arithmetic is exact, so this tier is
+    /// bit-identical to the scalar/portable tiers by construction. Whole-
+    /// group early abandon every 16 positions against the per-lane
+    /// thresholds `thr`; returns `true` when every lane's (possibly
+    /// partial) sum exceeds its threshold.
+    ///
+    /// # Safety
+    /// Requires AVX2 support and `codes.len() == qcodes.len() * 8`
+    /// (accumulator overflow is prevented by the dispatcher's
+    /// `QUANT_MAX_POSITIONS` layout check).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn quant_lower_bound(
+        qcodes: &[u8],
+        codes: &[u8],
+        thr: &[i32; 8],
+        out: &mut [i32; 8],
+    ) -> bool {
+        debug_assert_eq!(codes.len(), qcodes.len() * 8);
+        let vthr = _mm256_loadu_si256(thr.as_ptr().cast());
+        let mut acc = _mm256_setzero_si256();
+        let p = qcodes.len();
+        let mut j = 0usize;
+        while j + 2 <= p {
+            // 16 lane codes for positions j, j+1, interleaved per lane.
+            let a = _mm_loadl_epi64(codes.as_ptr().add(j * 8).cast());
+            let b = _mm_loadl_epi64(codes.as_ptr().add((j + 1) * 8).cast());
+            let c = _mm_unpacklo_epi8(a, b);
+            // The query pair in the same interleaving: [qⱼ, qⱼ₊₁] × 8.
+            let q = _mm_set1_epi16(i16::from_le_bytes([qcodes[j], qcodes[j + 1]]));
+            // Unsigned |c - q| via saturating subtractions in both orders.
+            let ad = _mm_or_si128(_mm_subs_epu8(c, q), _mm_subs_epu8(q, c));
+            let v = _mm256_cvtepu8_epi16(ad);
+            // Low 128 bits hold lanes 0–3, high bits lanes 4–7 — `out`'s
+            // natural i32 order.
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(v, v));
+            j += 2;
+            // Same checkpoint positions as the scalar tier (after 16, 32,
+            // … positions), so partial sums — and therefore the abandon
+            // decision — stay bit-identical.
+            if j % 16 == 0 {
+                let gt = _mm256_cmpgt_epi32(acc, vthr);
+                if _mm256_movemask_ps(_mm256_castsi256_ps(gt)) == 0xFF {
+                    _mm256_storeu_si256(out.as_mut_ptr().cast(), acc);
+                    return true;
+                }
+            }
+        }
+        if j < p {
+            // Odd trailing position: widen to i32 and square directly.
+            let lanes8 = _mm_loadl_epi64(codes.as_ptr().add(j * 8).cast());
+            let lanes = _mm256_cvtepu8_epi32(lanes8);
+            let vq = _mm256_set1_epi32(i32::from(qcodes[j]));
+            let d = _mm256_sub_epi32(vq, lanes);
+            acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(d, d));
+        }
+        _mm256_storeu_si256(out.as_mut_ptr().cast(), acc);
+        let gt = _mm256_cmpgt_epi32(acc, vthr);
+        _mm256_movemask_ps(_mm256_castsi256_ps(gt)) == 0xFF
     }
 }

@@ -43,6 +43,7 @@ mod arch;
 pub mod block;
 pub mod dispatch;
 pub mod distance;
+pub mod quant;
 pub mod vector;
 pub mod znorm;
 
@@ -55,6 +56,9 @@ pub use distance::{
     dot, dot_portable, dot_scalar, euclidean_sq, euclidean_sq_early_abandon,
     euclidean_sq_early_abandon_portable, euclidean_sq_early_abandon_scalar, euclidean_sq_portable,
     euclidean_sq_scalar, DistanceKernel,
+};
+pub use quant::{
+    quant_lower_bound, quant_lower_bound_portable, quant_lower_bound_scalar, QUANT_MAX_POSITIONS,
 };
 pub use vector::{F32x8, Mask8, LANES};
 pub use znorm::{znormalize, znormalize_into, ZNormStats};

@@ -226,6 +226,57 @@ impl NodeBlock {
         self.bounds.len() * std::mem::size_of::<f32>()
     }
 
+    /// Appends one node's resolved intervals as a new lane, preserving the
+    /// padding invariant (pad lanes mirror the last real lane). Used by
+    /// the index's split-time level patching: when an insert splits a node
+    /// at a depth this block covers, the new node's tighter label joins
+    /// the sweep immediately instead of waiting for the next repack.
+    ///
+    /// When the last group is full a fresh group is appended (all 8 lanes
+    /// the new node); otherwise the first pad lane is overwritten and the
+    /// remaining pads re-mirrored.
+    ///
+    /// # Panics
+    /// Panics if `prefixes`/`bits` length differs from the block's word
+    /// length.
+    pub fn push_lane(&mut self, summarization: &dyn Summarization, prefixes: &[u8], bits: &[u8]) {
+        let l = self.word_len;
+        assert_eq!(prefixes.len(), l, "node prefixes must span the word");
+        assert_eq!(bits.len(), l, "node bits must span the word");
+        let alphabet = summarization.alphabet();
+        let symbol_bits = summarization.symbol_bits();
+        let lane = self.n % BLOCK_LANES;
+        if lane == 0 {
+            for j in 0..l {
+                let (lo, hi) = prefix_interval(
+                    prefixes[j],
+                    bits[j],
+                    symbol_bits,
+                    alphabet,
+                    summarization.breakpoints(j),
+                );
+                self.bounds.extend(std::iter::repeat(lo).take(BLOCK_LANES));
+                self.bounds.extend(std::iter::repeat(hi).take(BLOCK_LANES));
+            }
+        } else {
+            let base = (self.n / BLOCK_LANES) * l * BOUNDS_STRIDE;
+            for j in 0..l {
+                let (lo, hi) = prefix_interval(
+                    prefixes[j],
+                    bits[j],
+                    symbol_bits,
+                    alphabet,
+                    summarization.breakpoints(j),
+                );
+                for k in lane..BLOCK_LANES {
+                    self.bounds[base + j * BOUNDS_STRIDE + k] = lo;
+                    self.bounds[base + j * BOUNDS_STRIDE + BLOCK_LANES + k] = hi;
+                }
+            }
+        }
+        self.n += 1;
+    }
+
     /// The bounds slice of `group`.
     #[inline]
     #[must_use]
@@ -311,6 +362,23 @@ impl LevelBlocks {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.levels.is_empty()
+    }
+
+    /// Appends one node's lane to an existing level's block (see
+    /// [`NodeBlock::push_lane`]). Only levels built at the last repack can
+    /// be patched — callers never grow the hierarchy here.
+    ///
+    /// # Panics
+    /// Panics if `level` is out of range or the label length differs from
+    /// the block's word length.
+    pub fn push_level_lane(
+        &mut self,
+        level: usize,
+        summarization: &dyn Summarization,
+        prefixes: &[u8],
+        bits: &[u8],
+    ) {
+        self.levels[level].push_lane(summarization, prefixes, bits);
     }
 
     /// The node block of one level (0 = the level just below the root).
@@ -512,6 +580,32 @@ mod tests {
                 for i in 0..BLOCK_LANES {
                     assert_eq!(dispatched[i].to_bits(), scalar[i].to_bits(), "group {g} lane {i}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn push_lane_matches_batch_build() {
+        // Pushing lanes one at a time must reproduce the batch-built block
+        // bit-for-bit, across both the overwrite-pad and new-group paths.
+        let n = 64;
+        let data = dataset(19, n);
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 64, ..Default::default() });
+        let words = words_of(&sfa, &data, n);
+        let nodes = nodes_from_words(&words, 16, sfa.symbol_bits());
+        let refs: Vec<(&[u8], &[u8])> =
+            nodes.iter().map(|(p, b)| (p.as_slice(), b.as_slice())).collect();
+        for split in [1usize, 7, 8, 9, 16] {
+            let mut grown = NodeBlock::build(&sfa, &refs[..split]);
+            for (p, b) in &refs[split..] {
+                grown.push_lane(&sfa, p, b);
+            }
+            let batch = NodeBlock::build(&sfa, &refs);
+            assert_eq!(grown.n(), batch.n(), "split={split}");
+            assert_eq!(grown.bounds.len(), batch.bounds.len(), "split={split}");
+            for (i, (a, b)) in grown.bounds.iter().zip(batch.bounds.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "split={split} float {i}");
             }
         }
     }

@@ -39,6 +39,7 @@ pub mod lbd;
 pub mod mcb;
 pub mod numeric;
 pub mod paa;
+pub mod quant;
 pub mod sax;
 pub mod sfa;
 pub mod tlb;
@@ -52,6 +53,7 @@ pub use lbd::{mindist_node, mindist_scalar, mindist_simd, QueryContext, QueryEnv
 pub use mcb::{BinningStrategy, CoefficientSelection, McbConfig, McbModel};
 pub use numeric::{Apca, ApcaSegment, OrthoPoly, Pla};
 pub use paa::Paa;
+pub use quant::{QuantBlock, QuantGrid};
 pub use sax::{ISax, SaxConfig};
 pub use sfa::{Sfa, SfaConfig};
 pub use tlb::{tlb_of, TlbReport};

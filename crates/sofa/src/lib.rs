@@ -99,6 +99,7 @@ pub struct Builder {
     pool: Option<Arc<ExecPool>>,
     auto_repack_pct: Option<u32>,
     collect_levels: usize,
+    quant_refine: bool,
 }
 
 impl Default for Builder {
@@ -117,6 +118,7 @@ impl Default for Builder {
             pool: None,
             auto_repack_pct: IndexConfig::default().auto_repack_pct,
             collect_levels: IndexConfig::default().collect_levels,
+            quant_refine: IndexConfig::default().quant_refine,
         }
     }
 }
@@ -215,6 +217,17 @@ impl Builder {
         self
     }
 
+    /// Enables or disables the scalar-quantized refine tier: per-leaf
+    /// int8 codes swept between the word lower bound and the exact `f32`
+    /// scan (default on). Results are identical either way — the
+    /// quantized bound is conservative — so `false` is mainly an A/B
+    /// benchmarking knob.
+    #[must_use]
+    pub fn quant_refine(mut self, enabled: bool) -> Self {
+        self.quant_refine = enabled;
+        self
+    }
+
     fn index_config(&self) -> IndexConfig {
         // Lane-derived knobs (worker count, refinement-queue count) must
         // follow the *effective* execution width: a shared pool overrides
@@ -224,6 +237,7 @@ impl Builder {
             .leaf_capacity(self.leaf_capacity)
             .auto_repack_pct(self.auto_repack_pct)
             .collect_levels(self.collect_levels)
+            .quant_refine(self.quant_refine)
     }
 
     /// The shared pool if one was supplied, else a fresh pool with
@@ -442,6 +456,22 @@ macro_rules! forward_index_api {
             #[must_use]
             pub fn build_breakdown(&self) -> (f64, f64) {
                 self.inner.build_breakdown()
+            }
+
+            /// Enables or disables the quantized refine tier at query
+            /// time, without a rebuild (see
+            /// [`Builder::quant_refine`] for the build-time switch that
+            /// controls whether codes exist at all). Results are exact
+            /// either way.
+            pub fn set_quant_refine(&self, on: bool) {
+                self.inner.set_quant_refine(on);
+            }
+
+            /// Whether queries currently consult the quantized refine
+            /// tier.
+            #[must_use]
+            pub fn quant_refine_enabled(&self) -> bool {
+                self.inner.quant_refine_enabled()
             }
 
             /// The persistent worker pool executing this index's

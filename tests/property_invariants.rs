@@ -10,10 +10,14 @@
 
 use proptest::prelude::*;
 use sofa::baselines::UcrScan;
-use sofa::simd::{euclidean_sq, znormalize, BLOCK_LANES};
+use sofa::simd::{
+    euclidean_sq, quant_lower_bound, quant_lower_bound_portable, quant_lower_bound_scalar,
+    znormalize, BLOCK_LANES,
+};
 use sofa::summaries::{
     mindist_level_block, mindist_node, mindist_node_block, mindist_scalar, mindist_simd, ISax,
-    LevelBlocks, NodeBlock, QueryContext, SaxConfig, Sfa, SfaConfig, Summarization,
+    LevelBlocks, NodeBlock, QuantBlock, QuantGrid, QueryContext, SaxConfig, Sfa, SfaConfig,
+    Summarization,
 };
 use sofa::SofaIndex;
 
@@ -268,6 +272,84 @@ proptest! {
                     prop_assert_eq!(
                         lb.to_bits(), scalar.to_bits(),
                         "level {} group {} lane {}: block {} vs scalar {}", lvl, g, lane, lb, scalar
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quant_lower_bound_is_sound_and_bit_identical_across_tiers(
+        raw in proptest::collection::vec(-10.0f32..10.0, 2 * 257..42 * 257),
+        len_sel in 0usize..6,
+        // Scale the rows down to (and past) the denormal range: the
+        // quantizer must stay conservative (or bow out) on tiny values.
+        scale_sel in 0usize..4,
+        bsf_frac in 0.05f64..1.5,
+    ) {
+        // Ragged lengths around the group and checkpoint boundaries.
+        let n = [1usize, 7, 8, 64, 129, 257][len_sel];
+        let scale = 10f32.powi([0i32, -20, -38, -44][scale_sel]);
+        let rows = (raw.len() / n).clamp(1, 41);
+        let data: Vec<f32> = raw[..rows * n].iter().map(|&v| v * scale).collect();
+        let query: Vec<f32> = raw[raw.len() - n..].iter().map(|&v| v * scale).collect();
+        let Some(grid) = QuantGrid::train(&data, n) else {
+            // Degenerate (constant / underflowed) data: the tier bows
+            // out and the index keeps the word -> f32 path. Nothing to
+            // check.
+            return;
+        };
+        let qb = QuantBlock::build(&grid, &data, n).expect("grid was trained on this data");
+        prop_assert_eq!(qb.n(), rows);
+        let mut qcodes = vec![0u8; n];
+        let err_q = grid.quantize_query(&query, &mut qcodes);
+        // f64 exact-distance reference: at denormal scales the f32 sum
+        // underflows to 0 while the (valid) quant bound stays positive.
+        // The index never sees that band — z-normalized f32 rows make
+        // distances either exactly 0 or far above it — so the math is
+        // checked against the un-underflowed value.
+        let ed64 = |r: usize| -> f64 {
+            query
+                .iter()
+                .zip(&data[r * n..(r + 1) * n])
+                .map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2))
+                .sum()
+        };
+        let bsf = f64::from(euclidean_sq(&query, &data[..n])) * bsf_frac;
+        let nothr = [i32::MAX; BLOCK_LANES];
+        let mut thr = [0i32; BLOCK_LANES];
+        let mut sums = [0i32; BLOCK_LANES];
+        for g in 0..qb.n_groups() {
+            let codes = qb.group_codes(g);
+            let errs = qb.group_errs(g);
+            // Tier agreement is exact: integer sums, bit for bit.
+            let mut s_scalar = [0i32; BLOCK_LANES];
+            let mut s_portable = [0i32; BLOCK_LANES];
+            quant_lower_bound_scalar(&qcodes, codes, &nothr, &mut s_scalar);
+            quant_lower_bound_portable(&qcodes, codes, &nothr, &mut s_portable);
+            let abandoned = quant_lower_bound(&qcodes, codes, &nothr, &mut sums);
+            prop_assert!(!abandoned, "nothing abandons against MAX thresholds");
+            prop_assert_eq!(&sums, &s_scalar);
+            prop_assert_eq!(&sums, &s_portable);
+            // The reconstructed bound never exceeds the exact distance.
+            for lane in 0..BLOCK_LANES {
+                let r = (g * BLOCK_LANES + lane).min(rows - 1);
+                let ed = ed64(r);
+                let lb = qb.lane_bound(sums[lane], errs[lane], err_q);
+                prop_assert!(
+                    lb <= ed * (1.0 + 1e-9),
+                    "group {} lane {}: quant bound {} > exact {}", g, lane, lb, ed
+                );
+            }
+            // Threshold soundness end-to-end: a whole-group abandon at
+            // `bsf` means every lane's exact distance is at least `bsf`.
+            qb.thresholds(g, bsf as f32, err_q, &mut thr);
+            if quant_lower_bound(&qcodes, codes, &thr, &mut sums) {
+                for lane in 0..BLOCK_LANES {
+                    let r = (g * BLOCK_LANES + lane).min(rows - 1);
+                    prop_assert!(
+                        ed64(r) >= bsf * (1.0 - 1e-6),
+                        "abandoned lane below bsf: {} < {}", ed64(r), bsf
                     );
                 }
             }
