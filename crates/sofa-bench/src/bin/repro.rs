@@ -11,8 +11,9 @@
 //!   --profile <name>   named experiment bundle: `deep` runs the
 //!                      deep-tree serving profile (ext-deep), `throughput`
 //!                      runs the serving-throughput profile
-//!                      (ext-throughput); each supplies its experiment
-//!                      list when none is given
+//!                      (ext-throughput), `serve` runs the micro-batching
+//!                      front-end profile (ext-serve); each supplies its
+//!                      experiment list when none is given
 //!   --scale <N>        divide paper series counts by N   (default 10000)
 //!   --queries <N>      queries per dataset               (default 15)
 //!   --threads <list>   comma-separated core sweep        (default 1,2,4)
@@ -80,7 +81,9 @@ fn main() {
         Some("deep") => {}
         Some("throughput") if ids.is_empty() => ids.push("ext-throughput".to_string()),
         Some("throughput") => {}
-        Some(other) => die(&format!("unknown profile {other} (known: deep, throughput)")),
+        Some("serve") if ids.is_empty() => ids.push("ext-serve".to_string()),
+        Some("serve") => {}
+        Some(other) => die(&format!("unknown profile {other} (known: deep, throughput, serve)")),
     }
     if ids.is_empty() {
         die("no experiment given (try `all`)");
@@ -141,7 +144,7 @@ fn die(msg: &str) -> ! {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--profile deep|throughput] [--scale N] [--queries N] \
+        "usage: repro [--quick] [--profile deep|throughput|serve] [--scale N] [--queries N] \
          [--threads a,b,c] [--leaf N] [--quant on|off] [--write FILE] [--json FILE] \
          <experiment>...\nexperiments: {} | all",
         all_experiments().iter().map(|e| e.id).collect::<Vec<_>>().join(" ")

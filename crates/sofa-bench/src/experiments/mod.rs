@@ -7,6 +7,7 @@ pub mod deep;
 pub mod illustrate;
 pub mod numeric;
 pub mod queries;
+pub mod serve;
 pub mod structure;
 pub mod sweeps;
 pub mod throughput;
@@ -196,6 +197,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Extension: deep-tree collect (level blocks vs leaf-only)",
             run: deep::ext_deep,
         },
+        Experiment {
+            id: "ext-serve",
+            title: "Extension: micro-batching serve front-end (coalescer + shards)",
+            run: serve::ext_serve,
+        },
     ]
 }
 
@@ -234,6 +240,7 @@ mod tests {
             "ext-numeric",
             "ext-throughput",
             "ext-deep",
+            "ext-serve",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

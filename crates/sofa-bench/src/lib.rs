@@ -23,6 +23,7 @@
 //! | `fig15`  | Figure 15      | critical-difference analysis |
 //! | `ext-throughput` | extension | single-query vs `knn_batch` QPS on the worker pool |
 //! | `ext-deep` | extension | deep-tree collect: level blocks vs leaf-only sweep (also `--profile deep`) |
+//! | `ext-serve` | extension | micro-batching serve front-end under open-loop load (also `--profile serve`) |
 //!
 //! Experiments return [`report::Report`]s (markdown with embedded data
 //! tables) that the binary prints and can append to `EXPERIMENTS.md`.

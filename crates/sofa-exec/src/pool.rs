@@ -268,13 +268,32 @@ impl ExecPool {
     where
         F: Fn(usize) + Sync,
     {
-        if self.lanes == 1 {
+        self.broadcast_limit(self.lanes, f);
+    }
+
+    /// [`ExecPool::broadcast`] over at most `max_lanes` lanes (clamped to
+    /// `[1, threads()]`): `f(lane)` runs once for each `lane <
+    /// min(threads(), max_lanes)`, lane 0 on the calling thread.
+    ///
+    /// This is the right-sized dispatch for small work batches — a
+    /// micro-batch tick of 3 queries on an 8-lane pool wakes 2 workers,
+    /// not 7, so the per-tick synchronization cost scales with the work
+    /// actually available rather than with the pool width.
+    ///
+    /// # Panics
+    /// Re-raises the first panic from any lane, after all lanes finish.
+    pub fn broadcast_limit<F>(&self, max_lanes: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let lanes = self.lanes.min(max_lanes.max(1));
+        if lanes == 1 {
             f(0);
             return;
         }
         let state = self.checkout_scope();
-        *lock(&state.pending) = self.lanes - 1;
-        for lane in 1..self.lanes {
+        *lock(&state.pending) = lanes - 1;
+        for lane in 1..lanes {
             // SAFETY (erasure): `&f` outlives this call — `f(0)` plus
             // `help_until_done` below block until every lane has
             // executed, mirroring the `Scope::spawn` argument; `F: Sync`
@@ -474,6 +493,21 @@ mod tests {
             });
             for (lane, h) in hits.iter().enumerate() {
                 assert_eq!(h.load(Ordering::Relaxed), 1, "lane {lane} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_limit_caps_lane_count() {
+        let pool = ExecPool::new(4);
+        for (max, expect) in [(0, 1), (1, 1), (3, 3), (4, 4), (9, 4)] {
+            let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+            pool.broadcast_limit(max, |lane| {
+                hits[lane].fetch_add(1, Ordering::Relaxed);
+            });
+            for (lane, h) in hits.iter().enumerate() {
+                let want = usize::from(lane < expect);
+                assert_eq!(h.load(Ordering::Relaxed), want, "lane {lane} with max {max}");
             }
         }
     }

@@ -237,20 +237,83 @@ impl<S: Summarization> Index<S> {
                 self.series_len
             )));
         }
-        let n = self.series_len;
-        let n_queries = queries.len() / n;
+        let n_queries = queries.len() / self.series_len;
         if n_queries == 0 {
             return Ok(Vec::new());
         }
-        if self.pool.threads() == 1 || n_queries == 1 {
-            // Nothing to amortize: answer one query at a time (a single
-            // query still gets intra-query parallelism).
-            return queries.chunks(n).map(|q| self.knn(q, k)).collect();
-        }
+        let ks = vec![k; n_queries];
         let results: Vec<Mutex<Vec<Neighbor>>> =
             (0..n_queries).map(|_| Mutex::new(Vec::new())).collect();
+        self.knn_batch_into(queries, &ks, &results)?;
+        Ok(results.into_iter().map(Mutex::into_inner).collect())
+    }
+
+    /// Exact k-NN for a batch of queries written into caller-owned output
+    /// slots (each cleared first, best first) — the allocation-free
+    /// serving form of [`Index::knn_batch`], with a per-query `k`. This
+    /// is the engine behind micro-batching front-ends: a coalesced tick
+    /// of `m` single-query tickets runs through here on
+    /// `min(m, threads())` pool lanes, each lane reusing one pooled
+    /// scratch for every query it claims, so a warm tick allocates
+    /// nothing.
+    ///
+    /// Exactly one [`crate::IndexStats::queries_served`] count is
+    /// recorded per slot, the same as `m` individual [`Index::knn`]
+    /// calls — batch lanes and coalesced ticks are indistinguishable in
+    /// the counters.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] if the buffer is not a whole
+    /// number of series, `ks`/`outs` lengths don't match the query
+    /// count, or any `k == 0`.
+    pub fn knn_batch_into(
+        &self,
+        queries: &[f32],
+        ks: &[usize],
+        outs: &[Mutex<Vec<Neighbor>>],
+    ) -> Result<(), IndexError> {
+        let n = self.series_len;
+        if queries.len() % n != 0 {
+            return Err(IndexError::BadQuery(format!(
+                "query buffer of {} floats is not a multiple of series length {}",
+                queries.len(),
+                n
+            )));
+        }
+        let n_queries = queries.len() / n;
+        if ks.len() != n_queries || outs.len() != n_queries {
+            return Err(IndexError::BadQuery(format!(
+                "{} queries but {} ks and {} output slots",
+                n_queries,
+                ks.len(),
+                outs.len()
+            )));
+        }
+        if ks.contains(&0) {
+            return Err(IndexError::BadQuery("k must be at least 1".into()));
+        }
+        if n_queries == 0 {
+            return Ok(());
+        }
+        if n_queries == 1 {
+            // A lone query still gets intra-query parallelism.
+            return self.knn_into(queries, ks[0], &mut outs[0].lock());
+        }
+        if self.pool.threads() == 1 {
+            let mut scratch = self.scratch();
+            for i in 0..n_queries {
+                let _ =
+                    self.knn_serial_on_scratch(&mut scratch, &queries[i * n..(i + 1) * n], ks[i]);
+                let mut out = outs[i].lock();
+                out.clear();
+                scratch.knn.drain_sorted_into(&mut out);
+            }
+            return Ok(());
+        }
         let next_query = AtomicUsize::new(0);
-        self.pool.broadcast(|_| {
+        // A tick smaller than the pool leaves the excess lanes asleep:
+        // per-tick dispatch cost scales with the queries available.
+        self.pool.broadcast_limit(n_queries, |_| {
             // One scratch per lane for the whole batch: queues, heaps,
             // context buffers and the DFT executor are reused across
             // every query this lane claims.
@@ -260,13 +323,14 @@ impl<S: Summarization> Index<S> {
                 if i >= n_queries {
                     break;
                 }
-                let _ = self.knn_serial_on_scratch(&mut scratch, &queries[i * n..(i + 1) * n], k);
-                let mut out = Vec::with_capacity(k);
+                let _ =
+                    self.knn_serial_on_scratch(&mut scratch, &queries[i * n..(i + 1) * n], ks[i]);
+                let mut out = outs[i].lock();
+                out.clear();
                 scratch.knn.drain_sorted_into(&mut out);
-                *results[i].lock() = out;
             }
         });
-        Ok(results.into_iter().map(Mutex::into_inner).collect())
+        Ok(())
     }
 
     /// Normalizes `query` into the scratch and answers it — on the pool

@@ -1,0 +1,100 @@
+//! Micro-batching serving front-end for the SOFA/MESSI indexes.
+//!
+//! The batch path answers queries ~2.3x faster per query than the
+//! single-query pool path (`BENCH_pr5.json`), but only callers who
+//! already hold a batch get it. This crate gives *concurrent
+//! single-query callers* the batch rate — the FAISS argument that
+//! batching is where CPU throughput lives, applied behind a queue:
+//!
+//! * [`Server`] — callers submit one query each into a ticketed bounded
+//!   queue; a collector thread coalesces them into latency-bounded
+//!   **ticks** (a fill target or a ~100–250µs window, whichever fills
+//!   first), answers the whole tick through the index's batch engine,
+//!   and fans results back out through per-ticket slots. Tickets,
+//!   queues, tick buffers and result vectors are all pooled, and the
+//!   tick itself runs on [`sofa_index::Index::knn_batch_into`]'s pooled
+//!   per-lane scratches — so the warm tick path performs no heap
+//!   allocation.
+//! * [`ShardedIndex`] — N-way row-partitioned sharding with a per-shard
+//!   [`sofa_exec::ExecPool`] and a zero-allocation top-k merge through
+//!   the existing [`sofa_index::KnnSet`] drain, so one logical index
+//!   spans cores (and sidesteps the `u32` row-id ceiling). A sharded
+//!   index answers bit-identically to an unsharded one over the same
+//!   rows: z-normalization is per-row and ties resolve by global row id
+//!   in both.
+//! * [`TickExec`] — the tick-execution trait connecting the two: any
+//!   index shape (plain, sharded, or a custom backend) that can answer
+//!   a tick of queries can sit behind a [`Server`].
+//! * [`ServeStats`] — per-tick fill, queue depth and ticket-wait
+//!   counters for the `repro --json` observability surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod server;
+mod shard;
+mod stats;
+
+pub use server::{ServeConfig, ServeError, Server};
+pub use shard::ShardedIndex;
+pub use stats::ServeStats;
+
+use sofa_index::{Index, Neighbor};
+use sofa_summaries::Summarization;
+
+/// One tick-output slot: the collector hands [`TickExec::run_tick`] one
+/// slot per coalesced query and the executor leaves that query's
+/// neighbors (best first) in it. The mutex matches the batch engine's
+/// lane-claiming writers; slots are pooled and reused across ticks.
+pub type ResultSlot = parking_lot::Mutex<Vec<Neighbor>>;
+
+/// An executor that can answer one coalesced tick of queries.
+///
+/// Implemented by [`sofa_index::Index`] (any summarization, so both
+/// SOFA and MESSI trees serve), by [`ShardedIndex`], and by `Arc`s of
+/// either — which is how a benchmark or application shares one index
+/// between a [`Server`] and direct callers.
+pub trait TickExec: Send + Sync + 'static {
+    /// Length every query must have.
+    fn series_len(&self) -> usize;
+
+    /// Answers `queries` (row-major, `ks[i]` neighbors for query `i`)
+    /// into `outs[i]` (cleared first, best first).
+    ///
+    /// # Panics
+    /// Implementations may panic on malformed input (length not a
+    /// multiple of [`TickExec::series_len`], mismatched `ks`/`outs`
+    /// lengths, or a zero `k`). [`Server`] validates every submission
+    /// before it can reach a tick, so a served tick never panics.
+    fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[ResultSlot]);
+}
+
+impl<S: Summarization + 'static> TickExec for Index<S> {
+    fn series_len(&self) -> usize {
+        Index::series_len(self)
+    }
+
+    fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[ResultSlot]) {
+        self.knn_batch_into(queries, ks, outs).expect("server-validated tick");
+    }
+}
+
+impl<S: Summarization + 'static> TickExec for ShardedIndex<S> {
+    fn series_len(&self) -> usize {
+        ShardedIndex::series_len(self)
+    }
+
+    fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[ResultSlot]) {
+        self.knn_tick(queries, ks, outs).expect("server-validated tick");
+    }
+}
+
+impl<T: TickExec + ?Sized> TickExec for std::sync::Arc<T> {
+    fn series_len(&self) -> usize {
+        (**self).series_len()
+    }
+
+    fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[ResultSlot]) {
+        (**self).run_tick(queries, ks, outs);
+    }
+}

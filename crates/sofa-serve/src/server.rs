@@ -1,0 +1,616 @@
+//! The query coalescer: a ticketed bounded queue in front of the batch
+//! engine.
+//!
+//! Concurrent callers each submit **one** query; a single collector
+//! thread assembles submissions into ticks — up to
+//! [`ServeConfig::fill_target`] queries, waiting at most
+//! [`ServeConfig::max_wait`] for stragglers — answers the tick through
+//! the [`TickExec`] in one batch call, and completes each ticket. Under
+//! load the queue always holds a full tick, so the window never adds
+//! latency; at low load a lone query waits at most one window.
+//!
+//! Everything on the warm path is pooled: tickets (with their query and
+//! result buffers) recycle through a free list, the collector reuses its
+//! tick buffers and result slots, and result hand-off is a buffer swap.
+
+use crate::stats::{ServeStats, StatCounters};
+use crate::{ResultSlot, TickExec};
+use sofa_index::{IndexError, Neighbor};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked (a
+/// poisoned queue must not wedge the server).
+fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Tuning knobs for the coalescer.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    fill_target: usize,
+    max_wait: Duration,
+    queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    /// 16-query ticks, a 200µs coalescing window, and room for four
+    /// ticks of backlog before submitters block.
+    fn default() -> Self {
+        ServeConfig { fill_target: 16, max_wait: Duration::from_micros(200), queue_capacity: 64 }
+    }
+}
+
+impl ServeConfig {
+    /// Starts from the defaults.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tick size the collector aims for (clamped to at least 1). A tick
+    /// dispatches as soon as this many queries are queued.
+    #[must_use]
+    pub fn fill_target(mut self, fill: usize) -> Self {
+        self.fill_target = fill.max(1);
+        self
+    }
+
+    /// Longest the collector waits for a tick to fill once it holds at
+    /// least one query. The paper-shape sweet spot is 100–250µs: far
+    /// below a query's service time, far above the per-tick dispatch
+    /// cost.
+    #[must_use]
+    pub fn max_wait(mut self, wait: Duration) -> Self {
+        self.max_wait = wait;
+        self
+    }
+
+    /// Queued-submission bound (clamped to at least 1); submitters past
+    /// it block until the collector drains a tick — open-loop overload
+    /// turns into backpressure instead of unbounded memory.
+    #[must_use]
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap.max(1);
+        self
+    }
+}
+
+/// Errors surfaced by [`Server`] submissions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The query was rejected before it reached the queue.
+    Index(IndexError),
+    /// The server shut down before this query could be answered.
+    ShutDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Index(e) => write!(f, "{e}"),
+            ServeError::ShutDown => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<IndexError> for ServeError {
+    fn from(e: IndexError) -> Self {
+        ServeError::Index(e)
+    }
+}
+
+/// What happened to a submitted ticket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Outcome {
+    /// Queued or in flight; the submitter is waiting.
+    Pending,
+    /// Answered; `result` holds the neighbors.
+    Done,
+    /// The server shut down (or its executor panicked) first.
+    Aborted,
+}
+
+/// Mutable half of one ticket. The buffers live as long as the ticket
+/// and the ticket recycles through the server's free list, so a warm
+/// submission reuses both.
+struct TicketState {
+    query: Vec<f32>,
+    k: usize,
+    result: Vec<Neighbor>,
+    outcome: Outcome,
+    enqueued_at: Option<Instant>,
+}
+
+/// One submission: the query travels to the collector and the result
+/// travels back through here, with the submitter parked on `cv`.
+struct Ticket {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+impl Ticket {
+    fn new() -> Self {
+        Ticket {
+            state: Mutex::new(TicketState {
+                query: Vec::new(),
+                k: 0,
+                result: Vec::new(),
+                outcome: Outcome::Pending,
+                enqueued_at: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The submission queue plus the shutdown latch, under one lock.
+struct SubmitQueue {
+    pending: VecDeque<Arc<Ticket>>,
+    shutdown: bool,
+}
+
+/// State shared between submitters, the collector thread, and the
+/// [`Server`] handle.
+struct ServerInner<E> {
+    exec: E,
+    cfg: ServeConfig,
+    series_len: usize,
+    queue: Mutex<SubmitQueue>,
+    /// Signaled when a ticket is queued or shutdown begins (collector).
+    work_cv: Condvar,
+    /// Signaled when the collector drains a tick (blocked submitters).
+    space_cv: Condvar,
+    counters: StatCounters,
+    /// Free tickets awaiting reuse.
+    tickets: Mutex<Vec<Arc<Ticket>>>,
+}
+
+/// A micro-batching front-end over a [`TickExec`].
+///
+/// Clone-free sharing: wrap the server itself in an `Arc` to hand it to
+/// submitter threads, or share the *index* via `Arc` between one server
+/// and direct callers (`Arc<Index<_>>` implements [`TickExec`]).
+/// Dropping the server shuts it down and drains every queued ticket
+/// first, so no submitter is left hanging.
+pub struct Server<E: TickExec> {
+    inner: Arc<ServerInner<E>>,
+    collector: Option<JoinHandle<()>>,
+}
+
+impl<E: TickExec> Server<E> {
+    /// Starts a server (one collector thread) over `exec`.
+    #[must_use]
+    pub fn new(exec: E, cfg: ServeConfig) -> Self {
+        let series_len = exec.series_len();
+        let inner = Arc::new(ServerInner {
+            exec,
+            cfg,
+            series_len,
+            queue: Mutex::new(SubmitQueue { pending: VecDeque::new(), shutdown: false }),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            counters: StatCounters::default(),
+            tickets: Mutex::new(Vec::new()),
+        });
+        let for_thread = Arc::clone(&inner);
+        let collector = std::thread::Builder::new()
+            .name("sofa-serve".into())
+            .spawn(move || collector_loop(&for_thread))
+            .expect("spawn serve collector");
+        Server { inner, collector: Some(collector) }
+    }
+
+    /// The executor behind this server.
+    pub fn exec(&self) -> &E {
+        &self.inner.exec
+    }
+
+    /// Snapshot of the coalescing counters.
+    pub fn stats(&self) -> ServeStats {
+        self.inner.counters.snapshot()
+    }
+
+    /// Exact k-NN through the coalescer, best first. Blocks until the
+    /// query's tick completes; results are identical to
+    /// `Index::knn(query, k)` on the same index.
+    ///
+    /// # Errors
+    /// [`ServeError::Index`] on a malformed query, [`ServeError::ShutDown`]
+    /// if the server stops before answering.
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, ServeError> {
+        let mut out = Vec::new();
+        self.knn_into(query, k, &mut out)?;
+        Ok(out)
+    }
+
+    /// Exact 1-NN through the coalescer.
+    ///
+    /// # Errors
+    /// As [`Server::knn`]; additionally rejects an empty index.
+    pub fn nn(&self, query: &[f32]) -> Result<Neighbor, ServeError> {
+        self.knn(query, 1)?
+            .first()
+            .copied()
+            .ok_or_else(|| ServeError::Index(IndexError::BadQuery("index is empty".into())))
+    }
+
+    /// [`Server::knn`] into a caller-owned buffer (cleared first): the
+    /// allocation-free submission form — ticket, queue slot and result
+    /// hand-off all reuse pooled buffers once warm.
+    ///
+    /// # Errors
+    /// As [`Server::knn`].
+    pub fn knn_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        out: &mut Vec<Neighbor>,
+    ) -> Result<(), ServeError> {
+        let inner = &*self.inner;
+        if query.len() != inner.series_len {
+            return Err(IndexError::BadQuery(format!(
+                "query length {} != series length {}",
+                query.len(),
+                inner.series_len
+            ))
+            .into());
+        }
+        if k == 0 {
+            return Err(IndexError::BadQuery("k must be at least 1".into()).into());
+        }
+
+        let ticket = lock(&inner.tickets).pop().unwrap_or_else(|| Arc::new(Ticket::new()));
+        {
+            let mut st = lock(&ticket.state);
+            st.query.clear();
+            st.query.extend_from_slice(query);
+            st.k = k;
+            st.result.clear();
+            st.outcome = Outcome::Pending;
+            st.enqueued_at = Some(Instant::now());
+        }
+
+        {
+            let mut q = lock(&inner.queue);
+            while q.pending.len() >= inner.cfg.queue_capacity && !q.shutdown {
+                q = inner.space_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+            if q.shutdown {
+                drop(q);
+                lock(&inner.tickets).push(ticket);
+                return Err(ServeError::ShutDown);
+            }
+            q.pending.push_back(Arc::clone(&ticket));
+            inner.counters.note_depth(q.pending.len() as u64);
+            inner.work_cv.notify_one();
+        }
+
+        let outcome = {
+            let mut st = lock(&ticket.state);
+            while st.outcome == Outcome::Pending {
+                st = ticket.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            if st.outcome == Outcome::Done {
+                out.clear();
+                std::mem::swap(&mut st.result, out);
+            }
+            st.outcome
+        };
+        lock(&inner.tickets).push(ticket);
+        match outcome {
+            Outcome::Done => Ok(()),
+            _ => Err(ServeError::ShutDown),
+        }
+    }
+
+    /// Stops accepting submissions. Already-queued tickets are still
+    /// answered (the collector drains the queue before exiting);
+    /// submitters blocked on a full queue get [`ServeError::ShutDown`].
+    pub fn shutdown(&self) {
+        let mut q = lock(&self.inner.queue);
+        q.shutdown = true;
+        self.inner.work_cv.notify_all();
+        self.inner.space_cv.notify_all();
+    }
+}
+
+impl<E: TickExec> Drop for Server<E> {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.collector.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The collector: assemble a tick, run it, fan results out, repeat.
+fn collector_loop<E: TickExec>(inner: &ServerInner<E>) {
+    let n = inner.series_len;
+    let fill = inner.cfg.fill_target;
+    let mut batch: Vec<Arc<Ticket>> = Vec::with_capacity(fill);
+    let mut queries: Vec<f32> = Vec::with_capacity(fill * n);
+    let mut ks: Vec<usize> = Vec::with_capacity(fill);
+    let mut outs: Vec<ResultSlot> = Vec::new();
+    loop {
+        // --- Assemble one tick: block for the first ticket, then keep
+        // draining until the tick fills or the window closes. Under
+        // sustained load the first drain already fills the tick and the
+        // window never runs.
+        {
+            let mut q = lock(&inner.queue);
+            loop {
+                if let Some(t) = q.pending.pop_front() {
+                    batch.push(t);
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = inner.work_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+            let deadline = Instant::now() + inner.cfg.max_wait;
+            loop {
+                while batch.len() < fill {
+                    match q.pending.pop_front() {
+                        Some(t) => batch.push(t),
+                        None => break,
+                    }
+                }
+                if batch.len() >= fill || q.shutdown {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                q = inner
+                    .work_cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+            inner.space_cv.notify_all();
+        }
+
+        // --- Stage the tick into the reused buffers.
+        let m = batch.len();
+        queries.clear();
+        ks.clear();
+        for t in &batch {
+            let st = lock(&t.state);
+            queries.extend_from_slice(&st.query);
+            ks.push(st.k);
+        }
+        while outs.len() < m {
+            outs.push(ResultSlot::new(Vec::new()));
+        }
+
+        // --- Run it. Submissions were validated, so a panic here is an
+        // executor bug — contain it: abort this tick's tickets and shut
+        // the server down rather than leaving submitters parked forever.
+        let ok = catch_unwind(AssertUnwindSafe(|| {
+            inner.exec.run_tick(&queries, &ks[..m], &outs[..m]);
+        }))
+        .is_ok();
+
+        // --- Fan results back out: swap each slot's buffer into its
+        // ticket (both buffers recycle) and wake the submitter. The tick
+        // is counted first so a submitter that reads `stats()` right
+        // after waking already sees its own tick.
+        let done_at = Instant::now();
+        inner.counters.note_tick(m as u64);
+        for (t, slot) in batch.drain(..).zip(outs.iter()) {
+            let mut st = lock(&t.state);
+            if ok {
+                std::mem::swap(&mut *slot.lock(), &mut st.result);
+                st.outcome = Outcome::Done;
+            } else {
+                st.outcome = Outcome::Aborted;
+            }
+            if let Some(at) = st.enqueued_at.take() {
+                inner.counters.note_wait(done_at.saturating_duration_since(at));
+            }
+            drop(st);
+            t.cv.notify_all();
+        }
+
+        if !ok {
+            let mut q = lock(&inner.queue);
+            q.shutdown = true;
+            while let Some(t) = q.pending.pop_front() {
+                let mut st = lock(&t.state);
+                st.outcome = Outcome::Aborted;
+                drop(st);
+                t.cv.notify_all();
+            }
+            inner.space_cv.notify_all();
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TickExec;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A stand-in index: "nearest neighbor" of a query is `row =
+    /// query[0] as u32 + rank`, distance `rank` — deterministic, cheap,
+    /// and shaped like real output.
+    struct EchoExec {
+        series_len: usize,
+        ticks: AtomicU64,
+        delay: Duration,
+    }
+
+    impl EchoExec {
+        fn new(series_len: usize) -> Self {
+            EchoExec { series_len, ticks: AtomicU64::new(0), delay: Duration::ZERO }
+        }
+    }
+
+    impl TickExec for EchoExec {
+        fn series_len(&self) -> usize {
+            self.series_len
+        }
+
+        fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[ResultSlot]) {
+            self.ticks.fetch_add(1, Ordering::Relaxed);
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            for (i, q) in queries.chunks(self.series_len).enumerate() {
+                let mut out = outs[i].lock();
+                out.clear();
+                for rank in 0..ks[i] {
+                    out.push(Neighbor { row: q[0] as u32 + rank as u32, dist_sq: rank as f32 });
+                }
+            }
+        }
+    }
+
+    fn expected(q0: f32, k: usize) -> Vec<Neighbor> {
+        (0..k).map(|r| Neighbor { row: q0 as u32 + r as u32, dist_sq: r as f32 }).collect()
+    }
+
+    #[test]
+    fn single_submission_round_trips() {
+        let server = Server::new(EchoExec::new(4), ServeConfig::new());
+        let got = server.knn(&[7.0, 0.0, 0.0, 0.0], 3).unwrap();
+        assert_eq!(got, expected(7.0, 3));
+        let stats = server.stats();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.ticks, 1);
+    }
+
+    #[test]
+    fn rejects_bad_queries_before_queueing() {
+        let server = Server::new(EchoExec::new(4), ServeConfig::new());
+        assert!(matches!(server.knn(&[1.0; 3], 1), Err(ServeError::Index(_))));
+        assert!(matches!(server.knn(&[1.0; 4], 0), Err(ServeError::Index(_))));
+        assert_eq!(server.stats().queries, 0);
+    }
+
+    #[test]
+    fn concurrent_submitters_coalesce_and_all_get_their_own_answer() {
+        let server = Arc::new(Server::new(
+            EchoExec { delay: Duration::from_micros(300), ..EchoExec::new(4) },
+            ServeConfig::new().fill_target(8).max_wait(Duration::from_micros(250)),
+        ));
+        let per_thread = 25usize;
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let server = Arc::clone(&server);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let q0 = (t * per_thread + i) as f32;
+                        let got = server.knn(&[q0, 1.0, 2.0, 3.0], 2).unwrap();
+                        assert_eq!(got, expected(q0, 2), "submitter {t} query {i}");
+                    }
+                });
+            }
+        });
+        let stats = server.stats();
+        assert_eq!(stats.queries, 200);
+        assert!(
+            stats.ticks < 200,
+            "8 concurrent submitters over a slow tick must coalesce, got {} ticks",
+            stats.ticks
+        );
+        assert!(stats.max_tick_fill >= 2);
+        assert!(stats.max_tick_fill <= 8, "fill target must cap ticks");
+    }
+
+    #[test]
+    fn oversubscribed_queue_applies_backpressure_and_loses_nothing() {
+        let server = Arc::new(Server::new(
+            EchoExec { delay: Duration::from_micros(200), ..EchoExec::new(2) },
+            ServeConfig::new().fill_target(4).queue_capacity(2),
+        ));
+        let answered = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..16usize {
+                let server = Arc::clone(&server);
+                let answered = &answered;
+                s.spawn(move || {
+                    for i in 0..10usize {
+                        let q0 = (t * 10 + i) as f32;
+                        let got = server.knn(&[q0, 0.0], 1).unwrap();
+                        assert_eq!(got, expected(q0, 1));
+                        answered.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(answered.load(Ordering::Relaxed), 160);
+        assert_eq!(server.stats().queries, 160);
+        assert!(server.stats().max_queue_depth <= 2);
+    }
+
+    #[test]
+    fn shutdown_answers_pending_then_rejects_new_submissions() {
+        let server = Arc::new(Server::new(
+            EchoExec { delay: Duration::from_millis(2), ..EchoExec::new(2) },
+            ServeConfig::new().fill_target(4),
+        ));
+        std::thread::scope(|s| {
+            for t in 0..6usize {
+                let server = Arc::clone(&server);
+                s.spawn(move || {
+                    // Every in-flight submission either completes exactly
+                    // or reports the shutdown — never hangs, never lies.
+                    for i in 0..20usize {
+                        let q0 = (t * 20 + i) as f32;
+                        match server.knn(&[q0, 0.0], 1) {
+                            Ok(got) => assert_eq!(got, expected(q0, 1)),
+                            Err(ServeError::ShutDown) => break,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            server.shutdown();
+        });
+        assert!(matches!(server.knn(&[1.0, 2.0], 1), Err(ServeError::ShutDown)));
+    }
+
+    #[test]
+    fn panicking_executor_aborts_submitters_instead_of_hanging_them() {
+        struct BoomExec;
+        impl TickExec for BoomExec {
+            fn series_len(&self) -> usize {
+                2
+            }
+            fn run_tick(&self, _q: &[f32], _k: &[usize], _o: &[ResultSlot]) {
+                panic!("tick boom");
+            }
+        }
+        let server = Server::new(BoomExec, ServeConfig::new());
+        assert_eq!(server.knn(&[1.0, 2.0], 1), Err(ServeError::ShutDown));
+        assert_eq!(server.knn(&[1.0, 2.0], 1), Err(ServeError::ShutDown));
+    }
+
+    #[test]
+    fn warm_submissions_reuse_tickets_and_report_wait_stats() {
+        let server = Server::new(EchoExec::new(2), ServeConfig::new());
+        let mut out = Vec::new();
+        for i in 0..50 {
+            server.knn_into(&[i as f32, 0.0], 1, &mut out).unwrap();
+            assert_eq!(out, expected(i as f32, 1));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.queries, 50);
+        assert_eq!(stats.ticks, 50);
+        assert!((stats.mean_tick_fill - 1.0).abs() < f64::EPSILON);
+        // A serial submitter keeps exactly one pooled ticket alive.
+        assert_eq!(lock(&server.inner.tickets).len(), 1);
+    }
+}

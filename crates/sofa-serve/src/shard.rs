@@ -1,0 +1,382 @@
+//! N-way index sharding: row-partitioned shards, per-shard pools, and a
+//! zero-allocation top-k merge.
+//!
+//! A [`ShardedIndex`] owns `N` independently built [`Index`]es over
+//! consecutive row ranges of one logical dataset. A query fans out to
+//! every shard in parallel (each shard runs on its own
+//! [`ExecPool`], so one logical index spans cores or — eventually —
+//! sockets), and the per-shard top-k lists merge through one reusable
+//! [`KnnSet`]: shard-local row ids are rebased to global ids as they are
+//! offered, and the set's `(dist_sq, row)` total order makes the merged
+//! answer **bit-identical** to an unsharded index over the same rows —
+//! z-normalization is per-row, distances are per-row, and ties resolve
+//! by global row id on both paths.
+//!
+//! Sharding is also the designed escape hatch for
+//! [`IndexError::TooManyRows`]: each shard owns its own `u32` row-id
+//! space, the merge output uses global `u32` ids.
+
+use crate::ResultSlot;
+use sofa_index::{ExecPool, Index, IndexError, IndexStats, KnnSet, Neighbor};
+use sofa_summaries::Summarization;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Reusable merge state: per-shard, per-slot result buffers plus the
+/// top-k set. Warm ticks reuse every buffer in here.
+struct MergeScratch {
+    /// `shard_outs[s][slot]` holds shard `s`'s answer for tick slot
+    /// `slot`; grown on demand, never shrunk.
+    shard_outs: Vec<Vec<ResultSlot>>,
+    set: KnnSet,
+}
+
+/// `N` row-partitioned [`Index`] shards serving as one logical index.
+///
+/// Build each shard over its own row range (in global row order — shard
+/// 0 holds rows `[0, n_0)`, shard 1 rows `[n_0, n_0 + n_1)`, …), then
+/// assemble with [`ShardedIndex::new`]. The `sofa` facade's
+/// `build_*_sharded` builders do the partitioning for you.
+pub struct ShardedIndex<S: Summarization> {
+    shards: Vec<Index<S>>,
+    /// Global row id of each shard's row 0 (cumulative row counts).
+    bases: Vec<u32>,
+    /// Fan-out pool: one lane per shard drives that shard's own pool.
+    fan: Arc<ExecPool>,
+    series_len: usize,
+    n_series: usize,
+    /// Logical queries answered. Each *shard*'s
+    /// [`IndexStats::queries_served`] also counts every logical query
+    /// (each query visits every shard), so shard counters measure
+    /// per-shard work while this field is the one-count-per-query
+    /// figure comparable to an unsharded index.
+    queries_served: AtomicU64,
+    merge: Mutex<MergeScratch>,
+}
+
+impl<S: Summarization> ShardedIndex<S> {
+    /// Assembles shards (ordered by global row range) into one logical
+    /// index, with a fresh one-lane-per-shard fan-out pool.
+    ///
+    /// # Errors
+    /// [`IndexError::BadDataset`] if `shards` is empty or the series
+    /// lengths disagree; [`IndexError::TooManyRows`] if the combined
+    /// row count exceeds the `u32` id space.
+    pub fn new(shards: Vec<Index<S>>) -> Result<Self, IndexError> {
+        let fan = ExecPool::shared(shards.len());
+        Self::with_pool(shards, fan)
+    }
+
+    /// [`ShardedIndex::new`] with a caller-supplied fan-out pool (for
+    /// sharing one pool across several sharded indexes).
+    ///
+    /// # Errors
+    /// As [`ShardedIndex::new`].
+    pub fn with_pool(shards: Vec<Index<S>>, fan: Arc<ExecPool>) -> Result<Self, IndexError> {
+        if shards.is_empty() {
+            return Err(IndexError::BadDataset("a sharded index needs at least one shard".into()));
+        }
+        let series_len = shards[0].series_len();
+        if shards.iter().any(|s| s.series_len() != series_len) {
+            return Err(IndexError::BadDataset(format!(
+                "shard series lengths disagree: {:?}",
+                shards.iter().map(Index::series_len).collect::<Vec<_>>()
+            )));
+        }
+        let n_series: usize = shards.iter().map(Index::n_series).sum();
+        if u32::try_from(n_series).is_err() {
+            return Err(IndexError::TooManyRows { rows: n_series });
+        }
+        let mut bases = Vec::with_capacity(shards.len());
+        let mut base = 0u32;
+        for shard in &shards {
+            bases.push(base);
+            base += shard.n_series() as u32;
+        }
+        let merge = MergeScratch {
+            shard_outs: (0..shards.len()).map(|_| Vec::new()).collect(),
+            set: KnnSet::new(1),
+        };
+        Ok(ShardedIndex {
+            shards,
+            bases,
+            fan,
+            series_len,
+            n_series,
+            queries_served: AtomicU64::new(0),
+            merge: Mutex::new(merge),
+        })
+    }
+
+    /// Length of every indexed series.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Total number of indexed series across all shards.
+    #[must_use]
+    pub fn n_series(&self) -> usize {
+        self.n_series
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in global row order.
+    #[must_use]
+    pub fn shards(&self) -> &[Index<S>] {
+        &self.shards
+    }
+
+    /// Logical queries answered by this sharded index — one count per
+    /// query, the figure comparable to an unsharded
+    /// [`IndexStats::queries_served`]. (Each shard's own counter also
+    /// advances once per logical query, measuring per-shard work.)
+    #[must_use]
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard index statistics, in shard order.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<IndexStats> {
+        self.shards.iter().map(Index::stats).collect()
+    }
+
+    /// Exact 1-NN across all shards.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on a length mismatch.
+    pub fn nn(&self, query: &[f32]) -> Result<Neighbor, IndexError> {
+        Ok(self.knn(query, 1)?[0])
+    }
+
+    /// Exact k-NN across all shards, best first — bit-identical to an
+    /// unsharded index over the same rows. Returns
+    /// `min(k, n_series)` neighbors with global row ids.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on a length mismatch or `k == 0`.
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, IndexError> {
+        let mut out = Vec::new();
+        self.knn_into(query, k, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ShardedIndex::knn`] into a caller-owned buffer (cleared first).
+    ///
+    /// # Errors
+    /// As [`ShardedIndex::knn`].
+    pub fn knn_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        out: &mut Vec<Neighbor>,
+    ) -> Result<(), IndexError> {
+        let slot = [ResultSlot::new(std::mem::take(out))];
+        let ks = [k];
+        self.knn_tick(query, &ks, &slot)?;
+        let [slot] = slot;
+        *out = slot.into_inner();
+        Ok(())
+    }
+
+    /// Answers one tick of queries (row-major, `ks[i]` neighbors for
+    /// query `i`) into `outs[i]` (cleared first, best first, global row
+    /// ids). The fan-out pool runs one lane per shard, each lane
+    /// driving its shard's batch engine; the per-slot merge then rebases
+    /// and drains through the reusable [`KnnSet`]. This is the
+    /// [`crate::TickExec`] entry point, shaped for the coalescer.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] if the buffer is not a whole
+    /// number of series, `ks`/`outs` lengths don't match the query
+    /// count, or any `k == 0`.
+    pub fn knn_tick(
+        &self,
+        queries: &[f32],
+        ks: &[usize],
+        outs: &[ResultSlot],
+    ) -> Result<(), IndexError> {
+        let n = self.series_len;
+        if queries.len() % n != 0 {
+            return Err(IndexError::BadQuery(format!(
+                "query buffer of {} floats is not a multiple of series length {}",
+                queries.len(),
+                n
+            )));
+        }
+        let m = queries.len() / n;
+        if ks.len() != m || outs.len() != m {
+            return Err(IndexError::BadQuery(format!(
+                "{} queries but {} ks and {} output slots",
+                m,
+                ks.len(),
+                outs.len()
+            )));
+        }
+        if ks.contains(&0) {
+            return Err(IndexError::BadQuery("k must be at least 1".into()));
+        }
+        if m == 0 {
+            return Ok(());
+        }
+        let n_shards = self.shards.len();
+        let mut guard = lock(&self.merge);
+        let MergeScratch { shard_outs, set } = &mut *guard;
+        for per_shard in shard_outs.iter_mut() {
+            while per_shard.len() < m {
+                per_shard.push(ResultSlot::new(Vec::new()));
+            }
+        }
+        let shard_outs: &[Vec<ResultSlot>] = shard_outs;
+        let shards = &self.shards;
+        let lanes = self.fan.threads().min(n_shards).max(1);
+        self.fan.broadcast_limit(n_shards, |lane| {
+            let mut s = lane;
+            while s < n_shards {
+                shards[s]
+                    .knn_batch_into(queries, ks, &shard_outs[s][..m])
+                    .expect("tick inputs were validated");
+                s += lanes;
+            }
+        });
+        for (slot, &k) in ks.iter().enumerate().take(m) {
+            set.reset(k);
+            for (s, &base) in self.bases.iter().enumerate() {
+                for nb in shard_outs[s][slot].lock().iter() {
+                    set.offer(Neighbor { row: nb.row + base, dist_sq: nb.dist_sq });
+                }
+            }
+            let mut out = outs[slot].lock();
+            out.clear();
+            set.drain_sorted_into(&mut out);
+        }
+        self.queries_served.fetch_add(m as u64, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl<S: Summarization> std::fmt::Debug for ShardedIndex<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("shards", &self.shards.len())
+            .field("n_series", &self.n_series)
+            .field("series_len", &self.series_len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofa_index::IndexConfig;
+    use sofa_summaries::{ISax, SaxConfig};
+
+    const LEN: usize = 16;
+
+    fn dataset(rows: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut out = Vec::with_capacity(rows * LEN);
+        for _ in 0..rows * LEN {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            out.push(((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5);
+        }
+        out
+    }
+
+    fn build(data: &[f32], threads: usize) -> Index<ISax> {
+        let pool = ExecPool::shared(threads);
+        let mut data = data.to_vec();
+        sofa_index::znormalize_rows(&mut data, LEN, &pool);
+        let sax = ISax::new(LEN, &SaxConfig { word_len: 8, alphabet: 16 });
+        let cfg = IndexConfig::with_threads(threads).leaf_capacity(16);
+        Index::build_with_pool(sax, data, cfg, pool).expect("build shard")
+    }
+
+    fn sharded(data: &[f32], n_shards: usize, threads: usize) -> ShardedIndex<ISax> {
+        let rows = data.len() / LEN;
+        let per = rows.div_ceil(n_shards);
+        let shards: Vec<Index<ISax>> = (0..n_shards)
+            .map(|s| {
+                let lo = (s * per).min(rows) * LEN;
+                let hi = ((s + 1) * per).min(rows) * LEN;
+                build(&data[lo..hi], threads)
+            })
+            .collect();
+        ShardedIndex::new(shards).expect("assemble shards")
+    }
+
+    #[test]
+    fn sharded_knn_is_bit_identical_to_unsharded() {
+        let data = dataset(300, 7);
+        let whole = build(&data, 2);
+        for n_shards in [1, 2, 3] {
+            let parts = sharded(&data, n_shards, 1);
+            assert_eq!(parts.n_series(), 300);
+            assert_eq!(parts.n_shards(), n_shards);
+            for qi in (0..300).step_by(29) {
+                let q = &data[qi * LEN..(qi + 1) * LEN];
+                for k in [1, 5] {
+                    assert_eq!(
+                        parts.knn(q, k).unwrap(),
+                        whole.knn(q, k).unwrap(),
+                        "query row {qi}, k {k}, {n_shards} shards"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tick_answers_match_per_query_answers() {
+        let data = dataset(200, 11);
+        let parts = sharded(&data, 2, 1);
+        let queries: Vec<f32> = data[..4 * LEN].to_vec();
+        let ks = [1usize, 3, 5, 2];
+        let outs: Vec<ResultSlot> = (0..4).map(|_| ResultSlot::new(Vec::new())).collect();
+        parts.knn_tick(&queries, &ks, &outs).unwrap();
+        for (slot, &k) in ks.iter().enumerate() {
+            let q = &queries[slot * LEN..(slot + 1) * LEN];
+            assert_eq!(*outs[slot].lock(), parts.knn(q, k).unwrap(), "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn one_logical_query_counts_once() {
+        let data = dataset(120, 3);
+        let parts = sharded(&data, 3, 1);
+        let q = &data[..LEN];
+        parts.knn(q, 2).unwrap();
+        let outs: Vec<ResultSlot> = (0..2).map(|_| ResultSlot::new(Vec::new())).collect();
+        parts.knn_tick(&data[..2 * LEN], &[1, 1], &outs).unwrap();
+        // 3 logical queries total; each shard also saw each of them once.
+        assert_eq!(parts.queries_served(), 3);
+        for stats in parts.shard_stats() {
+            assert_eq!(stats.queries_served, 3);
+        }
+    }
+
+    #[test]
+    fn assembly_and_tick_validation_errors() {
+        assert!(matches!(ShardedIndex::<ISax>::new(Vec::new()), Err(IndexError::BadDataset(_))));
+        let data = dataset(100, 5);
+        let parts = sharded(&data, 2, 1);
+        assert!(matches!(parts.knn(&data[..LEN - 1], 1), Err(IndexError::BadQuery(_))));
+        assert!(matches!(parts.knn(&data[..LEN], 0), Err(IndexError::BadQuery(_))));
+        let outs: Vec<ResultSlot> = (0..1).map(|_| ResultSlot::new(Vec::new())).collect();
+        assert!(matches!(
+            parts.knn_tick(&data[..2 * LEN], &[1], &outs),
+            Err(IndexError::BadQuery(_))
+        ));
+    }
+}

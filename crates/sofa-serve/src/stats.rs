@@ -1,0 +1,116 @@
+//! Coalescer observability: lock-free counters updated by submitters
+//! and the collector, snapshotted on demand.
+//!
+//! These are the serving-side companions to
+//! [`sofa_index::IndexStats`]'s per-query counters: the index reports
+//! how much *pruning work* each query cost, this reports how well the
+//! front-end *amortized* that work (tick fill) and what the queueing
+//! added on top (depth, ticket wait).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Internal atomic counters; [`StatCounters::snapshot`] renders them as
+/// a [`ServeStats`].
+#[derive(Default)]
+pub(crate) struct StatCounters {
+    ticks: AtomicU64,
+    queries: AtomicU64,
+    max_fill: AtomicU64,
+    max_depth: AtomicU64,
+    wait_us_sum: AtomicU64,
+    wait_us_max: AtomicU64,
+}
+
+impl StatCounters {
+    /// Records one completed tick that coalesced `fill` queries.
+    pub(crate) fn note_tick(&self, fill: u64) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(fill, Ordering::Relaxed);
+        self.max_fill.fetch_max(fill, Ordering::Relaxed);
+    }
+
+    /// Records the queue depth observed right after a submission.
+    pub(crate) fn note_depth(&self, depth: u64) {
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records one ticket's enqueue-to-completion wait.
+    pub(crate) fn note_wait(&self, wait: Duration) {
+        let us = u64::try_from(wait.as_micros()).unwrap_or(u64::MAX);
+        self.wait_us_sum.fetch_add(us, Ordering::Relaxed);
+        self.wait_us_max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeStats {
+        let ticks = self.ticks.load(Ordering::Relaxed);
+        let queries = self.queries.load(Ordering::Relaxed);
+        let wait_us_sum = self.wait_us_sum.load(Ordering::Relaxed);
+        ServeStats {
+            ticks,
+            queries,
+            max_tick_fill: self.max_fill.load(Ordering::Relaxed),
+            mean_tick_fill: if ticks == 0 { 0.0 } else { queries as f64 / ticks as f64 },
+            max_queue_depth: self.max_depth.load(Ordering::Relaxed),
+            mean_ticket_wait_us: if queries == 0 {
+                0.0
+            } else {
+                wait_us_sum as f64 / queries as f64
+            },
+            max_ticket_wait_us: self.wait_us_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one [`crate::Server`]'s coalescing
+/// behavior since start.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Ticks dispatched (batch calls into the executor).
+    pub ticks: u64,
+    /// Queries answered — one count per submitted ticket, matching the
+    /// one-count-per-query convention of
+    /// [`sofa_index::IndexStats::queries_served`].
+    pub queries: u64,
+    /// Largest tick fill seen (bounded by the configured fill target).
+    pub max_tick_fill: u64,
+    /// Mean queries coalesced per tick — the amortization factor the
+    /// server achieved; 1.0 means no coalescing happened.
+    pub mean_tick_fill: f64,
+    /// Deepest submission queue observed at enqueue time.
+    pub max_queue_depth: u64,
+    /// Mean enqueue-to-completion ticket wait in microseconds (includes
+    /// the coalescing window *and* the tick's own execution).
+    pub mean_ticket_wait_us: f64,
+    /// Worst single ticket wait in microseconds.
+    pub max_ticket_wait_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_derives_means_and_maxima() {
+        let c = StatCounters::default();
+        c.note_tick(4);
+        c.note_tick(8);
+        c.note_depth(3);
+        c.note_depth(1);
+        c.note_wait(Duration::from_micros(100));
+        c.note_wait(Duration::from_micros(300));
+        let s = c.snapshot();
+        assert_eq!(s.ticks, 2);
+        assert_eq!(s.queries, 12);
+        assert_eq!(s.max_tick_fill, 8);
+        assert!((s.mean_tick_fill - 6.0).abs() < f64::EPSILON);
+        assert_eq!(s.max_queue_depth, 3);
+        assert_eq!(s.max_ticket_wait_us, 300);
+        assert!((s.mean_ticket_wait_us - 400.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_counters_snapshot_to_zeroes() {
+        assert_eq!(StatCounters::default().snapshot(), ServeStats::default());
+    }
+}

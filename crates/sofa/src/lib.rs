@@ -72,12 +72,14 @@ pub use sofa_data as data;
 pub use sofa_exec as exec;
 pub use sofa_fft as fft;
 pub use sofa_index as index;
+pub use sofa_serve as serve;
 pub use sofa_simd as simd;
 pub use sofa_stats as stats;
 pub use sofa_summaries as summaries;
 
 pub use sofa_exec::ExecPool;
 pub use sofa_index::{IndexConfig, IndexError, IndexStats, Neighbor, QueryStats};
+pub use sofa_serve::{ServeConfig, ServeError, ServeStats, Server, ShardedIndex, TickExec};
 pub use sofa_summaries::{BinningStrategy, CoefficientSelection};
 
 use sofa_index::Index;
@@ -325,6 +327,76 @@ impl Builder {
         let inner = Index::build_with_pool(sax, data, self.index_config(), self.make_pool())?;
         Ok(MessiIndex { inner })
     }
+
+    /// Builds an N-way row-partitioned [`ShardedSofaIndex`]: `data` is
+    /// split into `n_shards` contiguous row ranges (clamped to the row
+    /// count), each shard learns its own SFA model over its rows and
+    /// runs on its own pool, and queries fan out and merge into answers
+    /// bit-identical to an unsharded build over the same rows. Without
+    /// an explicit [`Builder::pool`], each shard gets
+    /// `max(1, threads / n_shards)` lanes so the sharded whole uses the
+    /// same thread budget as an unsharded build.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer
+    /// or `n_shards == 0`.
+    pub fn build_sofa_sharded(
+        &self,
+        data: &[f32],
+        series_len: usize,
+        n_shards: usize,
+    ) -> Result<ShardedSofaIndex, IndexError> {
+        let (per_shard, builder) = self.shard_plan(data, series_len, n_shards)?;
+        let shards = data
+            .chunks(per_shard * series_len)
+            .map(|chunk| builder.build_sofa_owned(chunk.to_vec(), series_len).map(|ix| ix.inner))
+            .collect::<Result<Vec<_>, _>>()?;
+        ShardedIndex::new(shards)
+    }
+
+    /// [`Builder::build_sofa_sharded`] for the MESSI (iSAX) tree.
+    ///
+    /// # Errors
+    /// As [`Builder::build_sofa_sharded`].
+    pub fn build_messi_sharded(
+        &self,
+        data: &[f32],
+        series_len: usize,
+        n_shards: usize,
+    ) -> Result<ShardedMessiIndex, IndexError> {
+        let (per_shard, builder) = self.shard_plan(data, series_len, n_shards)?;
+        let shards = data
+            .chunks(per_shard * series_len)
+            .map(|chunk| builder.build_messi_owned(chunk.to_vec(), series_len).map(|ix| ix.inner))
+            .collect::<Result<Vec<_>, _>>()?;
+        ShardedIndex::new(shards)
+    }
+
+    /// Validates a sharded build and derives the rows-per-shard split
+    /// and the per-shard builder (thread budget divided across shards
+    /// unless a shared pool overrides it).
+    fn shard_plan(
+        &self,
+        data: &[f32],
+        series_len: usize,
+        n_shards: usize,
+    ) -> Result<(usize, Builder), IndexError> {
+        if series_len == 0 || data.is_empty() || data.len() % series_len != 0 {
+            return Err(IndexError::BadDataset(
+                "data must be a non-empty whole number of series".into(),
+            ));
+        }
+        if n_shards == 0 {
+            return Err(IndexError::BadDataset("n_shards must be at least 1".into()));
+        }
+        let rows = data.len() / series_len;
+        let shards = n_shards.min(rows);
+        let mut builder = self.clone();
+        if builder.pool.is_none() {
+            builder.threads = (self.threads / shards).max(1);
+        }
+        Ok((rows.div_ceil(shards), builder))
+    }
 }
 
 macro_rules! forward_index_api {
@@ -377,6 +449,24 @@ macro_rules! forward_index_api {
                 k: usize,
             ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
                 self.inner.knn_batch(queries, k)
+            }
+
+            /// Exact k-NN for a row-major batch with a per-query `k`,
+            /// written into caller-owned slots (each cleared first, best
+            /// first) — the allocation-free batch form that serving
+            /// ticks run on (see [`serve::Server`]).
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] if the buffer is not a
+            /// whole number of series, `ks`/`outs` lengths don't match
+            /// the query count, or any `k == 0`.
+            pub fn knn_batch_into(
+                &self,
+                queries: &[f32],
+                ks: &[usize],
+                outs: &[serve::ResultSlot],
+            ) -> Result<(), IndexError> {
+                self.inner.knn_batch_into(queries, ks, outs)
             }
 
             /// Exact k-NN with per-query work counters.
@@ -488,8 +578,27 @@ macro_rules! forward_index_api {
                 &self.inner
             }
         }
+
+        /// Lets a [`serve::Server`] coalesce concurrent single-query
+        /// callers into batch ticks over this index (wrap it in an
+        /// `Arc` to share it between the server and direct callers).
+        impl TickExec for $ty {
+            fn series_len(&self) -> usize {
+                self.inner.series_len()
+            }
+
+            fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[serve::ResultSlot]) {
+                TickExec::run_tick(&self.inner, queries, ks, outs);
+            }
+        }
     };
 }
+
+/// An N-way sharded SOFA index (see [`Builder::build_sofa_sharded`]).
+pub type ShardedSofaIndex = ShardedIndex<Sfa>;
+
+/// An N-way sharded MESSI index (see [`Builder::build_messi_sharded`]).
+pub type ShardedMessiIndex = ShardedIndex<ISax>;
 
 /// The SOFA index: SFA summarization + MESSI-style tree (the paper's
 /// contribution). Build with [`SofaIndex::build`] or [`SofaIndex::builder`].

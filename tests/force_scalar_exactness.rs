@@ -13,7 +13,7 @@
 //! cannot leak into other suites.
 
 use sofa::simd::{euclidean_sq_scalar, force_tier, KernelTier};
-use sofa::{ExecPool, MessiIndex, Neighbor, SofaIndex};
+use sofa::{ExecPool, MessiIndex, Neighbor, ServeConfig, Server, SofaIndex};
 use std::sync::Arc;
 
 fn dataset(count: usize, n: usize, seed: usize) -> Vec<f32> {
@@ -98,6 +98,46 @@ fn full_query_suite_is_exact_under_forced_scalar_tier() {
     let batch = sofa.knn_batch(&queries, 5).expect("batch");
     for (qi, q) in queries.chunks(n).enumerate() {
         assert_eq!(batch[qi], sofa.knn(q, 5).unwrap(), "batch query {qi}");
+    }
+
+    // Coalesced serving stays exact under the forced tier: concurrent
+    // answers through the sofa-serve micro-batching server, and a 2-way
+    // sharded index, are bit-identical to the direct path.
+    let sofa = Arc::new(sofa);
+    let server = Server::new(Arc::clone(&sofa), ServeConfig::new().fill_target(3));
+    std::thread::scope(|s| {
+        for caller in 0..3usize {
+            let server = &server;
+            let sofa = &sofa;
+            let queries = &queries;
+            s.spawn(move || {
+                for (qi, q) in queries.chunks(n).enumerate() {
+                    let k = 1 + (caller + qi) % 5;
+                    assert_eq!(
+                        server.knn(q, k).expect("coalesced"),
+                        sofa.knn(q, k).expect("direct"),
+                        "caller {caller} query {qi} k={k}: coalesced != direct under scalar tier"
+                    );
+                }
+            });
+        }
+    });
+    drop(server);
+    let Ok(sofa) = Arc::try_unwrap(sofa) else {
+        panic!("server must have released its index handle");
+    };
+    let sharded = SofaIndex::builder()
+        .pool(Arc::clone(&pool))
+        .leaf_capacity(40)
+        .sample_ratio(0.5)
+        .build_sofa_sharded(&data, n, 2)
+        .expect("sharded build");
+    for (qi, q) in queries.chunks(n).enumerate() {
+        assert_eq!(
+            sharded.knn(q, 5).expect("sharded"),
+            sofa.knn(q, 5).expect("direct"),
+            "query {qi}: sharded != unsharded under scalar tier"
+        );
     }
 
     // Online inserts (un-packed fallback refinement) stay exact, and
