@@ -3,6 +3,7 @@
 //! experiment ids to runners.
 
 pub mod approx;
+pub mod chaos;
 pub mod deep;
 pub mod illustrate;
 pub mod numeric;
@@ -202,6 +203,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Extension: micro-batching serve front-end (coalescer + shards)",
             run: serve::ext_serve,
         },
+        Experiment {
+            id: "ext-chaos",
+            title: "Extension: serving robustness under fault injection",
+            run: chaos::ext_chaos,
+        },
     ]
 }
 
@@ -241,6 +247,7 @@ mod tests {
             "ext-throughput",
             "ext-deep",
             "ext-serve",
+            "ext-chaos",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

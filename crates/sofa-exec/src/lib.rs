@@ -51,6 +51,9 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod failpoint;
 mod pool;
+pub mod sync;
 
 pub use pool::{ExecPool, Scope};
+pub use sync::{install_panic_note_hook, CancelToken};

@@ -11,14 +11,10 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
-/// Locks a mutex, recovering the guard if a previous holder panicked
-/// (tasks run user closures; a poisoned queue must not wedge the pool).
-fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
+use crate::sync::lock;
 
 /// A lifetime-erased unit of work. The erasure is sound because the
 /// [`Scope`] that spawned it keeps its `run` caller blocked until the
@@ -80,14 +76,20 @@ struct ScopeState {
 impl ScopeState {
     /// Runs one task body, recording a panic and signaling completion.
     fn execute(self: &Arc<Self>, body: TaskBody) {
-        let result = match body {
+        // Chaos hook: lets tests inject a panic or delay into an
+        // arbitrary lane. Disarmed cost is one relaxed load; the ignored
+        // `Error` action degrades to a no-op here (no error channel).
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _ = crate::failpoint::fire("sofa-exec::lane");
+        }))
+        .and_then(|()| match body {
             TaskBody::Boxed(func) => catch_unwind(AssertUnwindSafe(func)),
             // SAFETY: see `SharedTask` — the broadcasting caller keeps
             // the closure alive until this scope fully drains.
             TaskBody::Shared(task) => {
                 catch_unwind(AssertUnwindSafe(|| unsafe { (task.call)(task.data, task.lane) }))
             }
-        };
+        });
         if let Err(payload) = result {
             let mut slot = lock(&self.panic);
             if slot.is_none() {

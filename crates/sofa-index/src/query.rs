@@ -28,6 +28,7 @@ use crate::node::{root_key, LeafPack, NodeKind, Subtree};
 use crate::scratch::{LaneScratch, LeafQueue, QueryScratch, QueueEntry};
 use crate::{Index, IndexError};
 use parking_lot::Mutex;
+use sofa_exec::CancelToken;
 use sofa_simd::{euclidean_sq_early_abandon, quant_lower_bound, BLOCK_LANES, BOUNDS_STRIDE};
 use sofa_summaries::{
     mindist_block, mindist_level_block, mindist_node, mindist_node_block, mindist_simd,
@@ -86,6 +87,12 @@ pub struct QueryStats {
     /// Estimated refine-phase bytes read: word-block bounds swept + quant
     /// codes swept + exact rows scanned. The funnel's bandwidth metric.
     pub refine_bytes: usize,
+    /// 1 if this query was abandoned by cooperative cancellation (its
+    /// deadline expired or it was shed mid-flight). A cancelled query
+    /// produced **no** answer — the other counters describe the partial
+    /// work it burned before the checkpoint fired — and it is counted in
+    /// [`crate::IndexStats::queries_cancelled`], not `queries_served`.
+    pub cancelled: usize,
 }
 
 #[derive(Default)]
@@ -142,8 +149,15 @@ impl AtomicStats {
             quant_groups_swept: self.quant_groups_swept.load(Ordering::Relaxed),
             quant_lanes_killed: self.quant_lanes_killed.load(Ordering::Relaxed),
             refine_bytes: self.refine_bytes.load(Ordering::Relaxed),
+            cancelled: 0,
         }
     }
+}
+
+/// Has this query's cancellation token fired? (`None` = uncancellable.)
+#[inline]
+fn fired(cancel: Option<&CancelToken>) -> bool {
+    cancel.is_some_and(CancelToken::is_cancelled)
 }
 
 impl<S: Summarization> Index<S> {
@@ -178,7 +192,7 @@ impl<S: Summarization> Index<S> {
     ) -> Result<(), IndexError> {
         self.validate(query, k)?;
         let mut scratch = self.scratch();
-        let _ = self.knn_on_scratch(&mut scratch, query, k);
+        let _ = self.knn_on_scratch(&mut scratch, query, k, None);
         out.clear();
         scratch.knn.drain_sorted_into(out);
         Ok(())
@@ -195,7 +209,7 @@ impl<S: Summarization> Index<S> {
     ) -> Result<(Vec<Neighbor>, QueryStats), IndexError> {
         self.validate(query, k)?;
         let mut scratch = self.scratch();
-        let stats = self.knn_on_scratch(&mut scratch, query, k);
+        let stats = self.knn_on_scratch(&mut scratch, query, k, None);
         let mut out = Vec::with_capacity(k.min(self.n_series()));
         scratch.knn.drain_sorted_into(&mut out);
         Ok((out, stats))
@@ -272,6 +286,34 @@ impl<S: Summarization> Index<S> {
         ks: &[usize],
         outs: &[Mutex<Vec<Neighbor>>],
     ) -> Result<(), IndexError> {
+        self.knn_batch_into_cancel(queries, ks, outs, &[])
+    }
+
+    /// [`Index::knn_batch_into`] with per-query cooperative cancellation.
+    ///
+    /// `cancels` is either empty (no cancellation — identical to
+    /// `knn_batch_into`) or one [`CancelToken`] per query. A query whose
+    /// token fires — its deadline passed or a canceller called
+    /// [`CancelToken::cancel`] — is abandoned at the next checkpoint
+    /// (group-sweep granularity inside collect and refine): its output
+    /// slot is **not** written, it is **not** counted in
+    /// `queries_served` (it lands in `queries_cancelled` instead), and
+    /// its partial work is discarded — a query either completes exactly
+    /// or produces nothing. Abandonment always latches the token's fired
+    /// flag first, so a caller that observes `!is_cancelled_now()` after
+    /// this returns knows that slot holds a complete exact answer.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on the same shape violations as
+    /// [`Index::knn_batch_into`], or when `cancels` is non-empty but its
+    /// length does not match the query count.
+    pub fn knn_batch_into_cancel(
+        &self,
+        queries: &[f32],
+        ks: &[usize],
+        outs: &[Mutex<Vec<Neighbor>>],
+        cancels: &[CancelToken],
+    ) -> Result<(), IndexError> {
         let n = self.series_len;
         if queries.len() % n != 0 {
             return Err(IndexError::BadQuery(format!(
@@ -289,24 +331,40 @@ impl<S: Summarization> Index<S> {
                 outs.len()
             )));
         }
+        if !cancels.is_empty() && cancels.len() != n_queries {
+            return Err(IndexError::BadQuery(format!(
+                "{} queries but {} cancellation tokens",
+                n_queries,
+                cancels.len()
+            )));
+        }
         if ks.contains(&0) {
             return Err(IndexError::BadQuery("k must be at least 1".into()));
         }
         if n_queries == 0 {
             return Ok(());
         }
-        if n_queries == 1 {
+        if n_queries == 1 && cancels.is_empty() {
             // A lone query still gets intra-query parallelism.
             return self.knn_into(queries, ks[0], &mut outs[0].lock());
+        }
+        if n_queries == 1 {
+            // Lone cancellable query: same intra-query-parallel path,
+            // with the token threaded through the phases.
+            self.validate(queries, ks[0])?;
+            let mut scratch = self.scratch();
+            let stats = self.knn_on_scratch(&mut scratch, queries, ks[0], Some(&cancels[0]));
+            if stats.cancelled == 0 {
+                let mut out = outs[0].lock();
+                out.clear();
+                scratch.knn.drain_sorted_into(&mut out);
+            }
+            return Ok(());
         }
         if self.pool.threads() == 1 {
             let mut scratch = self.scratch();
             for i in 0..n_queries {
-                let _ =
-                    self.knn_serial_on_scratch(&mut scratch, &queries[i * n..(i + 1) * n], ks[i]);
-                let mut out = outs[i].lock();
-                out.clear();
-                scratch.knn.drain_sorted_into(&mut out);
+                self.batch_query_on_scratch(&mut scratch, queries, ks, outs, cancels, i);
             }
             return Ok(());
         }
@@ -323,25 +381,56 @@ impl<S: Summarization> Index<S> {
                 if i >= n_queries {
                     break;
                 }
-                let _ =
-                    self.knn_serial_on_scratch(&mut scratch, &queries[i * n..(i + 1) * n], ks[i]);
-                let mut out = outs[i].lock();
-                out.clear();
-                scratch.knn.drain_sorted_into(&mut out);
+                self.batch_query_on_scratch(&mut scratch, queries, ks, outs, cancels, i);
             }
         });
         Ok(())
     }
 
+    /// One batch lane's handling of query `i`: run the serial per-query
+    /// path with its token (if any); on completion write the output slot
+    /// and mark the token complete, on cancellation leave the slot
+    /// untouched (the caller must treat unmarked slots as unanswered).
+    fn batch_query_on_scratch(
+        &self,
+        scratch: &mut QueryScratch,
+        queries: &[f32],
+        ks: &[usize],
+        outs: &[Mutex<Vec<Neighbor>>],
+        cancels: &[CancelToken],
+        i: usize,
+    ) {
+        let n = self.series_len;
+        let cancel = cancels.get(i);
+        let stats =
+            self.knn_serial_on_scratch(scratch, &queries[i * n..(i + 1) * n], ks[i], cancel);
+        if stats.cancelled != 0 {
+            return;
+        }
+        let mut out = outs[i].lock();
+        out.clear();
+        scratch.knn.drain_sorted_into(&mut out);
+    }
+
     /// Normalizes `query` into the scratch and answers it — on the pool
     /// when it has more than one lane, serially otherwise. The neighbors
-    /// are left in `scratch.knn`.
-    fn knn_on_scratch(&self, scratch: &mut QueryScratch, query: &[f32], k: usize) -> QueryStats {
+    /// are left in `scratch.knn`; if `cancel` fired the snapshot has
+    /// `cancelled == 1` and the scratch contents must be discarded.
+    fn knn_on_scratch(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &[f32],
+        k: usize,
+        cancel: Option<&CancelToken>,
+    ) -> QueryStats {
         if self.pool.threads() == 1 {
             // Serial fast path: identical algorithm without any task
             // dispatch, whose cost would dominate sub-millisecond queries
             // and mask the algorithmic comparison.
-            return self.knn_serial_on_scratch(scratch, query, k);
+            return self.knn_serial_on_scratch(scratch, query, k, cancel);
+        }
+        if fired(cancel) {
+            return self.finish_query(&AtomicStats::default(), true);
         }
         self.prepare_scratch(scratch, query, k);
         let s: &QueryScratch = scratch;
@@ -359,7 +448,7 @@ impl<S: Summarization> Index<S> {
             let mut lane_scratch = s.lanes[lane].lock();
             loop {
                 let i = next_subtree.fetch_add(1, Ordering::Relaxed);
-                if i >= self.subtrees.len() {
+                if i >= self.subtrees.len() || fired(cancel) {
                     break;
                 }
                 debug_assert!(i <= u32::MAX as usize, "subtree index exceeds u32");
@@ -373,30 +462,39 @@ impl<S: Summarization> Index<S> {
                     &push_counter,
                     &mut lane_scratch,
                     &stats,
+                    cancel,
                 );
             }
         });
 
         // --- Phase 3: refine from the queues, one lane per worker slot.
-        self.pool.broadcast(|worker| {
-            self.refine_from_queues(worker, &s.q, &s.queues, &s.done, &ctx, &s.knn, &stats);
-        });
+        if !fired(cancel) {
+            self.pool.broadcast(|worker| {
+                self.refine_from_queues(
+                    worker, &s.q, &s.queues, &s.done, &ctx, &s.knn, &stats, cancel,
+                );
+            });
+        }
 
-        let snapshot = stats.snapshot();
-        self.record_query_counters(&snapshot);
-        snapshot
+        self.finish_query(&stats, fired(cancel))
     }
 
     /// The fully serial query path: same three phases, no synchronization
     /// beyond the (uncontended) shared-state types. Used by 1-lane pools
     /// and by every [`Index::knn_batch`] lane. The neighbors are left in
-    /// `scratch.knn`.
+    /// `scratch.knn`; if `cancel` fired the snapshot has `cancelled == 1`
+    /// and the scratch contents must be discarded.
     fn knn_serial_on_scratch(
         &self,
         scratch: &mut QueryScratch,
         query: &[f32],
         k: usize,
+        cancel: Option<&CancelToken>,
     ) -> QueryStats {
+        if fired(cancel) {
+            // Expired before any work: skip even the query transform.
+            return self.finish_query(&AtomicStats::default(), true);
+        }
         self.prepare_scratch(scratch, query, k);
         let s: &mut QueryScratch = scratch;
         let ctx = QueryContext::borrowed(&self.query_env, &s.values);
@@ -408,6 +506,9 @@ impl<S: Summarization> Index<S> {
         {
             let mut lane_scratch = s.lanes[0].lock();
             for (i, subtree) in self.subtrees.iter().enumerate() {
+                if fired(cancel) {
+                    break;
+                }
                 debug_assert!(i <= u32::MAX as usize, "subtree index exceeds u32");
                 self.collect_subtree(
                     subtree,
@@ -419,12 +520,28 @@ impl<S: Summarization> Index<S> {
                     &push_counter,
                     &mut lane_scratch,
                     &stats,
+                    cancel,
                 );
             }
         }
-        self.refine_from_queues(0, &s.q, &s.queues, &s.done, &ctx, &s.knn, &stats);
-        let snapshot = stats.snapshot();
-        self.record_query_counters(&snapshot);
+        if !fired(cancel) {
+            self.refine_from_queues(0, &s.q, &s.queues, &s.done, &ctx, &s.knn, &stats, cancel);
+        }
+        self.finish_query(&stats, fired(cancel))
+    }
+
+    /// Snapshots one query's counters and routes it to the right
+    /// index-lifetime audit: `queries_served` for completed queries,
+    /// `queries_cancelled` for abandoned ones (whose partial sweep work
+    /// is still visible in the returned per-query counters).
+    fn finish_query(&self, stats: &AtomicStats, cancelled: bool) -> QueryStats {
+        let mut snapshot = stats.snapshot();
+        if cancelled {
+            snapshot.cancelled = 1;
+            self.counters.record_cancelled();
+        } else {
+            self.record_query_counters(&snapshot);
+        }
         snapshot
     }
 
@@ -573,6 +690,7 @@ impl<S: Summarization> Index<S> {
         push_counter: &AtomicUsize,
         lane_scratch: &mut LaneScratch,
         stats: &AtomicStats,
+        cancel: Option<&CancelToken>,
     ) {
         // The root's 1-bit-per-position label is fully determined by the
         // subtree key: the precomputed XOR-penalty evaluation prices the
@@ -610,6 +728,7 @@ impl<S: Summarization> Index<S> {
                 push_counter,
                 stack,
                 stats,
+                cancel,
             );
             return;
         };
@@ -630,6 +749,11 @@ impl<S: Summarization> Index<S> {
             for (lvl, lanes_meta) in cb.levels.iter().enumerate() {
                 let block = cb.level_blocks.level(lvl);
                 for g in 0..block.n_groups() {
+                    // Cancellation checkpoint at group-sweep granularity:
+                    // an expired query stops pricing levels mid-subtree.
+                    if fired(cancel) {
+                        return;
+                    }
                     let lanes = block.lanes_in(g);
                     let base = g * BLOCK_LANES;
                     if (0..lanes)
@@ -665,6 +789,10 @@ impl<S: Summarization> Index<S> {
         let LaneScratch { stack, dead, dead_in_group } = lane_scratch;
         #[allow(clippy::needless_range_loop)] // g also derives the lane base
         for g in 0..cb.block.n_groups() {
+            // Cancellation checkpoint at group-sweep granularity.
+            if fired(cancel) {
+                return;
+            }
             let lanes = cb.block.lanes_in(g);
             let base = g * BLOCK_LANES;
             if use_levels && dead_in_group[g] as usize == lanes {
@@ -716,6 +844,7 @@ impl<S: Summarization> Index<S> {
                             push_counter,
                             stack,
                             stats,
+                            cancel,
                         );
                     }
                 }
@@ -739,8 +868,12 @@ impl<S: Summarization> Index<S> {
         push_counter: &AtomicUsize,
         stack: &mut Vec<u32>,
         stats: &AtomicStats,
+        cancel: Option<&CancelToken>,
     ) {
         while let Some(id) = stack.pop() {
+            if fired(cancel) {
+                return;
+            }
             let node = &subtree.nodes[id as usize];
             let lbd = match (id, root_bound) {
                 (0, Some(b)) => b,
@@ -779,12 +912,18 @@ impl<S: Summarization> Index<S> {
         ctx: &QueryContext<'_>,
         knn: &KnnSet,
         stats: &AtomicStats,
+        cancel: Option<&CancelToken>,
     ) {
         let nq = queues.len();
         let mut quant = QuantScratch::new();
         loop {
             let mut progressed = false;
             for offset in 0..nq {
+                // Cancellation checkpoint per popped leaf: an expired
+                // query stops draining its queues mid-refine.
+                if fired(cancel) {
+                    return;
+                }
                 let qi = (worker + offset) % nq;
                 if done[qi].load(Ordering::Acquire) {
                     continue;
@@ -802,7 +941,7 @@ impl<S: Summarization> Index<S> {
                     stats.queues_abandoned.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
-                self.refine_leaf(entry, q, ctx, knn, stats, &mut quant);
+                self.refine_leaf(entry, q, ctx, knn, stats, &mut quant, cancel);
             }
             if !progressed && done.iter().all(|d| d.load(Ordering::Acquire)) {
                 break;
@@ -825,6 +964,7 @@ impl<S: Summarization> Index<S> {
     /// arena run. Leaves touched by online inserts fall back to the
     /// per-row path until [`Index::repack_leaves`] (which the auto-repack
     /// trigger runs for you by default).
+    #[allow(clippy::too_many_arguments)]
     fn refine_leaf(
         &self,
         entry: QueueEntry,
@@ -833,13 +973,17 @@ impl<S: Summarization> Index<S> {
         knn: &KnnSet,
         stats: &AtomicStats,
         qscratch: &mut QuantScratch,
+        cancel: Option<&CancelToken>,
     ) {
+        // Chaos hook: `ext-chaos` arms this to panic or stall inside the
+        // refine funnel, underneath every batching/serving layer.
+        let _ = sofa_exec::failpoint::fire("sofa-index::refine_leaf");
         let subtree = &self.subtrees[entry.subtree as usize];
         let node = &subtree.nodes[entry.node as usize];
         stats.leaves_refined.fetch_add(1, Ordering::Relaxed);
         match &node.kind {
             NodeKind::Leaf { rows, pack: Some(pack) } => {
-                self.refine_leaf_packed(pack, rows.len(), q, ctx, knn, stats, qscratch);
+                self.refine_leaf_packed(pack, rows.len(), q, ctx, knn, stats, qscratch, cancel);
             }
             NodeKind::Leaf { rows, pack: None } => {
                 self.refine_leaf_rows(rows, q, ctx, knn, stats);
@@ -865,6 +1009,7 @@ impl<S: Summarization> Index<S> {
         knn: &KnnSet,
         stats: &AtomicStats,
         qscratch: &mut QuantScratch,
+        cancel: Option<&CancelToken>,
     ) {
         let block = &pack.block;
         debug_assert_eq!(block.n(), n_rows);
@@ -882,6 +1027,12 @@ impl<S: Summarization> Index<S> {
         let mut quant_groups = 0usize;
         let mut quant_killed = 0usize;
         for g in 0..block.n_groups() {
+            // Cancellation checkpoint at group-sweep granularity: the
+            // partial `knn` offers already made are discarded wholesale
+            // by the caller, so bailing mid-leaf cannot skew exactness.
+            if fired(cancel) {
+                break;
+            }
             let bound = knn.bound();
             let lanes = block.lanes_in(g);
             if mindist_block(ctx, block, g, bound, &mut lbs) {

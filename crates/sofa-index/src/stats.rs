@@ -20,6 +20,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub(crate) struct KernelCounters {
     /// Queries answered (single calls and batch members alike).
     pub queries: AtomicU64,
+    /// Queries abandoned mid-flight by cooperative cancellation (deadline
+    /// or explicit cancel). Disjoint from `queries`: a cancelled query
+    /// was *not* answered, so `queries` stays an exact served audit.
+    pub queries_cancelled: AtomicU64,
     /// 8-candidate groups swept by the block lower-bound kernel.
     pub block_groups_swept: AtomicU64,
     /// Candidate lanes pruned by the block sweep (whole-group abandons
@@ -44,6 +48,10 @@ pub(crate) struct KernelCounters {
 impl KernelCounters {
     pub(crate) fn record_query(&self) {
         self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cancelled(&self) {
+        self.queries_cancelled.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_block_sweep(&self, groups: u64, lanes_abandoned: u64) {
@@ -92,6 +100,9 @@ pub struct IndexStats {
     pub kernel_tier: &'static str,
     /// Queries answered by this index so far.
     pub queries_served: u64,
+    /// Queries abandoned by cooperative cancellation (deadline expiry or
+    /// explicit cancel) — never counted in `queries_served`.
+    pub queries_cancelled: u64,
     /// 8-candidate groups swept by the block lower-bound kernel.
     pub block_groups_swept: u64,
     /// Candidate lanes pruned by the block sweep.
@@ -162,6 +173,7 @@ impl<S: Summarization> Index<S> {
             n_series: self.n_series(),
             kernel_tier: sofa_simd::active_tier().name(),
             queries_served: self.counters.queries.load(Ordering::Relaxed),
+            queries_cancelled: self.counters.queries_cancelled.load(Ordering::Relaxed),
             block_groups_swept: self.counters.block_groups_swept.load(Ordering::Relaxed),
             block_lanes_abandoned: self.counters.block_lanes_abandoned.load(Ordering::Relaxed),
             collect_groups_swept: self.counters.collect_groups_swept.load(Ordering::Relaxed),

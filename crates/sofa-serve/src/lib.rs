@@ -25,8 +25,28 @@
 //! * [`TickExec`] — the tick-execution trait connecting the two: any
 //!   index shape (plain, sharded, or a custom backend) that can answer
 //!   a tick of queries can sit behind a [`Server`].
-//! * [`ServeStats`] — per-tick fill, queue depth and ticket-wait
-//!   counters for the `repro --json` observability surface.
+//! * [`ServeStats`] — per-tick fill, queue depth, ticket-wait and
+//!   robustness counters for the `repro --json` observability surface.
+//!
+//! # Robustness
+//!
+//! The serving path is built to degrade, not collapse:
+//!
+//! * **Deadlines** ([`ServeConfig::deadline`]) attach a [`CancelToken`]
+//!   to each submission; expired tickets are dropped before tick
+//!   formation, and the index's collect/refine loops poll the token at
+//!   group-sweep granularity so an in-flight query abandons cleanly.
+//!   Cancellation never yields a partial answer — a query completes
+//!   exactly or returns [`ServeError::DeadlineExceeded`].
+//! * **Load shedding** ([`AdmissionPolicy::Shed`]) rejects submissions
+//!   with [`ServeError::Overloaded`] when the queue or the estimated
+//!   sojourn exceeds policy, bounding the latency of admitted queries.
+//! * **Self-healing ticks** — a panicking executor aborts only its own
+//!   tick: the collector retries the tick's tickets one-per-tick to
+//!   isolate the offender ([`ServeError::Aborted`]) and keeps serving.
+//! * **Degraded shards** ([`DegradedMode`]) — a panicking shard is
+//!   quarantined; the sharded index either fails fast or serves partial
+//!   answers from the surviving shards, per config.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,9 +55,11 @@ mod server;
 mod shard;
 mod stats;
 
-pub use server::{ServeConfig, ServeError, Server};
-pub use shard::ShardedIndex;
+pub use server::{AdmissionPolicy, ServeConfig, ServeError, Server, TICK_FAILPOINT};
+pub use shard::{DegradedMode, ShardedIndex};
 pub use stats::ServeStats;
+
+pub use sofa_exec::CancelToken;
 
 use sofa_index::{Index, Neighbor};
 use sofa_summaries::Summarization;
@@ -61,12 +83,28 @@ pub trait TickExec: Send + Sync + 'static {
     /// Answers `queries` (row-major, `ks[i]` neighbors for query `i`)
     /// into `outs[i]` (cleared first, best first).
     ///
+    /// `cancels` is either empty (no cancellation) or one token per
+    /// query; an implementation that honors it must leave a cancelled
+    /// query's slot unwritten (the query's token is latched fired
+    /// before abandonment, so the caller distinguishes completed from
+    /// abandoned slots by `is_cancelled_now`). Implementations that
+    /// ignore `cancels` are still correct — the collector re-checks
+    /// every token after the tick.
+    ///
     /// # Panics
     /// Implementations may panic on malformed input (length not a
     /// multiple of [`TickExec::series_len`], mismatched `ks`/`outs`
     /// lengths, or a zero `k`). [`Server`] validates every submission
-    /// before it can reach a tick, so a served tick never panics.
-    fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[ResultSlot]);
+    /// before it can reach a tick and contains executor panics to the
+    /// panicking tick, so a panic never takes the server down.
+    fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[ResultSlot], cancels: &[CancelToken]);
+
+    /// Answers served from a degraded executor (e.g. with one shard
+    /// quarantined), if the executor tracks that. Non-degradable
+    /// executors report 0.
+    fn degraded_answers(&self) -> u64 {
+        0
+    }
 }
 
 impl<S: Summarization + 'static> TickExec for Index<S> {
@@ -74,8 +112,14 @@ impl<S: Summarization + 'static> TickExec for Index<S> {
         Index::series_len(self)
     }
 
-    fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[ResultSlot]) {
-        self.knn_batch_into(queries, ks, outs).expect("server-validated tick");
+    fn run_tick(
+        &self,
+        queries: &[f32],
+        ks: &[usize],
+        outs: &[ResultSlot],
+        cancels: &[CancelToken],
+    ) {
+        self.knn_batch_into_cancel(queries, ks, outs, cancels).expect("server-validated tick");
     }
 }
 
@@ -84,8 +128,18 @@ impl<S: Summarization + 'static> TickExec for ShardedIndex<S> {
         ShardedIndex::series_len(self)
     }
 
-    fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[ResultSlot]) {
-        self.knn_tick(queries, ks, outs).expect("server-validated tick");
+    fn run_tick(
+        &self,
+        queries: &[f32],
+        ks: &[usize],
+        outs: &[ResultSlot],
+        cancels: &[CancelToken],
+    ) {
+        self.knn_tick_cancel(queries, ks, outs, cancels).expect("server-validated tick");
+    }
+
+    fn degraded_answers(&self) -> u64 {
+        ShardedIndex::degraded_answers(self)
     }
 }
 
@@ -94,7 +148,17 @@ impl<T: TickExec + ?Sized> TickExec for std::sync::Arc<T> {
         (**self).series_len()
     }
 
-    fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[ResultSlot]) {
-        (**self).run_tick(queries, ks, outs);
+    fn run_tick(
+        &self,
+        queries: &[f32],
+        ks: &[usize],
+        outs: &[ResultSlot],
+        cancels: &[CancelToken],
+    ) {
+        (**self).run_tick(queries, ks, outs, cancels);
+    }
+
+    fn degraded_answers(&self) -> u64 {
+        (**self).degraded_answers()
     }
 }

@@ -12,20 +12,58 @@
 //! Everything on the warm path is pooled: tickets (with their query and
 //! result buffers) recycle through a free list, the collector reuses its
 //! tick buffers and result slots, and result hand-off is a buffer swap.
+//!
+//! # Robustness
+//!
+//! * A per-request **deadline** ([`ServeConfig::deadline`]) gives each
+//!   ticket a [`CancelToken`]; the collector drops already-expired
+//!   tickets before forming a tick, the index abandons in-flight
+//!   queries at its cancellation checkpoints, and a ticket whose token
+//!   fired resolves [`ServeError::DeadlineExceeded`] — never a partial
+//!   answer.
+//! * **Admission control** ([`AdmissionPolicy`]): `Block` keeps the
+//!   original backpressure (submitters park on a full queue); `Shed`
+//!   rejects with [`ServeError::Overloaded`] when the queue or the
+//!   estimated sojourn exceeds policy, so admitted queries keep a
+//!   bounded latency under overload.
+//! * **Tick containment**: an executor panic aborts only the panicking
+//!   tick. A multi-query tick is retried one ticket per solo tick to
+//!   isolate the offender — the offender resolves
+//!   [`ServeError::Aborted`], innocent cohabitants still get exact
+//!   answers, and the server keeps serving.
 
 use crate::stats::{ServeStats, StatCounters};
-use crate::{ResultSlot, TickExec};
+use crate::{CancelToken, ResultSlot, TickExec};
+use sofa_exec::sync::lock;
 use sofa_index::{IndexError, Neighbor};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Locks a mutex, recovering the guard if a previous holder panicked (a
-/// poisoned queue must not wedge the server).
-fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+/// Failpoint fired at the top of every tick (inside the containment
+/// guard): arming it with [`sofa_exec::failpoint::FailAction::Panic`]
+/// exercises the abort and bisect paths without a faulty executor.
+pub const TICK_FAILPOINT: &str = "sofa-serve::tick";
+
+/// What the server does with a submission that would overload it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Park the submitter until the queue drains (the default): no
+    /// request is refused, overload turns into submitter backpressure.
+    Block,
+    /// Reject with [`ServeError::Overloaded`] instead of queueing when
+    /// the server is saturated — overload sheds new arrivals so the
+    /// admitted ones keep a bounded sojourn.
+    Shed {
+        /// Reject when this many submissions are already queued.
+        max_queue: usize,
+        /// Reject when the estimated sojourn (mean tick execution time
+        /// scaled by the backlog) exceeds this. Zero disables the
+        /// estimate check.
+        max_sojourn: Duration,
+    },
 }
 
 /// Tuning knobs for the coalescer.
@@ -34,13 +72,21 @@ pub struct ServeConfig {
     fill_target: usize,
     max_wait: Duration,
     queue_capacity: usize,
+    deadline: Option<Duration>,
+    admission: AdmissionPolicy,
 }
 
 impl Default for ServeConfig {
-    /// 16-query ticks, a 200µs coalescing window, and room for four
-    /// ticks of backlog before submitters block.
+    /// 16-query ticks, a 200µs coalescing window, room for four ticks
+    /// of backlog before submitters block, no deadline, no shedding.
     fn default() -> Self {
-        ServeConfig { fill_target: 16, max_wait: Duration::from_micros(200), queue_capacity: 64 }
+        ServeConfig {
+            fill_target: 16,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 64,
+            deadline: None,
+            admission: AdmissionPolicy::Block,
+        }
     }
 }
 
@@ -77,6 +123,24 @@ impl ServeConfig {
         self.queue_capacity = cap.max(1);
         self
     }
+
+    /// Per-request deadline, measured from submission. An expired
+    /// ticket resolves [`ServeError::DeadlineExceeded`]; the index
+    /// abandons its work at the next cancellation checkpoint. Costs
+    /// one `Arc` allocation per submission — the default (`None`)
+    /// keeps the warm path allocation-free.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Admission policy (default [`AdmissionPolicy::Block`]).
+    #[must_use]
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
 }
 
 /// Errors surfaced by [`Server`] submissions.
@@ -86,6 +150,15 @@ pub enum ServeError {
     Index(IndexError),
     /// The server shut down before this query could be answered.
     ShutDown,
+    /// The configured deadline passed before the answer was delivered.
+    /// The query produced no partial result.
+    DeadlineExceeded,
+    /// Rejected at admission by [`AdmissionPolicy::Shed`]; the query
+    /// was never queued. Retry later or at another replica.
+    Overloaded,
+    /// The executor panicked answering this query's tick and the panic
+    /// was isolated to this ticket. The server is still serving.
+    Aborted,
 }
 
 impl std::fmt::Display for ServeError {
@@ -93,6 +166,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Index(e) => write!(f, "{e}"),
             ServeError::ShutDown => write!(f, "server is shut down"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before the answer"),
+            ServeError::Overloaded => write!(f, "server overloaded; submission shed"),
+            ServeError::Aborted => write!(f, "tick aborted by executor panic"),
         }
     }
 }
@@ -114,6 +190,8 @@ enum Outcome {
     Done,
     /// The server shut down (or its executor panicked) first.
     Aborted,
+    /// The deadline fired before the answer was delivered.
+    Expired,
 }
 
 /// Mutable half of one ticket. The buffers live as long as the ticket
@@ -125,6 +203,8 @@ struct TicketState {
     result: Vec<Neighbor>,
     outcome: Outcome,
     enqueued_at: Option<Instant>,
+    /// Deadline token; `None` unless [`ServeConfig::deadline`] is set.
+    cancel: Option<CancelToken>,
 }
 
 /// One submission: the query travels to the collector and the result
@@ -143,9 +223,18 @@ impl Ticket {
                 result: Vec::new(),
                 outcome: Outcome::Pending,
                 enqueued_at: None,
+                cancel: None,
             }),
             cv: Condvar::new(),
         }
+    }
+
+    /// Resolves this ticket and wakes its submitter.
+    fn complete(&self, outcome: Outcome) {
+        let mut st = lock(&self.state);
+        st.outcome = outcome;
+        drop(st);
+        self.cv.notify_all();
     }
 }
 
@@ -187,6 +276,7 @@ impl<E: TickExec> Server<E> {
     /// Starts a server (one collector thread) over `exec`.
     #[must_use]
     pub fn new(exec: E, cfg: ServeConfig) -> Self {
+        sofa_exec::install_panic_note_hook();
         let series_len = exec.series_len();
         let inner = Arc::new(ServerInner {
             exec,
@@ -200,7 +290,7 @@ impl<E: TickExec> Server<E> {
         });
         let for_thread = Arc::clone(&inner);
         let collector = std::thread::Builder::new()
-            .name("sofa-serve".into())
+            .name("sofa-serve-collector".into())
             .spawn(move || collector_loop(&for_thread))
             .expect("spawn serve collector");
         Server { inner, collector: Some(collector) }
@@ -211,9 +301,9 @@ impl<E: TickExec> Server<E> {
         &self.inner.exec
     }
 
-    /// Snapshot of the coalescing counters.
+    /// Snapshot of the coalescing and robustness counters.
     pub fn stats(&self) -> ServeStats {
-        self.inner.counters.snapshot()
+        self.inner.counters.snapshot(self.inner.exec.degraded_answers())
     }
 
     /// Exact k-NN through the coalescer, best first. Blocks until the
@@ -221,8 +311,11 @@ impl<E: TickExec> Server<E> {
     /// `Index::knn(query, k)` on the same index.
     ///
     /// # Errors
-    /// [`ServeError::Index`] on a malformed query, [`ServeError::ShutDown`]
-    /// if the server stops before answering.
+    /// [`ServeError::Index`] on a malformed query; [`ServeError::ShutDown`]
+    /// if the server stops first; [`ServeError::Overloaded`] if shed at
+    /// admission; [`ServeError::DeadlineExceeded`] if the configured
+    /// deadline fires first; [`ServeError::Aborted`] if the executor
+    /// panicked on this query.
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, ServeError> {
         let mut out = Vec::new();
         self.knn_into(query, k, &mut out)?;
@@ -242,7 +335,8 @@ impl<E: TickExec> Server<E> {
 
     /// [`Server::knn`] into a caller-owned buffer (cleared first): the
     /// allocation-free submission form — ticket, queue slot and result
-    /// hand-off all reuse pooled buffers once warm.
+    /// hand-off all reuse pooled buffers once warm. (A configured
+    /// deadline adds one token allocation per submission.)
     ///
     /// # Errors
     /// As [`Server::knn`].
@@ -266,6 +360,7 @@ impl<E: TickExec> Server<E> {
         }
 
         let ticket = lock(&inner.tickets).pop().unwrap_or_else(|| Arc::new(Ticket::new()));
+        let now = Instant::now();
         {
             let mut st = lock(&ticket.state);
             st.query.clear();
@@ -273,11 +368,26 @@ impl<E: TickExec> Server<E> {
             st.k = k;
             st.result.clear();
             st.outcome = Outcome::Pending;
-            st.enqueued_at = Some(Instant::now());
+            st.enqueued_at = Some(now);
+            st.cancel = inner.cfg.deadline.map(|d| CancelToken::with_deadline(now + d));
         }
 
         {
             let mut q = lock(&inner.queue);
+            if let AdmissionPolicy::Shed { max_queue, max_sojourn } = inner.cfg.admission {
+                let over_queue = q.pending.len() >= max_queue;
+                let over_sojourn = !max_sojourn.is_zero()
+                    && inner
+                        .counters
+                        .estimated_sojourn_us(q.pending.len(), inner.cfg.fill_target)
+                        .is_some_and(|est| est > max_sojourn.as_micros() as f64);
+                if over_queue || over_sojourn {
+                    drop(q);
+                    inner.counters.note_shed();
+                    lock(&inner.tickets).push(ticket);
+                    return Err(ServeError::Overloaded);
+                }
+            }
             while q.pending.len() >= inner.cfg.queue_capacity && !q.shutdown {
                 q = inner.space_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
@@ -300,12 +410,16 @@ impl<E: TickExec> Server<E> {
                 out.clear();
                 std::mem::swap(&mut st.result, out);
             }
+            st.cancel = None;
             st.outcome
         };
         lock(&inner.tickets).push(ticket);
         match outcome {
             Outcome::Done => Ok(()),
-            _ => Err(ServeError::ShutDown),
+            Outcome::Expired => Err(ServeError::DeadlineExceeded),
+            Outcome::Aborted => Err(ServeError::Aborted),
+            // The wait loop above only exits on a non-Pending outcome.
+            Outcome::Pending => unreachable!("woke with a pending ticket"),
         }
     }
 
@@ -329,13 +443,57 @@ impl<E: TickExec> Drop for Server<E> {
     }
 }
 
-/// The collector: assemble a tick, run it, fan results out, repeat.
+/// Runs one guarded tick: the tick failpoint, then the executor, inside
+/// one `catch_unwind`. `false` means the tick panicked (or the
+/// failpoint injected an error) and none of its slots may be trusted.
+fn run_guarded<E: TickExec>(
+    exec: &E,
+    queries: &[f32],
+    ks: &[usize],
+    outs: &[ResultSlot],
+    cancels: &[CancelToken],
+) -> bool {
+    catch_unwind(AssertUnwindSafe(|| {
+        if sofa_exec::failpoint::fire(TICK_FAILPOINT).is_err() {
+            return false;
+        }
+        exec.run_tick(queries, ks, outs, cancels);
+        true
+    }))
+    .unwrap_or(false)
+}
+
+/// Resolves one ticket after a successful tick: `Done` with the slot's
+/// buffer swapped in, unless its deadline fired first (the index then
+/// left the slot unwritten, or wrote it completely but too late —
+/// either way the honest answer is `Expired`).
+fn settle_answered(t: &Arc<Ticket>, slot: &ResultSlot, counters: &StatCounters) {
+    let mut st = lock(&t.state);
+    let expired = st.cancel.as_ref().is_some_and(CancelToken::is_cancelled_now);
+    if expired {
+        st.outcome = Outcome::Expired;
+        counters.note_expired();
+    } else {
+        std::mem::swap(&mut *slot.lock(), &mut st.result);
+        st.outcome = Outcome::Done;
+        if let Some(at) = st.enqueued_at.take() {
+            counters.note_done(Instant::now().saturating_duration_since(at));
+        }
+    }
+    drop(st);
+    t.cv.notify_all();
+}
+
+/// The collector: assemble a tick, run it, fan results out, repeat. A
+/// panicking tick is contained (offending ticket aborted, cohabitants
+/// retried solo) and the loop keeps serving.
 fn collector_loop<E: TickExec>(inner: &ServerInner<E>) {
     let n = inner.series_len;
     let fill = inner.cfg.fill_target;
     let mut batch: Vec<Arc<Ticket>> = Vec::with_capacity(fill);
     let mut queries: Vec<f32> = Vec::with_capacity(fill * n);
     let mut ks: Vec<usize> = Vec::with_capacity(fill);
+    let mut cancels: Vec<CancelToken> = Vec::new();
     let mut outs: Vec<ResultSlot> = Vec::new();
     loop {
         // --- Assemble one tick: block for the first ticket, then keep
@@ -378,59 +536,83 @@ fn collector_loop<E: TickExec>(inner: &ServerInner<E>) {
             inner.space_cv.notify_all();
         }
 
-        // --- Stage the tick into the reused buffers.
+        // --- Triage: a ticket whose deadline already fired gets its
+        // answer now (Expired) instead of a seat in the tick.
+        batch.retain(|t| {
+            let expired = lock(&t.state).cancel.as_ref().is_some_and(CancelToken::is_cancelled_now);
+            if expired {
+                inner.counters.note_expired();
+                t.complete(Outcome::Expired);
+            }
+            !expired
+        });
+        if batch.is_empty() {
+            continue;
+        }
+
+        // --- Stage the tick into the reused buffers. `cancels` is
+        // all-or-nothing per server config, so it stays empty (and the
+        // batch engine skips all token polling) unless deadlines are on.
         let m = batch.len();
         queries.clear();
         ks.clear();
+        cancels.clear();
         for t in &batch {
             let st = lock(&t.state);
             queries.extend_from_slice(&st.query);
             ks.push(st.k);
+            if let Some(token) = &st.cancel {
+                cancels.push(token.clone());
+            }
         }
+        debug_assert!(cancels.is_empty() || cancels.len() == m);
         while outs.len() < m {
             outs.push(ResultSlot::new(Vec::new()));
         }
 
         // --- Run it. Submissions were validated, so a panic here is an
-        // executor bug — contain it: abort this tick's tickets and shut
-        // the server down rather than leaving submitters parked forever.
-        let ok = catch_unwind(AssertUnwindSafe(|| {
-            inner.exec.run_tick(&queries, &ks[..m], &outs[..m]);
-        }))
-        .is_ok();
+        // executor bug (or an armed failpoint) — contain it below
+        // instead of taking the server down.
+        let tick_started = Instant::now();
+        let ok = run_guarded(&inner.exec, &queries, &ks[..m], &outs[..m], &cancels);
+        // The tick is counted before fan-out so a submitter that reads
+        // `stats()` right after waking already sees its own tick.
+        inner.counters.note_tick(m as u64, tick_started.elapsed());
 
-        // --- Fan results back out: swap each slot's buffer into its
-        // ticket (both buffers recycle) and wake the submitter. The tick
-        // is counted first so a submitter that reads `stats()` right
-        // after waking already sees its own tick.
-        let done_at = Instant::now();
-        inner.counters.note_tick(m as u64);
-        for (t, slot) in batch.drain(..).zip(outs.iter()) {
-            let mut st = lock(&t.state);
-            if ok {
-                std::mem::swap(&mut *slot.lock(), &mut st.result);
-                st.outcome = Outcome::Done;
-            } else {
-                st.outcome = Outcome::Aborted;
+        if ok {
+            // --- Fan results back out: swap each slot's buffer into its
+            // ticket (both buffers recycle) and wake the submitter.
+            for (t, slot) in batch.drain(..).zip(outs.iter()) {
+                settle_answered(&t, slot, &inner.counters);
             }
-            if let Some(at) = st.enqueued_at.take() {
-                inner.counters.note_wait(done_at.saturating_duration_since(at));
-            }
-            drop(st);
-            t.cv.notify_all();
+            continue;
         }
 
-        if !ok {
-            let mut q = lock(&inner.queue);
-            q.shutdown = true;
-            while let Some(t) = q.pending.pop_front() {
-                let mut st = lock(&t.state);
-                st.outcome = Outcome::Aborted;
-                drop(st);
-                t.cv.notify_all();
+        // --- Containment. A solo tick identified its offender already;
+        // a coalesced tick is re-run one ticket at a time, so innocent
+        // cohabitants still get exact answers and only the ticket that
+        // actually panics is aborted. The server keeps serving either
+        // way — no queue poisoning, no collector exit.
+        if m == 1 {
+            inner.counters.note_aborted();
+            batch.drain(..).next().expect("tick had one ticket").complete(Outcome::Aborted);
+            continue;
+        }
+        for (i, t) in batch.drain(..).enumerate() {
+            let solo_cancels = if cancels.is_empty() { &[] } else { &cancels[i..=i] };
+            let solo_ok = run_guarded(
+                &inner.exec,
+                &queries[i * n..(i + 1) * n],
+                &ks[i..=i],
+                &outs[i..=i],
+                solo_cancels,
+            );
+            if solo_ok {
+                settle_answered(&t, &outs[i], &inner.counters);
+            } else {
+                inner.counters.note_aborted();
+                t.complete(Outcome::Aborted);
             }
-            inner.space_cv.notify_all();
-            return;
         }
     }
 }
@@ -461,7 +643,13 @@ mod tests {
             self.series_len
         }
 
-        fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[ResultSlot]) {
+        fn run_tick(
+            &self,
+            queries: &[f32],
+            ks: &[usize],
+            outs: &[ResultSlot],
+            _cancels: &[CancelToken],
+        ) {
             self.ticks.fetch_add(1, Ordering::Relaxed);
             if !self.delay.is_zero() {
                 std::thread::sleep(self.delay);
@@ -583,19 +771,133 @@ mod tests {
     }
 
     #[test]
-    fn panicking_executor_aborts_submitters_instead_of_hanging_them() {
+    fn panicking_executor_aborts_its_tick_and_the_server_keeps_serving() {
         struct BoomExec;
         impl TickExec for BoomExec {
             fn series_len(&self) -> usize {
                 2
             }
-            fn run_tick(&self, _q: &[f32], _k: &[usize], _o: &[ResultSlot]) {
+            fn run_tick(&self, _q: &[f32], _k: &[usize], _o: &[ResultSlot], _c: &[CancelToken]) {
                 panic!("tick boom");
             }
         }
         let server = Server::new(BoomExec, ServeConfig::new());
-        assert_eq!(server.knn(&[1.0, 2.0], 1), Err(ServeError::ShutDown));
-        assert_eq!(server.knn(&[1.0, 2.0], 1), Err(ServeError::ShutDown));
+        // Each submission is aborted — not hung, and not a shutdown:
+        // the server survives its executor's panics.
+        assert_eq!(server.knn(&[1.0, 2.0], 1), Err(ServeError::Aborted));
+        assert_eq!(server.knn(&[1.0, 2.0], 1), Err(ServeError::Aborted));
+        let stats = server.stats();
+        assert_eq!(stats.aborted, 2);
+        assert_eq!(stats.queries, 0);
+    }
+
+    #[test]
+    fn bisect_isolates_the_poison_query_and_answers_the_rest() {
+        /// Panics on any tick containing a query with `q[0] == 13.0`;
+        /// echoes otherwise.
+        struct PoisonExec(EchoExec);
+        impl TickExec for PoisonExec {
+            fn series_len(&self) -> usize {
+                self.0.series_len()
+            }
+            fn run_tick(
+                &self,
+                queries: &[f32],
+                ks: &[usize],
+                outs: &[ResultSlot],
+                cancels: &[CancelToken],
+            ) {
+                assert!(!queries.chunks(self.0.series_len()).any(|q| q[0] == 13.0), "poison query");
+                self.0.run_tick(queries, ks, outs, cancels);
+            }
+        }
+        let server = Arc::new(Server::new(
+            PoisonExec(EchoExec { delay: Duration::from_micros(200), ..EchoExec::new(2) }),
+            ServeConfig::new().fill_target(8).max_wait(Duration::from_millis(2)),
+        ));
+        // Whatever ticks the scheduler forms, the poison submission must
+        // come back Aborted and every innocent one must come back exact.
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let server = Arc::clone(&server);
+                s.spawn(move || {
+                    let q0 = if t == 3 { 13.0 } else { t as f32 };
+                    let got = server.knn(&[q0, 0.0], 2);
+                    if t == 3 {
+                        assert_eq!(got, Err(ServeError::Aborted));
+                    } else {
+                        assert_eq!(got.unwrap(), expected(q0, 2), "submitter {t}");
+                    }
+                });
+            }
+        });
+        let stats = server.stats();
+        assert_eq!(stats.aborted, 1);
+        assert_eq!(stats.queries, 7);
+        // And the server is still alive for fresh (clean) submissions.
+        assert_eq!(server.knn(&[40.0, 0.0], 1).unwrap(), expected(40.0, 1));
+    }
+
+    #[test]
+    fn expired_tickets_resolve_deadline_exceeded_not_partial_answers() {
+        let server = Arc::new(Server::new(
+            EchoExec { delay: Duration::from_millis(4), ..EchoExec::new(2) },
+            ServeConfig::new().fill_target(1).queue_capacity(64).deadline(Duration::from_millis(1)),
+        ));
+        // One slow tick in flight keeps the rest queued past their 1ms
+        // deadline; the collector's triage answers them Expired.
+        let outcomes: Vec<Result<Vec<Neighbor>, ServeError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6)
+                .map(|t| {
+                    let server = Arc::clone(&server);
+                    s.spawn(move || server.knn(&[t as f32, 0.0], 1))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let expired =
+            outcomes.iter().filter(|o| matches!(o, Err(ServeError::DeadlineExceeded))).count();
+        // Timing decides how many make it, but every outcome is either
+        // an exact answer or an explicit deadline error — never junk.
+        for (t, o) in outcomes.iter().enumerate() {
+            match o {
+                Ok(got) => assert_eq!(*got, expected(t as f32, 1)),
+                Err(ServeError::DeadlineExceeded) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(expired >= 1, "a 4ms tick must expire some 1ms-deadline tickets");
+        assert_eq!(server.stats().expired, expired as u64);
+    }
+
+    #[test]
+    fn shed_policy_rejects_overload_with_overloaded() {
+        let server = Arc::new(Server::new(
+            EchoExec { delay: Duration::from_millis(3), ..EchoExec::new(2) },
+            ServeConfig::new()
+                .fill_target(1)
+                .admission(AdmissionPolicy::Shed { max_queue: 1, max_sojourn: Duration::ZERO }),
+        ));
+        let shed = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let server = Arc::clone(&server);
+                let shed = &shed;
+                s.spawn(move || match server.knn(&[t as f32, 0.0], 1) {
+                    Ok(got) => assert_eq!(got, expected(t as f32, 1)),
+                    Err(ServeError::Overloaded) => {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                });
+            }
+        });
+        // 8 bursty submitters against a 3ms serial tick and a queue of
+        // 1: most must be shed, and the books must balance.
+        let stats = server.stats();
+        assert!(shed.load(Ordering::Relaxed) >= 1);
+        assert_eq!(stats.shed, shed.load(Ordering::Relaxed));
+        assert_eq!(stats.queries + stats.shed, 8);
     }
 
     #[test]
@@ -610,6 +912,8 @@ mod tests {
         assert_eq!(stats.queries, 50);
         assert_eq!(stats.ticks, 50);
         assert!((stats.mean_tick_fill - 1.0).abs() < f64::EPSILON);
+        assert!(stats.p50_sojourn_us > 0.0);
+        assert!(stats.p99_sojourn_us >= stats.p50_sojourn_us);
         // A serial submitter keeps exactly one pooled ticket alive.
         assert_eq!(lock(&server.inner.tickets).len(), 1);
     }

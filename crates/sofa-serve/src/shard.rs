@@ -16,15 +16,30 @@
 //! [`IndexError::TooManyRows`]: each shard owns its own `u32` row-id
 //! space, the merge output uses global `u32` ids.
 
-use crate::ResultSlot;
+use crate::{CancelToken, ResultSlot};
+use sofa_exec::sync::lock;
 use sofa_index::{ExecPool, Index, IndexError, IndexStats, KnnSet, Neighbor};
 use sofa_summaries::Summarization;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// Locks a mutex, recovering the guard if a previous holder panicked.
-fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+/// What a [`ShardedIndex`] does once a shard has panicked and been
+/// quarantined.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Every subsequent tick panics immediately (the default). Behind a
+    /// [`crate::Server`] the panic is contained per tick, so submitters
+    /// see [`crate::ServeError::Aborted`] rather than wrong answers;
+    /// direct callers of [`ShardedIndex::knn_tick`] observe the panic.
+    #[default]
+    FailFast,
+    /// Subsequent ticks skip quarantined shards and answer from the
+    /// survivors. Answers are exact *over the surviving rows* but may
+    /// miss neighbors owned by the quarantined shards; every such
+    /// answer is counted in [`ShardedIndex::degraded_answers`] so the
+    /// caller can see it was served degraded.
+    ServePartial,
 }
 
 /// Reusable merge state: per-shard, per-slot result buffers plus the
@@ -57,6 +72,13 @@ pub struct ShardedIndex<S: Summarization> {
     /// figure comparable to an unsharded index.
     queries_served: AtomicU64,
     merge: Mutex<MergeScratch>,
+    /// Per-shard quarantine flags: set when a shard panics inside a
+    /// tick (or via [`ShardedIndex::mark_degraded`]), never cleared.
+    degraded: Vec<AtomicBool>,
+    degraded_mode: DegradedMode,
+    /// Answers served while at least one shard was quarantined
+    /// ([`DegradedMode::ServePartial`] only).
+    degraded_answers: AtomicU64,
 }
 
 impl<S: Summarization> ShardedIndex<S> {
@@ -102,6 +124,7 @@ impl<S: Summarization> ShardedIndex<S> {
             shard_outs: (0..shards.len()).map(|_| Vec::new()).collect(),
             set: KnnSet::new(1),
         };
+        let degraded = (0..bases.len()).map(|_| AtomicBool::new(false)).collect();
         Ok(ShardedIndex {
             shards,
             bases,
@@ -110,7 +133,56 @@ impl<S: Summarization> ShardedIndex<S> {
             n_series,
             queries_served: AtomicU64::new(0),
             merge: Mutex::new(merge),
+            degraded,
+            degraded_mode: DegradedMode::default(),
+            degraded_answers: AtomicU64::new(0),
         })
+    }
+
+    /// Sets what happens after a shard is quarantined (default
+    /// [`DegradedMode::FailFast`]).
+    #[must_use]
+    pub fn with_degraded_mode(mut self, mode: DegradedMode) -> Self {
+        self.degraded_mode = mode;
+        self
+    }
+
+    /// The configured degraded-shard behavior.
+    #[must_use]
+    pub fn degraded_mode(&self) -> DegradedMode {
+        self.degraded_mode
+    }
+
+    /// Quarantines shard `s` by hand — the operational escape hatch for
+    /// tests and for sidelining a shard known to be bad.
+    ///
+    /// # Panics
+    /// If `s` is not a valid shard number.
+    pub fn mark_degraded(&self, s: usize) {
+        self.degraded[s].store(true, Ordering::Release);
+    }
+
+    /// Is shard `s` quarantined?
+    ///
+    /// # Panics
+    /// If `s` is not a valid shard number.
+    #[must_use]
+    pub fn is_degraded(&self, s: usize) -> bool {
+        self.degraded[s].load(Ordering::Acquire)
+    }
+
+    /// Quarantined shard numbers, ascending.
+    #[must_use]
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        (0..self.degraded.len()).filter(|&s| self.is_degraded(s)).collect()
+    }
+
+    /// Answers served while at least one shard was quarantined — 0
+    /// unless [`DegradedMode::ServePartial`] is active and a shard has
+    /// failed.
+    #[must_use]
+    pub fn degraded_answers(&self) -> u64 {
+        self.degraded_answers.load(Ordering::Relaxed)
     }
 
     /// Length of every indexed series.
@@ -194,18 +266,45 @@ impl<S: Summarization> ShardedIndex<S> {
     /// query `i`) into `outs[i]` (cleared first, best first, global row
     /// ids). The fan-out pool runs one lane per shard, each lane
     /// driving its shard's batch engine; the per-slot merge then rebases
-    /// and drains through the reusable [`KnnSet`]. This is the
-    /// [`crate::TickExec`] entry point, shaped for the coalescer.
+    /// and drains through the reusable [`KnnSet`].
     ///
     /// # Errors
     /// Returns [`IndexError::BadQuery`] if the buffer is not a whole
     /// number of series, `ks`/`outs` lengths don't match the query
     /// count, or any `k == 0`.
+    ///
+    /// # Panics
+    /// In [`DegradedMode::FailFast`] (the default), panics when a shard
+    /// panics during the tick or is already quarantined — behind a
+    /// [`crate::Server`] the panic is contained per tick.
     pub fn knn_tick(
         &self,
         queries: &[f32],
         ks: &[usize],
         outs: &[ResultSlot],
+    ) -> Result<(), IndexError> {
+        self.knn_tick_cancel(queries, ks, outs, &[])
+    }
+
+    /// [`ShardedIndex::knn_tick`] with per-query cooperative
+    /// cancellation — the [`crate::TickExec`] entry point, shaped for
+    /// the coalescer. `cancels` is empty or one token per query; a
+    /// query whose token fires is abandoned by every shard and its
+    /// output slot is left unwritten (the token is latched fired, so
+    /// the caller can tell).
+    ///
+    /// # Errors
+    /// As [`ShardedIndex::knn_tick`], plus [`IndexError::BadQuery`]
+    /// when `cancels` is non-empty but does not match the query count.
+    ///
+    /// # Panics
+    /// As [`ShardedIndex::knn_tick`].
+    pub fn knn_tick_cancel(
+        &self,
+        queries: &[f32],
+        ks: &[usize],
+        outs: &[ResultSlot],
+        cancels: &[CancelToken],
     ) -> Result<(), IndexError> {
         let n = self.series_len;
         if queries.len() % n != 0 {
@@ -227,10 +326,21 @@ impl<S: Summarization> ShardedIndex<S> {
         if ks.contains(&0) {
             return Err(IndexError::BadQuery("k must be at least 1".into()));
         }
+        if !cancels.is_empty() && cancels.len() != m {
+            return Err(IndexError::BadQuery(format!(
+                "{} queries but {} cancellation tokens",
+                m,
+                cancels.len()
+            )));
+        }
         if m == 0 {
             return Ok(());
         }
         let n_shards = self.shards.len();
+        let was_degraded = !self.degraded_shards().is_empty();
+        if was_degraded && self.degraded_mode == DegradedMode::FailFast {
+            panic!("sharded index has quarantined shards {:?} (FailFast)", self.degraded_shards());
+        }
         let mut guard = lock(&self.merge);
         let MergeScratch { shard_outs, set } = &mut *guard;
         for per_shard in shard_outs.iter_mut() {
@@ -240,19 +350,46 @@ impl<S: Summarization> ShardedIndex<S> {
         }
         let shard_outs: &[Vec<ResultSlot>] = shard_outs;
         let shards = &self.shards;
+        let degraded = &self.degraded;
+        let panicked = AtomicBool::new(false);
         let lanes = self.fan.threads().min(n_shards).max(1);
         self.fan.broadcast_limit(n_shards, |lane| {
             let mut s = lane;
             while s < n_shards {
-                shards[s]
-                    .knn_batch_into(queries, ks, &shard_outs[s][..m])
-                    .expect("tick inputs were validated");
+                // A panicking shard is quarantined here, not propagated:
+                // the post-broadcast policy decides what that means.
+                if !degraded[s].load(Ordering::Acquire)
+                    && catch_unwind(AssertUnwindSafe(|| {
+                        shards[s]
+                            .knn_batch_into_cancel(queries, ks, &shard_outs[s][..m], cancels)
+                            .expect("tick inputs were validated");
+                    }))
+                    .is_err()
+                {
+                    degraded[s].store(true, Ordering::Release);
+                    panicked.store(true, Ordering::Relaxed);
+                }
                 s += lanes;
             }
         });
+        if panicked.load(Ordering::Relaxed) && self.degraded_mode == DegradedMode::FailFast {
+            drop(guard);
+            panic!("shard(s) {:?} panicked during tick (FailFast)", self.degraded_shards());
+        }
+        let any_degraded = was_degraded || panicked.load(Ordering::Relaxed);
+        let mut answered = 0u64;
         for (slot, &k) in ks.iter().enumerate().take(m) {
+            // A fired token means some shard may have abandoned this
+            // query — its slots are unwritten or stale. Leave the
+            // output untouched; the caller sees the latched token.
+            if cancels.get(slot).is_some_and(CancelToken::is_cancelled_now) {
+                continue;
+            }
             set.reset(k);
             for (s, &base) in self.bases.iter().enumerate() {
+                if degraded[s].load(Ordering::Acquire) {
+                    continue;
+                }
                 for nb in shard_outs[s][slot].lock().iter() {
                     set.offer(Neighbor { row: nb.row + base, dist_sq: nb.dist_sq });
                 }
@@ -260,8 +397,12 @@ impl<S: Summarization> ShardedIndex<S> {
             let mut out = outs[slot].lock();
             out.clear();
             set.drain_sorted_into(&mut out);
+            answered += 1;
         }
-        self.queries_served.fetch_add(m as u64, Ordering::Relaxed);
+        self.queries_served.fetch_add(answered, Ordering::Relaxed);
+        if any_degraded {
+            self.degraded_answers.fetch_add(answered, Ordering::Relaxed);
+        }
         Ok(())
     }
 }
@@ -364,6 +505,43 @@ mod tests {
         for stats in parts.shard_stats() {
             assert_eq!(stats.queries_served, 3);
         }
+    }
+
+    #[test]
+    fn serve_partial_skips_quarantined_shards_and_counts_degraded_answers() {
+        let data = dataset(300, 7);
+        let parts = sharded(&data, 3, 1).with_degraded_mode(DegradedMode::ServePartial);
+        let rows_per_shard = 100usize;
+        let q = &data[..LEN]; // row 0 lives in shard 0
+        let full = parts.knn(q, 3).unwrap();
+        assert_eq!(full[0].row, 0);
+        parts.mark_degraded(0);
+        assert_eq!(parts.degraded_shards(), vec![0]);
+        // Same query, shard 0 quarantined: still answered, exactly over
+        // the surviving rows — nothing from shard 0 can appear.
+        let partial = parts.knn(q, 3).unwrap();
+        assert_eq!(partial.len(), 3);
+        for nb in &partial {
+            assert!(
+                nb.row as usize >= rows_per_shard,
+                "row {} belongs to the quarantined shard",
+                nb.row
+            );
+        }
+        assert_eq!(parts.degraded_answers(), 1);
+        assert_eq!(parts.queries_served(), 2);
+    }
+
+    #[test]
+    fn fail_fast_mode_panics_once_a_shard_is_quarantined() {
+        let data = dataset(100, 9);
+        let parts = sharded(&data, 2, 1);
+        assert_eq!(parts.degraded_mode(), DegradedMode::FailFast);
+        parts.knn(&data[..LEN], 1).unwrap();
+        parts.mark_degraded(1);
+        let boom =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| parts.knn(&data[..LEN], 1)));
+        assert!(boom.is_err(), "FailFast must refuse to serve past a quarantined shard");
     }
 
     #[test]

@@ -77,9 +77,12 @@ pub use sofa_simd as simd;
 pub use sofa_stats as stats;
 pub use sofa_summaries as summaries;
 
-pub use sofa_exec::ExecPool;
+pub use sofa_exec::{CancelToken, ExecPool};
 pub use sofa_index::{IndexConfig, IndexError, IndexStats, Neighbor, QueryStats};
-pub use sofa_serve::{ServeConfig, ServeError, ServeStats, Server, ShardedIndex, TickExec};
+pub use sofa_serve::{
+    AdmissionPolicy, DegradedMode, ServeConfig, ServeError, ServeStats, Server, ShardedIndex,
+    TickExec,
+};
 pub use sofa_summaries::{BinningStrategy, CoefficientSelection};
 
 use sofa_index::Index;
@@ -587,8 +590,18 @@ macro_rules! forward_index_api {
                 self.inner.series_len()
             }
 
-            fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[serve::ResultSlot]) {
-                TickExec::run_tick(&self.inner, queries, ks, outs);
+            fn run_tick(
+                &self,
+                queries: &[f32],
+                ks: &[usize],
+                outs: &[serve::ResultSlot],
+                cancels: &[serve::CancelToken],
+            ) {
+                TickExec::run_tick(&self.inner, queries, ks, outs, cancels);
+            }
+
+            fn degraded_answers(&self) -> u64 {
+                TickExec::degraded_answers(&self.inner)
             }
         }
     };

@@ -279,3 +279,59 @@ fn shard_count_edge_cases() {
         assert_eq!(many.knn(q, 3).expect("many"), want);
     }
 }
+
+/// Satellite stress for the shutdown/submit race: many short server
+/// lifetimes, each with submitters racing a shutdown fired at a sliding
+/// offset (before, during and after their submissions). Every ticket
+/// must resolve — an exact answer or an explicit `ShutDown` — with no
+/// hang (the scope returning is the proof) and balanced books: the
+/// server's `queries` audit equals the answers the submitters observed.
+#[test]
+fn shutdown_submit_race_resolves_every_ticket() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let n = 32;
+    let count = 200;
+    let data = dataset(count, n, 21);
+    let index = Arc::new(build(&data, n, 2));
+    for cycle in 0..20usize {
+        let server = Server::new(
+            Arc::clone(&index),
+            ServeConfig::new().fill_target(4).max_wait(Duration::from_micros(100)),
+        );
+        let answered = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for caller in 0..6usize {
+                let server = &server;
+                let index = &index;
+                let data = &data;
+                let answered = &answered;
+                s.spawn(move || {
+                    for j in 0..10usize {
+                        let row = (caller * 31 + j * 7 + cycle) % count;
+                        let q = &data[row * n..(row + 1) * n];
+                        match server.knn(q, 2) {
+                            Ok(via) => {
+                                assert_eq!(via, index.knn(q, 2).expect("direct"));
+                                answered.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ServeError::ShutDown) => return,
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                });
+            }
+            // Slide the shutdown across the submission window so some
+            // cycles race the very first enqueue and some the last.
+            std::thread::sleep(Duration::from_micros((cycle * 120) as u64));
+            server.shutdown();
+        });
+        let stats = server.stats();
+        assert_eq!(
+            stats.queries,
+            answered.load(Ordering::Relaxed),
+            "cycle {cycle}: audit must equal observed answers"
+        );
+        assert!(matches!(server.knn(&data[..n], 1), Err(ServeError::ShutDown)));
+        drop(server);
+    }
+}
