@@ -13,9 +13,10 @@
 //!                      runs the serving-throughput profile
 //!                      (ext-throughput), `serve` runs the micro-batching
 //!                      front-end profile (ext-serve), `chaos` runs the
-//!                      fault-injection robustness profile (ext-chaos);
-//!                      each supplies its experiment list when none is
-//!                      given
+//!                      fault-injection robustness profile (ext-chaos),
+//!                      `durability` runs the persistence/recovery
+//!                      profile (ext-durability); each supplies its
+//!                      experiment list when none is given
 //!   --scale <N>        divide paper series counts by N   (default 10000)
 //!   --queries <N>      queries per dataset               (default 15)
 //!   --threads <list>   comma-separated core sweep        (default 1,2,4)
@@ -87,9 +88,11 @@ fn main() {
         Some("serve") => {}
         Some("chaos") if ids.is_empty() => ids.push("ext-chaos".to_string()),
         Some("chaos") => {}
-        Some(other) => {
-            die(&format!("unknown profile {other} (known: deep, throughput, serve, chaos)"))
-        }
+        Some("durability") if ids.is_empty() => ids.push("ext-durability".to_string()),
+        Some("durability") => {}
+        Some(other) => die(&format!(
+            "unknown profile {other} (known: deep, throughput, serve, chaos, durability)"
+        )),
     }
     if ids.is_empty() {
         die("no experiment given (try `all`)");
@@ -150,7 +153,7 @@ fn die(msg: &str) -> ! {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--profile deep|throughput|serve|chaos] [--scale N] [--queries N] \
+        "usage: repro [--quick] [--profile deep|throughput|serve|chaos|durability] [--scale N] [--queries N] \
          [--threads a,b,c] [--leaf N] [--quant on|off] [--write FILE] [--json FILE] \
          <experiment>...\nexperiments: {} | all",
         all_experiments().iter().map(|e| e.id).collect::<Vec<_>>().join(" ")

@@ -5,6 +5,7 @@
 pub mod approx;
 pub mod chaos;
 pub mod deep;
+pub mod durability;
 pub mod illustrate;
 pub mod numeric;
 pub mod queries;
@@ -208,6 +209,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Extension: serving robustness under fault injection",
             run: chaos::ext_chaos,
         },
+        Experiment {
+            id: "ext-durability",
+            title: "Extension: crash-safe persistence and recovery",
+            run: durability::ext_durability,
+        },
     ]
 }
 
@@ -248,6 +254,7 @@ mod tests {
             "ext-deep",
             "ext-serve",
             "ext-chaos",
+            "ext-durability",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

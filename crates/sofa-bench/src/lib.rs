@@ -24,6 +24,8 @@
 //! | `ext-throughput` | extension | single-query vs `knn_batch` QPS on the worker pool |
 //! | `ext-deep` | extension | deep-tree collect: level blocks vs leaf-only sweep (also `--profile deep`) |
 //! | `ext-serve` | extension | micro-batching serve front-end under open-loop load (also `--profile serve`) |
+//! | `ext-chaos` | extension | serving robustness under fault injection (also `--profile chaos`) |
+//! | `ext-durability` | extension | crash-safe persistence: snapshot/open vs rebuild, corruption matrix (also `--profile durability`) |
 //!
 //! Experiments return [`report::Report`]s (markdown with embedded data
 //! tables) that the binary prints and can append to `EXPERIMENTS.md`.

@@ -130,6 +130,7 @@ impl<S: Summarization> Index<S> {
         let t1 = Instant::now();
         let mut groups: HashMap<u64, Vec<u32>> = HashMap::new();
         for (row, &key) in keys.iter().enumerate() {
+            // Lossless: row < n_series, checked against u32::MAX above.
             groups.entry(key).or_default().push(row as u32);
         }
         let groups: Vec<(u64, Vec<u32>)> = groups.into_iter().collect();
@@ -162,8 +163,8 @@ impl<S: Summarization> Index<S> {
             summarization,
             config,
             pool,
-            data,
-            words,
+            data: data.into(),
+            words: words.into(),
             row_to_slot: (0..n_series as u32).collect(),
             slot_to_row: (0..n_series as u32).collect(),
             subtrees,
@@ -279,6 +280,8 @@ impl<S: Summarization> Index<S> {
                 self.row_to_slot[row as usize] as usize >= scan_lo,
                 "row {row} of a stale subtree sits below the clean prefix"
             );
+            // Lossless: slots are bounded by the row count, which the
+            // build rejected past u32::MAX.
             self.row_to_slot[row as usize] = (scan_lo + i) as u32;
         }
         // In-place permutation of the suffix of both arenas (in
@@ -290,7 +293,14 @@ impl<S: Summarization> Index<S> {
             .iter()
             .map(|&row| self.row_to_slot[row as usize] - scan_lo as u32)
             .collect();
-        permute_rows(&mut self.data[scan_lo * n..], &mut self.words[scan_lo * l..], n, l, &dest);
+        if scan_lo < total {
+            // `make_mut` promotes mapped (snapshot-opened) arenas to owned
+            // copies; guarded so a clean repack of a mapped index stays
+            // zero-copy.
+            let data = self.data.make_mut();
+            let words = self.words.make_mut();
+            permute_rows(&mut data[scan_lo * n..], &mut words[scan_lo * l..], n, l, &dest);
+        }
         self.slot_to_row[scan_lo..].copy_from_slice(&suffix_rows);
 
         // Word blocks and collect blocks, one subtree batch per pool lane
@@ -351,6 +361,9 @@ impl<S: Summarization> Index<S> {
                                         if let NodeKind::Leaf { pack: Some(pack), .. } =
                                             &mut node.kind
                                         {
+                                            // Lossless: the shifted start is
+                                            // this run's new base slot, a
+                                            // valid slot index < u32::MAX.
                                             pack.start = (i64::from(pack.start) + delta) as u32;
                                         }
                                     }
@@ -374,6 +387,7 @@ impl<S: Summarization> Index<S> {
                                 // would interleave the word-sweep stream
                                 // (every query walks consecutive leaves'
                                 // word blocks) with cold code pages.
+                                // Lossless: start < n_series <= u32::MAX.
                                 *pack = Some(crate::node::LeafPack {
                                     start: start as u32,
                                     block,
@@ -500,7 +514,7 @@ fn build_node(
     symbol_bits: u8,
     leaf_capacity: usize,
 ) -> u32 {
-    let id = arena.len() as u32;
+    let id = u32::try_from(arena.len()).expect("node-id space (u32) exhausted");
     if rows.len() <= leaf_capacity {
         arena.push(Node { prefixes, bits, kind: NodeKind::Leaf { rows, pack: None } });
         return id;

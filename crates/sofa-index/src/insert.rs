@@ -59,9 +59,12 @@ impl<S: Summarization> Index<S> {
         sofa_simd::znormalize(&mut z);
         let mut word = vec![0u8; self.word_len];
         self.summarization.transformer().word_into(&z, &mut word);
+        // Lossless: `next_row <= u32::MAX` was checked above.
         let row = next_row as u32;
-        self.data.extend_from_slice(&z);
-        self.words.extend_from_slice(&word);
+        // Appends promote mapped (snapshot-opened) arenas to owned copies
+        // (whole-arena copy-on-write, paid once per opened index).
+        self.data.make_mut().extend_from_slice(&z);
+        self.words.make_mut().extend_from_slice(&word);
         self.row_to_slot.push(row);
         self.slot_to_row.push(row);
 
@@ -193,7 +196,12 @@ impl<S: Summarization> Index<S> {
                 "buffer must be a non-empty whole number of series".into(),
             ));
         }
-        let first = (self.data.len() / self.series_len) as u32;
+        // Checked: with exactly u32::MAX + 1 rows already stored the
+        // plain cast would wrap the returned first-row id to 0 (the
+        // per-row inserts below would each error, but only after this
+        // value was computed).
+        let first = u32::try_from(self.data.len() / self.series_len)
+            .map_err(|_| IndexError::TooManyRows { rows: self.data.len() / self.series_len })?;
         for series in buffer.chunks(self.series_len) {
             self.insert_without_repack(series)?;
         }
@@ -285,9 +293,9 @@ fn split_while_overfull(
             // the parent's (no longer contiguous) run.
             Node { prefixes: p, bits: b, kind: NodeKind::Leaf { rows, pack: None } }
         };
-        let left = subtree.nodes.len() as u32;
+        let left = u32::try_from(subtree.nodes.len()).expect("node-id space (u32) exhausted");
         subtree.nodes.push(child(0, zeros));
-        let right = subtree.nodes.len() as u32;
+        let right = u32::try_from(subtree.nodes.len()).expect("node-id space (u32) exhausted");
         subtree.nodes.push(child(1, ones));
         subtree.nodes[id as usize].kind =
             NodeKind::Inner { left, right, split_pos: split_pos as u16 };
@@ -300,6 +308,8 @@ fn split_while_overfull(
                 if let Some(lane) = cb.node_ids.iter().position(|&nid| nid == id) {
                     let li = depth - 1;
                     cb.levels[li].node_ids.push(id);
+                    // Lossless: lane indexes cb.node_ids, whose length
+                    // is bounded by the (u32) node count.
                     cb.levels[li].leaf_spans.push((lane as u32, lane as u32 + 1));
                     cb.level_blocks.push_level_lane(li, summarization, &prefixes, &bits);
                 }

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod arena;
 pub mod bsf;
 pub mod build;
 pub mod config;
@@ -43,12 +44,17 @@ pub mod insert;
 pub mod node;
 pub mod query;
 pub(crate) mod scratch;
+pub mod snapshot;
 pub mod stats;
 
 pub use bsf::{AtomicDistance, KnnSet, Neighbor};
 pub use config::IndexConfig;
 pub use node::{CollectBlock, LeafPack, LevelLanes, Node, NodeKind, Subtree};
 pub use query::QueryStats;
+pub use snapshot::{
+    describe, SectionInfo, SectionReader, SnapshotInfo, SnapshotSummarization,
+    SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_RENAME_FAILPOINT, SNAPSHOT_WRITE_FAILPOINT,
+};
 pub use sofa_exec::ExecPool;
 pub use stats::IndexStats;
 
@@ -70,6 +76,39 @@ pub enum IndexError {
         /// The row count that was requested.
         rows: usize,
     },
+    /// A snapshot read or write failed at the filesystem layer.
+    SnapshotIo {
+        /// The operation that failed ("open", "write", "rename", …).
+        op: String,
+        /// The underlying error's message.
+        detail: String,
+    },
+    /// The file is not a snapshot this build can read: bad magic, foreign
+    /// format version or byte order, or a malformed/missing section.
+    SnapshotFormat {
+        /// The section (or "header") the failure was detected in.
+        section: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The file parses as a snapshot but its contents fail validation —
+    /// a checksum mismatch or a violated structural invariant. Opens
+    /// fail closed; rebuild from the source data.
+    SnapshotCorrupt {
+        /// The section the corruption was detected in.
+        section: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The snapshot's layout parameters disagree with each other or with
+    /// the decoded summarization model (e.g. an arena whose extent does
+    /// not match the declared row count and series length).
+    SnapshotLayout {
+        /// The section whose parameters mismatch.
+        section: String,
+        /// What was inconsistent.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for IndexError {
@@ -79,6 +118,18 @@ impl std::fmt::Display for IndexError {
             IndexError::BadQuery(msg) => write!(f, "bad query: {msg}"),
             IndexError::TooManyRows { rows } => {
                 write!(f, "too many rows: {rows} exceeds the u32 row-id space")
+            }
+            IndexError::SnapshotIo { op, detail } => {
+                write!(f, "snapshot {op} failed: {detail}")
+            }
+            IndexError::SnapshotFormat { section, detail } => {
+                write!(f, "snapshot format error in {section}: {detail}")
+            }
+            IndexError::SnapshotCorrupt { section, detail } => {
+                write!(f, "snapshot corruption in {section}: {detail}")
+            }
+            IndexError::SnapshotLayout { section, detail } => {
+                write!(f, "snapshot layout mismatch in {section}: {detail}")
             }
         }
     }
@@ -104,10 +155,12 @@ pub struct Index<S: Summarization> {
     /// contiguous-per-list layout), so leaf refinement streams instead of
     /// gathering. `row_to_slot`/`slot_to_row` translate between original
     /// row ids (the public API, leaf `rows`, query results) and storage
-    /// slots.
-    pub(crate) data: Vec<f32>,
-    /// Per-series words in storage order (`n_series * word_len`).
-    pub(crate) words: Vec<u8>,
+    /// slots. Either heap-owned (built) or a window into a mapped
+    /// snapshot (opened); see [`arena::Arena`].
+    pub(crate) data: arena::Arena<f32>,
+    /// Per-series words in storage order (`n_series * word_len`), same
+    /// ownership story as `data`.
+    pub(crate) words: arena::Arena<u8>,
     /// Original row id -> storage slot.
     pub(crate) row_to_slot: Vec<u32>,
     /// Storage slot -> original row id.
@@ -228,6 +281,15 @@ impl<S: Summarization> Index<S> {
     #[must_use]
     pub fn quant_refine_enabled(&self) -> bool {
         self.quant_enabled.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether this index still serves its storage arenas straight out of
+    /// a memory-mapped snapshot ([`Index::open`]). Mutations (inserts,
+    /// repacks that move rows) copy-on-write promote the arenas to owned
+    /// storage, after which this returns `false`.
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped() || self.words.is_mapped()
     }
 
     /// Checks one query scratch out of the pool (creating it on warm-up).

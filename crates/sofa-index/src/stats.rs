@@ -95,6 +95,11 @@ pub struct IndexStats {
     pub max_leaf_size: usize,
     /// Indexed series.
     pub n_series: usize,
+    /// Whether the storage arenas are still served straight out of a
+    /// memory-mapped snapshot ([`Index::open`](crate::Index::open));
+    /// `false` for built indexes and for opened indexes that a mutation
+    /// has copy-on-write promoted to owned storage.
+    pub mapped_storage: bool,
     /// The kernel tier serving this process's dispatched kernels
     /// (`"scalar"`, `"portable"` or `"avx2"`).
     pub kernel_tier: &'static str,
@@ -171,6 +176,7 @@ impl<S: Summarization> Index<S> {
             avg_leaf_size: if leaves == 0 { 0.0 } else { size_sum as f64 / leaves as f64 },
             max_leaf_size: max_leaf,
             n_series: self.n_series(),
+            mapped_storage: self.is_mapped(),
             kernel_tier: sofa_simd::active_tier().name(),
             queries_served: self.counters.queries.load(Ordering::Relaxed),
             queries_cancelled: self.counters.queries_cancelled.load(Ordering::Relaxed),

@@ -98,6 +98,26 @@ impl WordBlock {
         self.bounds.len() * std::mem::size_of::<f32>()
     }
 
+    /// The full resolved-interval buffer, group-major (see struct docs) —
+    /// the block's flat serialization form.
+    #[must_use]
+    pub fn bounds(&self) -> &[f32] {
+        &self.bounds
+    }
+
+    /// Rebuilds a block from its flat parts (the inverse of
+    /// [`WordBlock::bounds`] + [`WordBlock::n`]), validating the layout
+    /// invariant so a corrupted length cannot produce out-of-bounds group
+    /// slices later.
+    ///
+    /// # Errors
+    /// A human-readable description when `bounds` does not hold exactly
+    /// `ceil(n / 8) * word_len * 16` floats or `word_len` is zero.
+    pub fn from_raw_parts(n: usize, word_len: usize, bounds: Vec<f32>) -> Result<Self, String> {
+        check_bounds_shape(n, word_len, bounds.len())?;
+        Ok(WordBlock { n, word_len, bounds })
+    }
+
     /// The bounds slice of `group` (layout: see struct docs).
     #[inline]
     #[must_use]
@@ -105,6 +125,26 @@ impl WordBlock {
         let stride = self.word_len * BOUNDS_STRIDE;
         &self.bounds[group * stride..(group + 1) * stride]
     }
+}
+
+/// Validates the shared bounds-layout invariant of
+/// [`WordBlock::from_raw_parts`] / [`NodeBlock::from_raw_parts`].
+fn check_bounds_shape(n: usize, word_len: usize, bounds_len: usize) -> Result<(), String> {
+    if word_len == 0 {
+        return Err("word length must be positive".to_string());
+    }
+    let expect = n
+        .div_ceil(BLOCK_LANES)
+        .checked_mul(word_len)
+        .and_then(|v| v.checked_mul(BOUNDS_STRIDE))
+        .ok_or_else(|| "bounds shape overflows".to_string())?;
+    if bounds_len != expect {
+        return Err(format!(
+            "bounds length {bounds_len} does not match {n} lanes x word_len {word_len} \
+             (expected {expect})"
+        ));
+    }
+    Ok(())
 }
 
 /// Squared lower bounds between `ctx`'s query and the 8 candidates of
@@ -224,6 +264,23 @@ impl NodeBlock {
     #[must_use]
     pub fn heap_bytes(&self) -> usize {
         self.bounds.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The full resolved-interval buffer, group-major — the block's flat
+    /// serialization form (see [`WordBlock::bounds`]).
+    #[must_use]
+    pub fn bounds(&self) -> &[f32] {
+        &self.bounds
+    }
+
+    /// Rebuilds a block from its flat parts, validating the layout
+    /// invariant (see [`WordBlock::from_raw_parts`]).
+    ///
+    /// # Errors
+    /// A human-readable description when the shape is inconsistent.
+    pub fn from_raw_parts(n: usize, word_len: usize, bounds: Vec<f32>) -> Result<Self, String> {
+        check_bounds_shape(n, word_len, bounds.len())?;
+        Ok(NodeBlock { n, word_len, bounds })
     }
 
     /// Appends one node's resolved intervals as a new lane, preserving the
@@ -388,6 +445,20 @@ impl LevelBlocks {
     #[must_use]
     pub fn level(&self, level: usize) -> &NodeBlock {
         &self.levels[level]
+    }
+
+    /// All level blocks, top-down — the flat serialization form.
+    #[must_use]
+    pub fn levels(&self) -> &[NodeBlock] {
+        &self.levels
+    }
+
+    /// Rebuilds a hierarchy from already-validated per-level blocks (each
+    /// constructed through [`NodeBlock::from_raw_parts`], which enforces
+    /// the layout invariant).
+    #[must_use]
+    pub fn from_levels(levels: Vec<NodeBlock>) -> Self {
+        LevelBlocks { levels }
     }
 
     /// Heap bytes held across all levels (for stats/reports).
@@ -764,6 +835,29 @@ mod tests {
         assert_eq!(block.n_groups(), 0);
         assert_eq!(block.heap_bytes(), 0);
         let _ = data;
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_is_bit_identical() {
+        let n = 64;
+        let data = dataset(21, n);
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 64, ..Default::default() });
+        let words = words_of(&sfa, &data, n);
+        let block = WordBlock::build(&sfa, &words);
+        let rebuilt =
+            WordBlock::from_raw_parts(block.n(), block.word_len(), block.bounds().to_vec())
+                .expect("valid shape");
+        assert_eq!(block, rebuilt);
+        // Shape violations are rejected, not absorbed.
+        assert!(WordBlock::from_raw_parts(21, 16, vec![0.0; 7]).is_err());
+        assert!(WordBlock::from_raw_parts(21, 0, vec![]).is_err());
+        assert!(NodeBlock::from_raw_parts(3, 4, vec![0.0; 63]).is_err());
+        let nb = NodeBlock::from_raw_parts(3, 4, vec![0.0; 64]).expect("1 group x 4 x 16");
+        assert_eq!(nb.n(), 3);
+        let lb = LevelBlocks::from_levels(vec![nb.clone()]);
+        assert_eq!(lb.n_levels(), 1);
+        assert_eq!(lb.levels()[0], nb);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use block::{
 };
 pub use dft::DftSummary;
 pub use lbd::{mindist_node, mindist_scalar, mindist_simd, QueryContext, QueryEnv, RootLbd};
-pub use mcb::{BinningStrategy, CoefficientSelection, McbConfig, McbModel};
+pub use mcb::{BinningStrategy, CoeffPos, CoefficientSelection, McbConfig, McbModel};
 pub use numeric::{Apca, ApcaSegment, OrthoPoly, Pla};
 pub use paa::Paa;
 pub use quant::{QuantBlock, QuantGrid};

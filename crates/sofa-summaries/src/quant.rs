@@ -137,6 +137,44 @@ impl QuantGrid {
         self.scale
     }
 
+    /// Per-position minima — with [`QuantGrid::scale`] and
+    /// [`QuantGrid::series_len`], the grid's complete persistent state
+    /// (the `slack`/`qerr_*` inflations are deterministic functions of
+    /// these three and are recomputed on restore).
+    #[must_use]
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// Rebuilds a grid from its persisted parts, recomputing the derived
+    /// rounding inflations with the same arithmetic as
+    /// [`QuantGrid::train`] — a restored grid is bit-identical to the
+    /// trained one.
+    ///
+    /// # Errors
+    /// A human-readable description when the parts could not have come
+    /// from a successful `train` call (wrong `mins` length, non-finite
+    /// values, or a scale below `f32::MIN_POSITIVE`).
+    pub fn from_parts(series_len: usize, scale: f32, mins: Vec<f32>) -> Result<Self, String> {
+        if series_len == 0 || series_len > sofa_simd::QUANT_MAX_POSITIONS {
+            return Err(format!("series length {series_len} outside the quant tier's range"));
+        }
+        if mins.len() != series_len {
+            return Err(format!("{} minima for series length {series_len}", mins.len()));
+        }
+        if !scale.is_finite() || scale < f32::MIN_POSITIVE || mins.iter().any(|m| !m.is_finite()) {
+            return Err("non-finite or denormal grid parameters".to_string());
+        }
+        // Identical formulas (and evaluation order) to `train`, so the
+        // derived fields restore bit-for-bit.
+        let slack = 1.0 - (series_len as f64 + 16.0) * f64::from(f32::EPSILON);
+        let eps = f64::from(f32::EPSILON);
+        let amp = mins.iter().fold(0.0f32, |a, &m| a.max(m.abs())) + 255.0 * scale;
+        let qerr_mul = 1.0 + (series_len as f64 / 8.0 + 16.0) * eps;
+        let qerr_add = 6.0 * eps * f64::from(amp) * (series_len as f64).sqrt();
+        Ok(Self { series_len, scale, mins, slack, qerr_mul, qerr_add })
+    }
+
     /// Quantizes a (z-normalized) query under the grid, writing
     /// `series_len` codes into `qcodes` and returning the query's
     /// reconstruction-error bound `‖q - q̂‖`. Queries outside the grid's
@@ -245,6 +283,66 @@ impl QuantBlock {
     #[must_use]
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// The full code buffer (`n_groups * series_len * 8` bytes,
+    /// group-major then position-major) — the flat serialization form.
+    #[must_use]
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// The full per-lane error-bound buffer (`n_groups * 8` entries) —
+    /// the flat serialization form.
+    #[must_use]
+    pub fn errs(&self) -> &[f64] {
+        &self.errs
+    }
+
+    /// Series length the codes were encoded for.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Rebuilds a block from its persisted parts under `grid` (which
+    /// supplies the scale and comparison slack, exactly as
+    /// [`QuantBlock::build`] captures them), validating the layout
+    /// invariants so corrupted lengths cannot produce out-of-bounds group
+    /// slices later.
+    ///
+    /// # Errors
+    /// A human-readable description when the shapes are inconsistent with
+    /// `n` rows of `grid.series_len()` values.
+    pub fn from_parts(
+        grid: &QuantGrid,
+        n: usize,
+        codes: Vec<u8>,
+        errs: Vec<f64>,
+    ) -> Result<Self, String> {
+        if n == 0 {
+            return Err("a quant block prices at least one row".to_string());
+        }
+        let series_len = grid.series_len;
+        let groups = n.div_ceil(BLOCK_LANES);
+        let want_codes = groups
+            .checked_mul(series_len)
+            .and_then(|v| v.checked_mul(BLOCK_LANES))
+            .ok_or_else(|| "code shape overflows".to_string())?;
+        if codes.len() != want_codes {
+            return Err(format!(
+                "{} codes for {n} rows of length {series_len} (expected {want_codes})",
+                codes.len()
+            ));
+        }
+        if errs.len() != groups * BLOCK_LANES {
+            return Err(format!(
+                "{} error bounds for {groups} groups (expected {})",
+                errs.len(),
+                groups * BLOCK_LANES
+            ));
+        }
+        Ok(Self { n, series_len, scale: grid.scale, slack: grid.slack, codes, errs })
     }
 
     /// Number of 8-lane groups (last one padded).
@@ -463,5 +561,52 @@ mod tests {
         // Degenerate best-so-far disables abandoning outright.
         qb.thresholds(0, f32::INFINITY, 0.0, &mut thr);
         assert_eq!(thr, [i32::MAX; BLOCK_LANES]);
+    }
+
+    #[test]
+    fn grid_from_parts_restores_bit_identically() {
+        let n = 64;
+        let data = dataset(25, n);
+        let grid = QuantGrid::train(&data, n).expect("grid");
+        let restored = QuantGrid::from_parts(grid.series_len(), grid.scale(), grid.mins().to_vec())
+            .expect("valid parts");
+        assert_eq!(restored.scale().to_bits(), grid.scale().to_bits());
+        assert_eq!(restored.slack.to_bits(), grid.slack.to_bits());
+        assert_eq!(restored.qerr_mul.to_bits(), grid.qerr_mul.to_bits());
+        assert_eq!(restored.qerr_add.to_bits(), grid.qerr_add.to_bits());
+        // The restored grid quantizes queries identically.
+        let q = &data[..n];
+        let (mut c1, mut c2) = (vec![0u8; n], vec![0u8; n]);
+        let e1 = grid.quantize_query(q, &mut c1);
+        let e2 = restored.quantize_query(q, &mut c2);
+        assert_eq!(c1, c2);
+        assert_eq!(e1.to_bits(), e2.to_bits());
+        // Invalid parts are rejected.
+        assert!(QuantGrid::from_parts(0, 1.0, vec![]).is_err());
+        assert!(QuantGrid::from_parts(4, 1.0, vec![0.0; 3]).is_err());
+        assert!(QuantGrid::from_parts(4, 0.0, vec![0.0; 4]).is_err());
+        assert!(QuantGrid::from_parts(4, f32::NAN, vec![0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn block_from_parts_restores_bit_identically() {
+        let n = 48;
+        let data = dataset(19, n);
+        let (grid, qb) = grid_and_block(&data, n);
+        let restored =
+            QuantBlock::from_parts(&grid, qb.n(), qb.codes().to_vec(), qb.errs().to_vec())
+                .expect("valid parts");
+        assert_eq!(restored.n(), qb.n());
+        assert_eq!(restored.series_len(), qb.series_len());
+        assert_eq!(restored.codes(), qb.codes());
+        for (a, b) in restored.errs().iter().zip(qb.errs()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(restored.scale.to_bits(), qb.scale.to_bits());
+        assert_eq!(restored.slack.to_bits(), qb.slack.to_bits());
+        // Shape violations are rejected.
+        assert!(QuantBlock::from_parts(&grid, 0, vec![], vec![]).is_err());
+        assert!(QuantBlock::from_parts(&grid, 3, vec![0; 7], vec![0.0; 8]).is_err());
+        assert!(QuantBlock::from_parts(&grid, 3, vec![0; n * BLOCK_LANES], vec![0.0; 7]).is_err());
     }
 }

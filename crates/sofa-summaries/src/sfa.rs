@@ -56,6 +56,19 @@ impl Sfa {
         Sfa { model, bits, name, plan }
     }
 
+    /// Rebuilds an SFA summarization from its persisted parts: the
+    /// learned model plus the display name recorded at snapshot time
+    /// (the name is the only state [`Sfa::from_model`] derives from the
+    /// learning *config* rather than the model, so persisting it verbatim
+    /// reproduces the summarization exactly without round-tripping the
+    /// config).
+    #[must_use]
+    pub fn from_parts(model: McbModel, name: String) -> Self {
+        let plan = Arc::new(RealDftPlan::new(model.series_len));
+        let bits = model.alphabet.trailing_zeros() as u8;
+        Sfa { model, bits, name, plan }
+    }
+
     /// The underlying learned model.
     #[must_use]
     pub fn model(&self) -> &McbModel {

@@ -78,6 +78,9 @@ pub use sofa_stats as stats;
 pub use sofa_summaries as summaries;
 
 pub use sofa_exec::{CancelToken, ExecPool};
+pub use sofa_index::{
+    describe, SectionInfo, SnapshotInfo, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
+};
 pub use sofa_index::{IndexConfig, IndexError, IndexStats, Neighbor, QueryStats};
 pub use sofa_serve::{
     AdmissionPolicy, DegradedMode, ServeConfig, ServeError, ServeStats, Server, ShardedIndex,
@@ -298,6 +301,29 @@ impl Builder {
         let sfa = Sfa::learn(&data, series_len, &cfg);
         let inner = Index::build_with_pool(sfa, data, self.index_config(), pool)?;
         Ok(SofaIndex { inner })
+    }
+
+    /// Opens a [`SofaIndex`] snapshot written by
+    /// [`SofaIndex::snapshot`], serving straight from the mapped file
+    /// (no deserialization of the dataset). Only [`Builder::pool`] and
+    /// [`Builder::threads`] apply — every structural parameter comes
+    /// from the snapshot itself.
+    ///
+    /// # Errors
+    /// Returns `IndexError::SnapshotIo` / `SnapshotFormat` /
+    /// `SnapshotCorrupt` / `SnapshotLayout` when the file is missing,
+    /// foreign, damaged, or was written by an incompatible layout.
+    pub fn open_sofa<P: AsRef<std::path::Path>>(&self, path: P) -> Result<SofaIndex, IndexError> {
+        Ok(SofaIndex { inner: Index::open_with_pool(path, self.make_pool())? })
+    }
+
+    /// Opens a [`MessiIndex`] snapshot written by
+    /// [`MessiIndex::snapshot`] (see [`Builder::open_sofa`]).
+    ///
+    /// # Errors
+    /// As [`Builder::open_sofa`].
+    pub fn open_messi<P: AsRef<std::path::Path>>(&self, path: P) -> Result<MessiIndex, IndexError> {
+        Ok(MessiIndex { inner: Index::open_with_pool(path, self.make_pool())? })
     }
 
     /// Builds a [`MessiIndex`] over row-major `data` of `series_len`,
@@ -575,6 +601,28 @@ macro_rules! forward_index_api {
                 self.inner.pool()
             }
 
+            /// Writes an atomic, checksummed snapshot of the index to
+            /// `path` (tmp file, fsync, rename — a crash mid-write
+            /// never damages an existing snapshot) and returns the file
+            /// size in bytes. Reopen it with `open` and serve straight
+            /// from the mapped file.
+            ///
+            /// # Errors
+            /// Returns [`IndexError::SnapshotIo`] when the filesystem
+            /// rejects any step.
+            pub fn snapshot<P: AsRef<std::path::Path>>(&self, path: P) -> Result<u64, IndexError> {
+                self.inner.snapshot(path)
+            }
+
+            /// Whether this index serves the dataset from a mapped
+            /// snapshot file (true after `open`) rather than from owned
+            /// heap memory (true after `build`, or after any online
+            /// insert promotes the storage).
+            #[must_use]
+            pub fn is_mapped(&self) -> bool {
+                self.inner.is_mapped()
+            }
+
             /// Access to the generic index for advanced use.
             #[must_use]
             pub fn raw(&self) -> &Index<$summ> {
@@ -638,6 +686,17 @@ impl SofaIndex {
         Builder::default().build_sofa_owned(data, series_len)
     }
 
+    /// Opens a snapshot written by [`SofaIndex::snapshot`] with default
+    /// execution settings, mapping the file and serving without
+    /// deserializing the dataset. Use [`Builder::open_sofa`] to control
+    /// the thread count or share a pool.
+    ///
+    /// # Errors
+    /// As [`Builder::open_sofa`].
+    pub fn open<P: AsRef<std::path::Path>>(path: P) -> Result<Self, IndexError> {
+        Builder::default().open_sofa(path)
+    }
+
     /// A configuration builder.
     #[must_use]
     pub fn builder() -> Builder {
@@ -678,6 +737,15 @@ impl MessiIndex {
     /// Returns [`IndexError::BadDataset`] on an empty or ragged buffer.
     pub fn build_owned(data: Vec<f32>, series_len: usize) -> Result<Self, IndexError> {
         Builder::default().build_messi_owned(data, series_len)
+    }
+
+    /// Opens a snapshot written by [`MessiIndex::snapshot`] with
+    /// default execution settings (see [`SofaIndex::open`]).
+    ///
+    /// # Errors
+    /// As [`Builder::open_messi`].
+    pub fn open<P: AsRef<std::path::Path>>(path: P) -> Result<Self, IndexError> {
+        Builder::default().open_messi(path)
     }
 
     /// A configuration builder.
