@@ -15,8 +15,10 @@
 //!                      front-end profile (ext-serve), `chaos` runs the
 //!                      fault-injection robustness profile (ext-chaos),
 //!                      `durability` runs the persistence/recovery
-//!                      profile (ext-durability); each supplies its
-//!                      experiment list when none is given
+//!                      profile (ext-durability), `queries` runs the
+//!                      generalized query-funnel profile (ext-queries);
+//!                      each supplies its experiment list when none is
+//!                      given
 //!   --scale <N>        divide paper series counts by N   (default 10000)
 //!   --queries <N>      queries per dataset               (default 15)
 //!   --threads <list>   comma-separated core sweep        (default 1,2,4)
@@ -90,8 +92,10 @@ fn main() {
         Some("chaos") => {}
         Some("durability") if ids.is_empty() => ids.push("ext-durability".to_string()),
         Some("durability") => {}
+        Some("queries") if ids.is_empty() => ids.push("ext-queries".to_string()),
+        Some("queries") => {}
         Some(other) => die(&format!(
-            "unknown profile {other} (known: deep, throughput, serve, chaos, durability)"
+            "unknown profile {other} (known: deep, throughput, serve, chaos, durability, queries)"
         )),
     }
     if ids.is_empty() {
@@ -153,7 +157,7 @@ fn die(msg: &str) -> ! {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--profile deep|throughput|serve|chaos|durability] [--scale N] [--queries N] \
+        "usage: repro [--quick] [--profile deep|throughput|serve|chaos|durability|queries] [--scale N] [--queries N] \
          [--threads a,b,c] [--leaf N] [--quant on|off] [--write FILE] [--json FILE] \
          <experiment>...\nexperiments: {} | all",
         all_experiments().iter().map(|e| e.id).collect::<Vec<_>>().join(" ")

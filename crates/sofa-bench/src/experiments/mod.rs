@@ -8,6 +8,7 @@ pub mod deep;
 pub mod durability;
 pub mod illustrate;
 pub mod numeric;
+pub mod qtypes;
 pub mod queries;
 pub mod serve;
 pub mod structure;
@@ -214,6 +215,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Extension: crash-safe persistence and recovery",
             run: durability::ext_durability,
         },
+        Experiment {
+            id: "ext-queries",
+            title: "Extension: generalized query funnel (range, filtered, MIPS)",
+            run: qtypes::ext_queries,
+        },
     ]
 }
 
@@ -255,6 +261,7 @@ mod tests {
             "ext-serve",
             "ext-chaos",
             "ext-durability",
+            "ext-queries",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

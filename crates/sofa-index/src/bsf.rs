@@ -97,6 +97,21 @@ impl PartialOrd for Neighbor {
     }
 }
 
+/// One inner-product answer: a row id and its dot product with the
+/// z-normalized query — the result type of [`crate::Index::knn_ip`],
+/// ordered best (largest dot) first.
+///
+/// Internally the engine runs max-inner-product through the L2 funnel by
+/// minimizing the score `2n - q·x` (see `sofa-index/src/prune.rs`); this
+/// type is the user-facing conversion back.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct IpNeighbor {
+    /// Row index into the indexed dataset.
+    pub row: u32,
+    /// Inner product `q·x` between the z-normalized query and the row.
+    pub ip: f32,
+}
+
 /// Thread-safe set of the k best neighbors found so far.
 ///
 /// `bound()` is `+inf` until k neighbors exist, then the k-th best squared

@@ -40,20 +40,24 @@ pub(crate) mod arena;
 pub mod bsf;
 pub mod build;
 pub mod config;
+pub mod filter;
 pub mod insert;
 pub mod node;
+pub(crate) mod prune;
 pub mod query;
 pub(crate) mod scratch;
 pub mod snapshot;
 pub mod stats;
 
-pub use bsf::{AtomicDistance, KnnSet, Neighbor};
+pub use bsf::{AtomicDistance, IpNeighbor, KnnSet, Neighbor};
 pub use config::IndexConfig;
+pub use filter::RowFilter;
 pub use node::{CollectBlock, LeafPack, LevelLanes, Node, NodeKind, Subtree};
-pub use query::QueryStats;
+pub use query::{QueryKind, QueryStats};
 pub use snapshot::{
-    describe, SectionInfo, SectionReader, SnapshotInfo, SnapshotSummarization,
-    SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_RENAME_FAILPOINT, SNAPSHOT_WRITE_FAILPOINT,
+    describe, SectionInfo, SectionReader, SnapshotCapabilities, SnapshotInfo,
+    SnapshotSummarization, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_RENAME_FAILPOINT,
+    SNAPSHOT_WRITE_FAILPOINT,
 };
 pub use sofa_exec::ExecPool;
 pub use stats::IndexStats;

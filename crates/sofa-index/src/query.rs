@@ -1,10 +1,23 @@
 //! Exact query answering (paper §IV-C, Figure 5 stage 2).
 //!
 //! The three GEMINI phases — approximate seed, parallel collect, parallel
-//! refine — are documented on the crate root. All pruning reads a shared
-//! atomic best-so-far bound (the k-th best distance for k-NN); every
-//! surviving candidate pays a SIMD lower-bound check before the real
-//! distance is computed, both early-abandoned against the bound.
+//! refine — are documented on the crate root. All pruning decisions flow
+//! through one [`PruneBound`] policy object (see [`crate::prune`]): the
+//! same funnel answers **k-NN** (shrinking k-th-best bound), **range**
+//! (fixed epsilon radius, strict pruning, ties at the radius kept), and
+//! **max-inner-product** (the Parseval score-to-L2-radius conversion),
+//! each exactly. Every surviving candidate pays a SIMD lower-bound check
+//! before its exact score is computed, both early-abandoned against the
+//! policy's squared-L2 threshold.
+//!
+//! Filtered queries thread a [`RowFilter`] predicate *into* the funnel:
+//! the approximate seed skips rejected rows (so the bound never tightens
+//! on an inadmissible row — a correctness requirement, not an
+//! optimization), and the refine sweeps AND the per-group live mask into
+//! the SIMD kernels ([`mindist_block_masked`] /
+//! [`quant_lower_bound_masked`]), where dead lanes price as `+inf` and
+//! accelerate whole-group abandons. Live lanes stay bit-identical to the
+//! unfiltered sweep across every kernel tier.
 //!
 //! Both batched sweeps run here. The **collect phase** prices each
 //! subtree with one [`RootLbd`] XOR evaluation, then sweeps the subtree's
@@ -17,25 +30,28 @@
 //!
 //! Parallel phases execute on the index's persistent
 //! [`sofa_exec::ExecPool`] (no per-query thread spawning), and every
-//! per-query buffer — context values, query word, queues, k-NN heap, DFS
-//! stacks — comes from a pooled [`crate::scratch::QueryScratch`], so the
-//! steady-state serial path performs zero heap allocations and
-//! [`Index::knn_batch`] lanes reuse one scratch per lane across the whole
-//! mini-batch.
+//! per-query buffer — context values, query word, queues, k-NN heap,
+//! range hit list, DFS stacks — comes from a pooled
+//! [`crate::scratch::QueryScratch`], so the steady-state serial path
+//! performs zero heap allocations and [`Index::knn_batch`] lanes reuse
+//! one scratch per lane across the whole mini-batch.
 
-use crate::bsf::{KnnSet, Neighbor};
+use crate::bsf::{IpNeighbor, Neighbor};
+use crate::filter::RowFilter;
 use crate::node::{root_key, LeafPack, NodeKind, Subtree};
+use crate::prune::{IpBound, KnnBound, PruneBound, RangeBound};
 use crate::scratch::{LaneScratch, LeafQueue, QueryScratch, QueueEntry};
 use crate::{Index, IndexError};
 use parking_lot::Mutex;
 use sofa_exec::CancelToken;
-use sofa_simd::{euclidean_sq_early_abandon, quant_lower_bound, BLOCK_LANES, BOUNDS_STRIDE};
+use sofa_simd::{quant_lower_bound, quant_lower_bound_masked, BLOCK_LANES, BOUNDS_STRIDE};
 use sofa_summaries::{
-    mindist_block, mindist_level_block, mindist_node, mindist_node_block, mindist_simd,
-    QueryContext, RootLbd, Summarization,
+    mindist_block, mindist_block_masked, mindist_level_block, mindist_node, mindist_node_block,
+    mindist_simd, QueryContext, RootLbd, Summarization,
 };
 use std::cmp::Reverse;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Minimum word-bound survivors in an 8-lane group before the quantized
 /// refine tier prices it. The integer sweep streams the whole group's
@@ -59,9 +75,10 @@ pub struct QueryStats {
     /// root gate, collect-block lanes (individually or by whole-group
     /// abandon), and scalar-DFS nodes on the fallback paths.
     pub nodes_pruned: usize,
-    /// Per-series lower-bound evaluations.
+    /// Per-series lower-bound evaluations (predicate-rejected rows are
+    /// never evaluated and excluded here).
     pub series_lbd_checked: usize,
-    /// Per-series real-distance evaluations (survived the LBD).
+    /// Per-series exact evaluations (survived the LBD).
     pub series_refined: usize,
     /// Queues abandoned because their minimum exceeded the bound.
     pub queues_abandoned: usize,
@@ -84,6 +101,14 @@ pub struct QueryStats {
     /// Candidate lanes the quantized tier pruned after the word bound let
     /// them through — exact `f32` scans that never happened.
     pub quant_lanes_killed: usize,
+    /// Refine-phase candidate lanes a [`RowFilter`] predicate rejected
+    /// before any bound was evaluated (each masked lane is counted once,
+    /// whether its group was swept masked or skipped outright). Zero for
+    /// unfiltered queries.
+    pub predicate_lanes_masked: usize,
+    /// Rows a range query returned (`d² <= r²`). Zero for k-NN/IP
+    /// queries, whose answer count is just `min(k, candidates)`.
+    pub range_hits: usize,
     /// Estimated refine-phase bytes read: word-block bounds swept + quant
     /// codes swept + exact rows scanned. The funnel's bandwidth metric.
     pub refine_bytes: usize,
@@ -110,6 +135,7 @@ struct AtomicStats {
     collect_leaves_retired_by_levels: AtomicUsize,
     quant_groups_swept: AtomicUsize,
     quant_lanes_killed: AtomicUsize,
+    predicate_lanes_masked: AtomicUsize,
     refine_bytes: AtomicUsize,
 }
 
@@ -148,8 +174,101 @@ impl AtomicStats {
                 .load(Ordering::Relaxed),
             quant_groups_swept: self.quant_groups_swept.load(Ordering::Relaxed),
             quant_lanes_killed: self.quant_lanes_killed.load(Ordering::Relaxed),
+            predicate_lanes_masked: self.predicate_lanes_masked.load(Ordering::Relaxed),
+            range_hits: 0,
             refine_bytes: self.refine_bytes.load(Ordering::Relaxed),
             cancelled: 0,
+        }
+    }
+}
+
+/// One ticket's query type, for mixed batches ([`Index::query_batch_into_cancel`])
+/// and serving front-ends that coalesce heterogeneous tickets into one
+/// tick.
+///
+/// Results always travel as [`Neighbor`] vectors, best first:
+///
+/// * `Knn`/`KnnFiltered` — `dist_sq` is the squared z-normalized
+///   Euclidean distance.
+/// * `Range` — every row with `dist_sq <= r_sq` (ties at the radius
+///   included), sorted by `(dist_sq, row)`.
+/// * `Ip` — `dist_sq` carries the **score** `2n - q·x` (ascending score
+///   = descending inner product); convert with
+///   [`sofa_summaries::ip_from_score`] or use [`Index::knn_ip`], which
+///   recomputes exact dot products for the answer rows.
+#[derive(Clone, Debug)]
+pub enum QueryKind {
+    /// Exact k-nearest-neighbors under squared Euclidean distance.
+    Knn {
+        /// How many neighbors to return.
+        k: usize,
+    },
+    /// k-NN restricted to the rows a [`RowFilter`] admits — exactly the
+    /// result of running k-NN over the admitted subset alone.
+    KnnFiltered {
+        /// How many neighbors to return.
+        k: usize,
+        /// The row predicate (must cover exactly `n_series` rows).
+        filter: Arc<RowFilter>,
+    },
+    /// Every row within squared radius `r_sq` of the query.
+    Range {
+        /// Squared inclusion radius (finite, non-negative).
+        r_sq: f32,
+    },
+    /// Top-k rows by inner product with the z-normalized query.
+    Ip {
+        /// How many rows to return.
+        k: usize,
+    },
+}
+
+impl QueryKind {
+    /// The internal execution plan this kind resolves to.
+    fn exec(&self) -> QueryExec<'_> {
+        match self {
+            QueryKind::Knn { k } => QueryExec::Knn { k: *k, filter: None },
+            QueryKind::KnnFiltered { k, filter } => QueryExec::Knn { k: *k, filter: Some(filter) },
+            QueryKind::Range { r_sq } => QueryExec::Range { r_sq: *r_sq, filter: None },
+            QueryKind::Ip { k } => QueryExec::Ip { k: *k, filter: None },
+        }
+    }
+}
+
+/// The resolved execution plan of one query: which [`PruneBound`] drives
+/// the funnel, plus the optional row predicate.
+#[derive(Copy, Clone)]
+enum QueryExec<'a> {
+    Knn { k: usize, filter: Option<&'a RowFilter> },
+    Range { r_sq: f32, filter: Option<&'a RowFilter> },
+    Ip { k: usize, filter: Option<&'a RowFilter> },
+}
+
+impl QueryExec<'_> {
+    /// The `k` the scratch's result set is armed with (range queries
+    /// don't use the k-NN set; 1 keeps the reset cheap).
+    fn prep_k(&self) -> usize {
+        match self {
+            QueryExec::Knn { k, .. } | QueryExec::Ip { k, .. } => *k,
+            QueryExec::Range { .. } => 1,
+        }
+    }
+}
+
+/// Where a batch's per-query kinds come from: the uniform k-NN fast path
+/// (no per-query allocation, the historical `knn_batch_into` shape) or a
+/// fully mixed [`QueryKind`] slice.
+#[derive(Copy, Clone)]
+enum KindSource<'a> {
+    UniformKnn(&'a [usize]),
+    PerQuery(&'a [QueryKind]),
+}
+
+impl<'a> KindSource<'a> {
+    fn exec(&self, i: usize) -> QueryExec<'a> {
+        match self {
+            KindSource::UniformKnn(ks) => QueryExec::Knn { k: ks[i], filter: None },
+            KindSource::PerQuery(kinds) => kinds[i].exec(),
         }
     }
 }
@@ -192,9 +311,9 @@ impl<S: Summarization> Index<S> {
     ) -> Result<(), IndexError> {
         self.validate(query, k)?;
         let mut scratch = self.scratch();
-        let _ = self.knn_on_scratch(&mut scratch, query, k, None);
-        out.clear();
-        scratch.knn.drain_sorted_into(out);
+        let exec = QueryExec::Knn { k, filter: None };
+        let _ = self.query_on_scratch(&mut scratch, query, exec, None, self.pool.threads() == 1);
+        self.drain_exec_results(&mut scratch, &exec, out);
         Ok(())
     }
 
@@ -209,10 +328,172 @@ impl<S: Summarization> Index<S> {
     ) -> Result<(Vec<Neighbor>, QueryStats), IndexError> {
         self.validate(query, k)?;
         let mut scratch = self.scratch();
-        let stats = self.knn_on_scratch(&mut scratch, query, k, None);
+        let exec = QueryExec::Knn { k, filter: None };
+        let stats =
+            self.query_on_scratch(&mut scratch, query, exec, None, self.pool.threads() == 1);
         let mut out = Vec::with_capacity(k.min(self.n_series()));
-        scratch.knn.drain_sorted_into(&mut out);
+        self.drain_exec_results(&mut scratch, &exec, &mut out);
         Ok((out, stats))
+    }
+
+    /// Exact k-NN over the rows `filter` admits, best first — exactly the
+    /// answer k-NN would give if the index held only the admitted subset.
+    ///
+    /// The predicate is enforced *inside* the pruning funnel: rejected
+    /// rows never seed or tighten the best-so-far, and refine-phase lane
+    /// groups AND the bitmap into the SIMD sweeps (dead lanes price as
+    /// `+inf` and speed up whole-group abandons) — not by post-filtering
+    /// a wider answer, which would be both wrong at the bound and slower.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on a length mismatch, `k == 0`,
+    /// or a filter whose row count differs from the index's.
+    pub fn knn_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &RowFilter,
+    ) -> Result<Vec<Neighbor>, IndexError> {
+        self.knn_filtered_with_stats(query, k, filter).map(|(nn, _)| nn)
+    }
+
+    /// [`Index::knn_filtered`] plus per-query work counters (see
+    /// [`QueryStats::predicate_lanes_masked`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`Index::knn_filtered`].
+    pub fn knn_filtered_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &RowFilter,
+    ) -> Result<(Vec<Neighbor>, QueryStats), IndexError> {
+        self.validate(query, k)?;
+        self.validate_filter(filter)?;
+        let mut scratch = self.scratch();
+        let exec = QueryExec::Knn { k, filter: Some(filter) };
+        let stats =
+            self.query_on_scratch(&mut scratch, query, exec, None, self.pool.threads() == 1);
+        let mut out = Vec::with_capacity(k.min(filter.count()));
+        self.drain_exec_results(&mut scratch, &exec, &mut out);
+        Ok((out, stats))
+    }
+
+    /// [`Index::knn_filtered`] into a caller-owned buffer (cleared first).
+    ///
+    /// # Errors
+    /// Same conditions as [`Index::knn_filtered`].
+    pub fn knn_filtered_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &RowFilter,
+        out: &mut Vec<Neighbor>,
+    ) -> Result<(), IndexError> {
+        self.validate(query, k)?;
+        self.validate_filter(filter)?;
+        let mut scratch = self.scratch();
+        let exec = QueryExec::Knn { k, filter: Some(filter) };
+        let _ = self.query_on_scratch(&mut scratch, query, exec, None, self.pool.threads() == 1);
+        self.drain_exec_results(&mut scratch, &exec, out);
+        Ok(())
+    }
+
+    /// Exact range search: every row with squared distance `<= r_sq`,
+    /// sorted by `(dist_sq, row)`. Ties exactly at the radius are
+    /// **included** — all pruning for this query type is strict.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on a length mismatch or a
+    /// non-finite/negative radius.
+    pub fn range(&self, query: &[f32], r_sq: f32) -> Result<Vec<Neighbor>, IndexError> {
+        self.range_with_stats(query, r_sq).map(|(hits, _)| hits)
+    }
+
+    /// [`Index::range`] plus per-query work counters (see
+    /// [`QueryStats::range_hits`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`Index::range`].
+    pub fn range_with_stats(
+        &self,
+        query: &[f32],
+        r_sq: f32,
+    ) -> Result<(Vec<Neighbor>, QueryStats), IndexError> {
+        self.validate(query, 1)?;
+        Self::validate_radius(r_sq)?;
+        let mut scratch = self.scratch();
+        let exec = QueryExec::Range { r_sq, filter: None };
+        let stats =
+            self.query_on_scratch(&mut scratch, query, exec, None, self.pool.threads() == 1);
+        let mut out = Vec::new();
+        self.drain_exec_results(&mut scratch, &exec, &mut out);
+        Ok((out, stats))
+    }
+
+    /// [`Index::range`] into a caller-owned buffer (cleared first) — the
+    /// allocation-free serving form.
+    ///
+    /// # Errors
+    /// Same conditions as [`Index::range`].
+    pub fn range_into(
+        &self,
+        query: &[f32],
+        r_sq: f32,
+        out: &mut Vec<Neighbor>,
+    ) -> Result<(), IndexError> {
+        self.validate(query, 1)?;
+        Self::validate_radius(r_sq)?;
+        let mut scratch = self.scratch();
+        let exec = QueryExec::Range { r_sq, filter: None };
+        let _ = self.query_on_scratch(&mut scratch, query, exec, None, self.pool.threads() == 1);
+        self.drain_exec_results(&mut scratch, &exec, out);
+        Ok(())
+    }
+
+    /// The row maximizing the inner product `q·x` with the z-normalized
+    /// query (exact; ties broken by lowest row).
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on a length mismatch or an empty
+    /// index.
+    pub fn nn_ip(&self, query: &[f32]) -> Result<IpNeighbor, IndexError> {
+        self.knn_ip(query, 1)?
+            .first()
+            .copied()
+            .ok_or_else(|| IndexError::BadQuery("index is empty".into()))
+    }
+
+    /// Exact top-k rows by inner product with the z-normalized query,
+    /// best (largest dot) first.
+    ///
+    /// Internally this runs through the same L2 pruning funnel as k-NN:
+    /// maximizing `q·x` over z-normalized rows is minimizing the Parseval
+    /// score `2n - q·x`, and the current k-th-best score converts to a
+    /// squared-L2 radius every existing `mindist` bound prunes against
+    /// (see `sofa-summaries`'s `ip_l2_radius` and its soundness property
+    /// test). The returned `ip` values are exact dot products recomputed
+    /// per answer row.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on a length mismatch or `k == 0`.
+    pub fn knn_ip(&self, query: &[f32], k: usize) -> Result<Vec<IpNeighbor>, IndexError> {
+        self.validate(query, k)?;
+        let mut scratch = self.scratch();
+        let exec = QueryExec::Ip { k, filter: None };
+        let _ = self.query_on_scratch(&mut scratch, query, exec, None, self.pool.threads() == 1);
+        let mut raw = Vec::with_capacity(k.min(self.n_series()));
+        scratch.knn.drain_sorted_into(&mut raw);
+        // Scores sort ascending = best inner product first. Report true
+        // dot products (the score transport is exact in-process, but the
+        // dot is the quantity the caller asked for).
+        Ok(raw
+            .into_iter()
+            .map(|nb| IpNeighbor {
+                row: nb.row,
+                ip: sofa_simd::dot(&scratch.q, self.series(nb.row as usize)),
+            })
+            .collect())
     }
 
     fn validate(&self, query: &[f32], k: usize) -> Result<(), IndexError> {
@@ -225,6 +506,44 @@ impl<S: Summarization> Index<S> {
         }
         if k == 0 {
             return Err(IndexError::BadQuery("k must be at least 1".into()));
+        }
+        Ok(())
+    }
+
+    fn validate_filter(&self, filter: &RowFilter) -> Result<(), IndexError> {
+        if filter.len() != self.n_series() {
+            return Err(IndexError::BadQuery(format!(
+                "filter covers {} rows but the index holds {}",
+                filter.len(),
+                self.n_series()
+            )));
+        }
+        Ok(())
+    }
+
+    fn validate_radius(r_sq: f32) -> Result<(), IndexError> {
+        if !(r_sq.is_finite() && r_sq >= 0.0) {
+            return Err(IndexError::BadQuery(format!(
+                "range radius² must be finite and non-negative, got {r_sq}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn validate_kind(&self, kind: &QueryKind) -> Result<(), IndexError> {
+        match kind {
+            QueryKind::Knn { k } | QueryKind::Ip { k } => {
+                if *k == 0 {
+                    return Err(IndexError::BadQuery("k must be at least 1".into()));
+                }
+            }
+            QueryKind::KnnFiltered { k, filter } => {
+                if *k == 0 {
+                    return Err(IndexError::BadQuery("k must be at least 1".into()));
+                }
+                self.validate_filter(filter)?;
+            }
+            QueryKind::Range { r_sq } => Self::validate_radius(*r_sq)?,
         }
         Ok(())
     }
@@ -314,6 +633,53 @@ impl<S: Summarization> Index<S> {
         outs: &[Mutex<Vec<Neighbor>>],
         cancels: &[CancelToken],
     ) -> Result<(), IndexError> {
+        let n_queries = self.validate_batch_shape(queries, ks.len(), outs.len(), cancels)?;
+        if ks.contains(&0) {
+            return Err(IndexError::BadQuery("k must be at least 1".into()));
+        }
+        if n_queries == 0 {
+            return Ok(());
+        }
+        self.batch_dispatch(queries, KindSource::UniformKnn(ks), outs, cancels)
+    }
+
+    /// A mixed batch: per-query [`QueryKind`] (k-NN, filtered k-NN,
+    /// range, inner-product) answered through the same coalesced
+    /// machinery as [`Index::knn_batch_into_cancel`] — one pool pass, one
+    /// scratch per lane, per-query cancellation. See [`QueryKind`] for
+    /// how each kind's results are encoded in its output slot.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on shape violations (buffer not a
+    /// whole number of series; `kinds`/`outs`/non-empty `cancels` length
+    /// mismatches) or an invalid kind (`k == 0`, bad radius, filter row
+    /// count mismatch).
+    pub fn query_batch_into_cancel(
+        &self,
+        queries: &[f32],
+        kinds: &[QueryKind],
+        outs: &[Mutex<Vec<Neighbor>>],
+        cancels: &[CancelToken],
+    ) -> Result<(), IndexError> {
+        let n_queries = self.validate_batch_shape(queries, kinds.len(), outs.len(), cancels)?;
+        for kind in kinds {
+            self.validate_kind(kind)?;
+        }
+        if n_queries == 0 {
+            return Ok(());
+        }
+        self.batch_dispatch(queries, KindSource::PerQuery(kinds), outs, cancels)
+    }
+
+    /// Shared shape validation of the batch entry points. Returns the
+    /// query count.
+    fn validate_batch_shape(
+        &self,
+        queries: &[f32],
+        n_kinds: usize,
+        n_outs: usize,
+        cancels: &[CancelToken],
+    ) -> Result<usize, IndexError> {
         let n = self.series_len;
         if queries.len() % n != 0 {
             return Err(IndexError::BadQuery(format!(
@@ -323,12 +689,9 @@ impl<S: Summarization> Index<S> {
             )));
         }
         let n_queries = queries.len() / n;
-        if ks.len() != n_queries || outs.len() != n_queries {
+        if n_kinds != n_queries || n_outs != n_queries {
             return Err(IndexError::BadQuery(format!(
-                "{} queries but {} ks and {} output slots",
-                n_queries,
-                ks.len(),
-                outs.len()
+                "{n_queries} queries but {n_kinds} kinds/ks and {n_outs} output slots"
             )));
         }
         if !cancels.is_empty() && cancels.len() != n_queries {
@@ -338,33 +701,43 @@ impl<S: Summarization> Index<S> {
                 cancels.len()
             )));
         }
-        if ks.contains(&0) {
-            return Err(IndexError::BadQuery("k must be at least 1".into()));
-        }
-        if n_queries == 0 {
-            return Ok(());
-        }
-        if n_queries == 1 && cancels.is_empty() {
-            // A lone query still gets intra-query parallelism.
-            return self.knn_into(queries, ks[0], &mut outs[0].lock());
-        }
+        Ok(n_queries)
+    }
+
+    /// Validated batch execution: a lone query keeps intra-query
+    /// parallelism; otherwise pool lanes claim queries off an atomic
+    /// counter and run the serial per-query path, one pooled scratch per
+    /// lane for the whole batch.
+    fn batch_dispatch(
+        &self,
+        queries: &[f32],
+        kinds: KindSource<'_>,
+        outs: &[Mutex<Vec<Neighbor>>],
+        cancels: &[CancelToken],
+    ) -> Result<(), IndexError> {
+        let n_queries = outs.len();
         if n_queries == 1 {
-            // Lone cancellable query: same intra-query-parallel path,
-            // with the token threaded through the phases.
-            self.validate(queries, ks[0])?;
+            // A lone query still gets intra-query parallelism, with the
+            // token (if any) threaded through the phases.
+            let exec = kinds.exec(0);
             let mut scratch = self.scratch();
-            let stats = self.knn_on_scratch(&mut scratch, queries, ks[0], Some(&cancels[0]));
+            let stats = self.query_on_scratch(
+                &mut scratch,
+                queries,
+                exec,
+                cancels.first(),
+                self.pool.threads() == 1,
+            );
             if stats.cancelled == 0 {
                 let mut out = outs[0].lock();
-                out.clear();
-                scratch.knn.drain_sorted_into(&mut out);
+                self.drain_exec_results(&mut scratch, &exec, &mut out);
             }
             return Ok(());
         }
         if self.pool.threads() == 1 {
             let mut scratch = self.scratch();
             for i in 0..n_queries {
-                self.batch_query_on_scratch(&mut scratch, queries, ks, outs, cancels, i);
+                self.batch_query_on_scratch(&mut scratch, queries, kinds, outs, cancels, i);
             }
             return Ok(());
         }
@@ -381,7 +754,7 @@ impl<S: Summarization> Index<S> {
                 if i >= n_queries {
                     break;
                 }
-                self.batch_query_on_scratch(&mut scratch, queries, ks, outs, cancels, i);
+                self.batch_query_on_scratch(&mut scratch, queries, kinds, outs, cancels, i);
             }
         });
         Ok(())
@@ -395,55 +768,151 @@ impl<S: Summarization> Index<S> {
         &self,
         scratch: &mut QueryScratch,
         queries: &[f32],
-        ks: &[usize],
+        kinds: KindSource<'_>,
         outs: &[Mutex<Vec<Neighbor>>],
         cancels: &[CancelToken],
         i: usize,
     ) {
         let n = self.series_len;
-        let cancel = cancels.get(i);
-        let stats =
-            self.knn_serial_on_scratch(scratch, &queries[i * n..(i + 1) * n], ks[i], cancel);
+        let exec = kinds.exec(i);
+        let stats = self.query_on_scratch(
+            scratch,
+            &queries[i * n..(i + 1) * n],
+            exec,
+            cancels.get(i),
+            true,
+        );
         if stats.cancelled != 0 {
             return;
         }
         let mut out = outs[i].lock();
-        out.clear();
-        scratch.knn.drain_sorted_into(&mut out);
+        self.drain_exec_results(scratch, &exec, &mut out);
     }
 
-    /// Normalizes `query` into the scratch and answers it — on the pool
-    /// when it has more than one lane, serially otherwise. The neighbors
-    /// are left in `scratch.knn`; if `cancel` fired the snapshot has
-    /// `cancelled == 1` and the scratch contents must be discarded.
-    fn knn_on_scratch(
+    /// Moves one answered query's results out of the scratch into `out`
+    /// (cleared first, best first): the k-NN/IP set for bounded kinds,
+    /// the sorted hit list for range.
+    fn drain_exec_results(
+        &self,
+        scratch: &mut QueryScratch,
+        exec: &QueryExec<'_>,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
+        match exec {
+            QueryExec::Range { .. } => {
+                let hits = scratch.range.get_mut();
+                // Deterministic output independent of worker interleaving.
+                hits.sort_unstable();
+                out.append(hits);
+            }
+            QueryExec::Knn { .. } | QueryExec::Ip { .. } => {
+                scratch.knn.drain_sorted_into(out);
+            }
+        }
+    }
+
+    /// Normalizes `query` into the scratch and answers it under `exec`'s
+    /// plan — on the pool when `serial` is false, inline otherwise. The
+    /// results are left in the scratch (`knn` or `range` per the plan);
+    /// if `cancel` fired the snapshot has `cancelled == 1` and the
+    /// scratch contents must be discarded.
+    fn query_on_scratch(
         &self,
         scratch: &mut QueryScratch,
         query: &[f32],
-        k: usize,
+        exec: QueryExec<'_>,
         cancel: Option<&CancelToken>,
+        serial: bool,
     ) -> QueryStats {
-        if self.pool.threads() == 1 {
-            // Serial fast path: identical algorithm without any task
-            // dispatch, whose cost would dominate sub-millisecond queries
-            // and mask the algorithmic comparison.
-            return self.knn_serial_on_scratch(scratch, query, k, cancel);
-        }
         if fired(cancel) {
+            // Expired before any work: skip even the query transform.
             return self.finish_query(&AtomicStats::default(), true);
         }
-        self.prepare_scratch(scratch, query, k);
+        self.prepare_scratch(scratch, query, exec.prep_k());
         let s: &QueryScratch = scratch;
         let ctx = QueryContext::borrowed(&self.query_env, &s.values);
         let stats = AtomicStats::default();
+        match exec {
+            QueryExec::Knn { filter, .. } => {
+                let pb = KnnBound { set: &s.knn };
+                self.drive(s, &ctx, &pb, filter, true, serial, &stats, cancel);
+            }
+            QueryExec::Range { r_sq, filter } => {
+                // No approximate seed: the radius is fixed (seeding can't
+                // tighten it), and the hit list has no row dedup, so
+                // scoring the home leaf twice would double-report.
+                let pb = RangeBound { r_sq, hits: &s.range };
+                self.drive(s, &ctx, &pb, filter, false, serial, &stats, cancel);
+            }
+            QueryExec::Ip { filter, .. } => {
+                let pb = IpBound { set: &s.knn, n: self.series_len };
+                self.drive(s, &ctx, &pb, filter, true, serial, &stats, cancel);
+            }
+        }
+        let mut snapshot = self.finish_query(&stats, fired(cancel));
+        if snapshot.cancelled == 0 {
+            if let QueryExec::Range { .. } = exec {
+                snapshot.range_hits = s.range.lock().len();
+            }
+        }
+        snapshot
+    }
 
-        // --- Phase 1: approximate search seeds the BSF.
-        self.approximate_into(&s.q, &s.qword, &ctx, &s.root_lbd, &s.knn);
+    /// Runs the three funnel phases under one [`PruneBound`] policy: the
+    /// optional approximate seed, then collect, then refine — serially
+    /// inline or with pool lanes claiming subtrees/queues.
+    #[allow(clippy::too_many_arguments)]
+    fn drive<B: PruneBound>(
+        &self,
+        s: &QueryScratch,
+        ctx: &QueryContext<'_>,
+        pb: &B,
+        filter: Option<&RowFilter>,
+        seed: bool,
+        serial: bool,
+        stats: &AtomicStats,
+        cancel: Option<&CancelToken>,
+    ) {
+        // --- Phase 1: approximate search seeds the bound (skipped for
+        // range queries, whose bound is fixed).
+        if seed {
+            self.approximate_into(&s.q, &s.qword, ctx, &s.root_lbd, pb, filter);
+        }
 
-        // --- Phase 2: collect unpruned leaves into priority queues. Pool
-        // lanes claim subtrees off an atomic counter.
-        let next_subtree = AtomicUsize::new(0);
+        // --- Phase 2: collect unpruned leaves into priority queues.
         let push_counter = AtomicUsize::new(0);
+        if serial {
+            {
+                let mut lane_scratch = s.lanes[0].lock();
+                for (i, subtree) in self.subtrees.iter().enumerate() {
+                    if fired(cancel) {
+                        break;
+                    }
+                    debug_assert!(i <= u32::MAX as usize, "subtree index exceeds u32");
+                    self.collect_subtree(
+                        subtree,
+                        i as u32,
+                        ctx,
+                        &s.root_lbd,
+                        pb,
+                        &s.queues,
+                        &push_counter,
+                        &mut lane_scratch,
+                        stats,
+                        cancel,
+                    );
+                }
+            }
+            if !fired(cancel) {
+                self.refine_from_queues(
+                    0, &s.q, &s.queues, &s.done, ctx, pb, filter, stats, cancel,
+                );
+            }
+            return;
+        }
+        // Pool lanes claim subtrees off an atomic counter.
+        let next_subtree = AtomicUsize::new(0);
         self.pool.broadcast(|lane| {
             let mut lane_scratch = s.lanes[lane].lock();
             loop {
@@ -455,13 +924,13 @@ impl<S: Summarization> Index<S> {
                 self.collect_subtree(
                     &self.subtrees[i],
                     i as u32,
-                    &ctx,
+                    ctx,
                     &s.root_lbd,
-                    &s.knn,
+                    pb,
                     &s.queues,
                     &push_counter,
                     &mut lane_scratch,
-                    &stats,
+                    stats,
                     cancel,
                 );
             }
@@ -471,63 +940,10 @@ impl<S: Summarization> Index<S> {
         if !fired(cancel) {
             self.pool.broadcast(|worker| {
                 self.refine_from_queues(
-                    worker, &s.q, &s.queues, &s.done, &ctx, &s.knn, &stats, cancel,
+                    worker, &s.q, &s.queues, &s.done, ctx, pb, filter, stats, cancel,
                 );
             });
         }
-
-        self.finish_query(&stats, fired(cancel))
-    }
-
-    /// The fully serial query path: same three phases, no synchronization
-    /// beyond the (uncontended) shared-state types. Used by 1-lane pools
-    /// and by every [`Index::knn_batch`] lane. The neighbors are left in
-    /// `scratch.knn`; if `cancel` fired the snapshot has `cancelled == 1`
-    /// and the scratch contents must be discarded.
-    fn knn_serial_on_scratch(
-        &self,
-        scratch: &mut QueryScratch,
-        query: &[f32],
-        k: usize,
-        cancel: Option<&CancelToken>,
-    ) -> QueryStats {
-        if fired(cancel) {
-            // Expired before any work: skip even the query transform.
-            return self.finish_query(&AtomicStats::default(), true);
-        }
-        self.prepare_scratch(scratch, query, k);
-        let s: &mut QueryScratch = scratch;
-        let ctx = QueryContext::borrowed(&self.query_env, &s.values);
-        let stats = AtomicStats::default();
-
-        self.approximate_into(&s.q, &s.qword, &ctx, &s.root_lbd, &s.knn);
-
-        let push_counter = AtomicUsize::new(0);
-        {
-            let mut lane_scratch = s.lanes[0].lock();
-            for (i, subtree) in self.subtrees.iter().enumerate() {
-                if fired(cancel) {
-                    break;
-                }
-                debug_assert!(i <= u32::MAX as usize, "subtree index exceeds u32");
-                self.collect_subtree(
-                    subtree,
-                    i as u32,
-                    &ctx,
-                    &s.root_lbd,
-                    &s.knn,
-                    &s.queues,
-                    &push_counter,
-                    &mut lane_scratch,
-                    &stats,
-                    cancel,
-                );
-            }
-        }
-        if !fired(cancel) {
-            self.refine_from_queues(0, &s.q, &s.queues, &s.done, &ctx, &s.knn, &stats, cancel);
-        }
-        self.finish_query(&stats, fired(cancel))
     }
 
     /// Snapshots one query's counters and routes it to the right
@@ -546,8 +962,8 @@ impl<S: Summarization> Index<S> {
     }
 
     /// Fills the scratch's per-query state: normalized query, context
-    /// values, query word, root-penalty table, k-NN set and queue flags.
-    /// Performs no allocation once the buffers are warm.
+    /// values, query word, root-penalty table, k-NN set, range hit list
+    /// and queue flags. Performs no allocation once the buffers are warm.
     fn prepare_scratch(&self, s: &mut QueryScratch, query: &[f32], k: usize) {
         s.q.clear();
         s.q.extend_from_slice(query);
@@ -593,12 +1009,12 @@ impl<S: Summarization> Index<S> {
         self.prepare_scratch(&mut scratch, query, 1);
         let s: &QueryScratch = &scratch;
         let ctx = QueryContext::borrowed(&self.query_env, &s.values);
-        self.approximate_into(&s.q, &s.qword, &ctx, &s.root_lbd, &s.knn);
+        self.approximate_into(&s.q, &s.qword, &ctx, &s.root_lbd, &KnnBound { set: &s.knn }, None);
         s.knn.sorted().first().copied().ok_or_else(|| IndexError::BadQuery("index is empty".into()))
     }
 
     /// Approximate search (paper §IV-C): identify the leaf with the
-    /// smallest lower-bound distance and seed the BSF from its series.
+    /// smallest lower-bound distance and seed the bound from its series.
     ///
     /// The query's home subtree (exact root-key match) is tried first; the
     /// descent then follows the child with the smaller node-level mindist,
@@ -608,14 +1024,20 @@ impl<S: Summarization> Index<S> {
     /// precomputed [`RootLbd`] table, once per subtree (the former
     /// `min_by` recomputed the full scalar `mindist_node` for both sides
     /// of every comparison).
-    fn approximate_into(
+    ///
+    /// Filtered queries skip rejected rows *before* scoring: a filtered
+    /// row must never tighten the bound, or an admissible farther
+    /// neighbor could be wrongly pruned.
+    fn approximate_into<B: PruneBound>(
         &self,
         q: &[f32],
         qword: &[u8],
         ctx: &QueryContext<'_>,
         root_lbd: &RootLbd,
-        knn: &KnnSet,
+        pb: &B,
+        filter: Option<&RowFilter>,
     ) {
+        let admits = |row: u32| filter.map_or(true, |f| f.admits(row as usize));
         let key = root_key(qword, self.summarization.symbol_bits());
         let subtree = match self.subtrees.binary_search_by_key(&key, |s| s.key) {
             Ok(i) => &self.subtrees[i],
@@ -638,23 +1060,23 @@ impl<S: Summarization> Index<S> {
                         // Packed leaf: stream the contiguous arena run.
                         let start = pack.start as usize;
                         for i in 0..rows.len() {
-                            let bound = knn.bound();
                             let slot = start + i;
-                            let d = euclidean_sq_early_abandon(q, self.series_at_slot(slot), bound);
-                            if d < bound {
-                                knn.offer(Neighbor { row: self.slot_to_row[slot], dist_sq: d });
+                            let row = self.slot_to_row[slot];
+                            if !admits(row) {
+                                continue;
                             }
+                            pb.score_and_offer(q, self.series_at_slot(slot), row);
                         }
                         return;
                     }
                     for &row in rows {
-                        let bound = knn.bound();
-                        let d = euclidean_sq_early_abandon(q, self.series(row as usize), bound);
-                        // An abandoned distance (> bound) is rejected by
-                        // `offer` anyway, so no exactness hazard here.
-                        if d < bound {
-                            knn.offer(Neighbor { row, dist_sq: d });
+                        if !admits(row) {
+                            continue;
                         }
+                        // An abandoned distance (> bound) is rejected by
+                        // the policy's offer anyway, so no exactness
+                        // hazard here.
+                        pb.score_and_offer(q, self.series(row as usize), row);
                     }
                     return;
                 }
@@ -675,17 +1097,21 @@ impl<S: Summarization> Index<S> {
     /// prices the top levels of internal nodes 8 per dispatched kernel
     /// call, where each pruned lane retires its entire descendant leaf
     /// range; finally the surviving leaf-fringe lanes are priced 8 per
-    /// call (whole groups abandoning mid-sum against the BSF). Lanes left
-    /// stale by online splits — and subtrees without a block — fall back
-    /// to the scalar DFS.
+    /// call (whole groups abandoning mid-sum against the bound). Lanes
+    /// left stale by online splits — and subtrees without a block — fall
+    /// back to the scalar DFS.
+    ///
+    /// Collect is filter-agnostic: node bounds hold for every row under a
+    /// node, admitted or not, so pruning decisions are unchanged and the
+    /// predicate is applied at refine granularity.
     #[allow(clippy::too_many_arguments)]
-    fn collect_subtree(
+    fn collect_subtree<B: PruneBound>(
         &self,
         subtree: &Subtree,
         subtree_idx: u32,
         ctx: &QueryContext<'_>,
         root_lbd: &RootLbd,
-        knn: &KnnSet,
+        pb: &B,
         queues: &[Mutex<LeafQueue>],
         push_counter: &AtomicUsize,
         lane_scratch: &mut LaneScratch,
@@ -697,7 +1123,7 @@ impl<S: Summarization> Index<S> {
         // whole subtree in a few bit operations (this gate runs for every
         // subtree of every query).
         let root_bound = root_lbd.eval(subtree.key);
-        if root_bound >= knn.bound() {
+        if pb.prunes(root_bound) {
             stats.nodes_pruned.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -723,7 +1149,7 @@ impl<S: Summarization> Index<S> {
                 subtree_idx,
                 ctx,
                 Some(root_bound),
-                knn,
+                pb,
                 queues,
                 push_counter,
                 stack,
@@ -762,7 +1188,7 @@ impl<S: Summarization> Index<S> {
                         continue;
                     }
                     stats.collect_level_groups_swept.fetch_add(1, Ordering::Relaxed);
-                    let bound = knn.bound();
+                    let bound = pb.l2_bound();
                     let group_abandoned =
                         mindist_level_block(ctx, &cb.level_blocks, lvl, g, bound, &mut lbs);
                     for (i, &lbd) in lbs.iter().enumerate().take(lanes) {
@@ -771,10 +1197,11 @@ impl<S: Summarization> Index<S> {
                             continue;
                         }
                         // On a whole-group abandon every lane's (partial)
-                        // sum already exceeded the bound; otherwise
-                        // re-read the bound, which tightens as refinement
-                        // overlaps.
-                        if group_abandoned || lbd >= knn.bound() {
+                        // sum already exceeded the kernel threshold
+                        // (strictly — valid for every policy); otherwise
+                        // re-ask the policy, whose bound only tightens as
+                        // refinement overlaps.
+                        if group_abandoned || pb.prunes(lbd) {
                             stats.nodes_pruned.fetch_add(1, Ordering::Relaxed);
                             retired += (hi - lo) as usize;
                             lane_scratch.mark_dead(lo as usize, hi as usize);
@@ -800,11 +1227,11 @@ impl<S: Summarization> Index<S> {
                 // kernel call, and the skip test is one byte compare.
                 continue;
             }
-            let bound = knn.bound();
+            let bound = pb.l2_bound();
             stats.collect_groups_swept.fetch_add(1, Ordering::Relaxed);
             if mindist_node_block(ctx, &cb.block, g, bound, &mut lbs) {
-                // Every lane's (partial) sum exceeded the bound: 8 leaves
-                // pruned in one shot.
+                // Every lane's (partial) sum strictly exceeded the
+                // threshold: 8 leaves pruned in one shot.
                 stats.nodes_pruned.fetch_add(lanes, Ordering::Relaxed);
                 continue;
             }
@@ -812,8 +1239,9 @@ impl<S: Summarization> Index<S> {
                 if use_levels && dead[base + i] {
                     continue; // already counted at the ancestor prune
                 }
-                // Re-read the bound: it tightens as refinement overlaps.
-                if lbd >= knn.bound() {
+                // Re-ask the policy: its bound tightens as refinement
+                // overlaps.
+                if pb.prunes(lbd) {
                     stats.nodes_pruned.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
@@ -839,7 +1267,7 @@ impl<S: Summarization> Index<S> {
                             subtree_idx,
                             ctx,
                             None,
-                            knn,
+                            pb,
                             queues,
                             push_counter,
                             stack,
@@ -857,13 +1285,13 @@ impl<S: Summarization> Index<S> {
     /// post-split lanes. `root_bound` supplies node 0's precomputed
     /// [`RootLbd`] evaluation when the DFS starts at the subtree root.
     #[allow(clippy::too_many_arguments)]
-    fn collect_dfs(
+    fn collect_dfs<B: PruneBound>(
         &self,
         subtree: &Subtree,
         subtree_idx: u32,
         ctx: &QueryContext<'_>,
         root_bound: Option<f32>,
-        knn: &KnnSet,
+        pb: &B,
         queues: &[Mutex<LeafQueue>],
         push_counter: &AtomicUsize,
         stack: &mut Vec<u32>,
@@ -879,7 +1307,7 @@ impl<S: Summarization> Index<S> {
                 (0, Some(b)) => b,
                 _ => mindist_node(ctx, &node.prefixes, &node.bits),
             };
-            if lbd >= knn.bound() {
+            if pb.prunes(lbd) {
                 stats.nodes_pruned.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
@@ -900,17 +1328,18 @@ impl<S: Summarization> Index<S> {
     }
 
     /// Drains queues starting at `worker`'s own queue: pop the minimum
-    /// leaf, abandon the whole queue once its minimum exceeds the bound,
-    /// otherwise refine the leaf's series.
+    /// leaf, abandon the whole queue once its minimum is pruned by the
+    /// policy, otherwise refine the leaf's series.
     #[allow(clippy::too_many_arguments)]
-    fn refine_from_queues(
+    fn refine_from_queues<B: PruneBound>(
         &self,
         worker: usize,
         q: &[f32],
         queues: &[Mutex<LeafQueue>],
         done: &[AtomicBool],
         ctx: &QueryContext<'_>,
-        knn: &KnnSet,
+        pb: &B,
+        filter: Option<&RowFilter>,
         stats: &AtomicStats,
         cancel: Option<&CancelToken>,
     ) {
@@ -934,14 +1363,14 @@ impl<S: Summarization> Index<S> {
                     continue;
                 };
                 progressed = true;
-                if entry.lbd >= knn.bound() {
+                if pb.prunes(entry.lbd) {
                     // Everything left in this queue has a larger lower
                     // bound: abandon it wholesale (paper §IV-C).
                     done[qi].store(true, Ordering::Release);
                     stats.queues_abandoned.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
-                self.refine_leaf(entry, q, ctx, knn, stats, &mut quant, cancel);
+                self.refine_leaf(entry, q, ctx, pb, filter, stats, &mut quant, cancel);
             }
             if !progressed && done.iter().all(|d| d.load(Ordering::Acquire)) {
                 break;
@@ -955,8 +1384,8 @@ impl<S: Summarization> Index<S> {
         }
     }
 
-    /// Evaluates every series in a leaf: lower bounds first, real
-    /// distances only for survivors; both early-abandon on the bound.
+    /// Evaluates every series in a leaf: lower bounds first, exact scores
+    /// only for survivors; both early-abandon on the policy's threshold.
     ///
     /// Packed leaves (the bulk-built common case) take the batched path:
     /// the block kernel lower-bounds 8 candidates per call over the SoA
@@ -965,12 +1394,13 @@ impl<S: Summarization> Index<S> {
     /// per-row path until [`Index::repack_leaves`] (which the auto-repack
     /// trigger runs for you by default).
     #[allow(clippy::too_many_arguments)]
-    fn refine_leaf(
+    fn refine_leaf<B: PruneBound>(
         &self,
         entry: QueueEntry,
         q: &[f32],
         ctx: &QueryContext<'_>,
-        knn: &KnnSet,
+        pb: &B,
+        filter: Option<&RowFilter>,
         stats: &AtomicStats,
         qscratch: &mut QuantScratch,
         cancel: Option<&CancelToken>,
@@ -983,10 +1413,20 @@ impl<S: Summarization> Index<S> {
         stats.leaves_refined.fetch_add(1, Ordering::Relaxed);
         match &node.kind {
             NodeKind::Leaf { rows, pack: Some(pack) } => {
-                self.refine_leaf_packed(pack, rows.len(), q, ctx, knn, stats, qscratch, cancel);
+                self.refine_leaf_packed(
+                    pack,
+                    rows.len(),
+                    q,
+                    ctx,
+                    pb,
+                    filter,
+                    stats,
+                    qscratch,
+                    cancel,
+                );
             }
             NodeKind::Leaf { rows, pack: None } => {
-                self.refine_leaf_rows(rows, q, ctx, knn, stats);
+                self.refine_leaf_rows(rows, q, ctx, pb, filter, stats);
             }
             NodeKind::Inner { .. } => unreachable!("queues only hold leaves"),
         }
@@ -999,14 +1439,21 @@ impl<S: Summarization> Index<S> {
     /// raw series); only lanes both tiers fail to kill pay the exact
     /// `f32` scan. Both cheap tiers are conservative lower bounds, so the
     /// funnel never changes results — only how much memory they cost.
+    ///
+    /// With a [`RowFilter`], each group's live mask pre-ANDs the
+    /// predicate into the sweep: a fully rejected group skips every
+    /// kernel, a partially rejected one runs the masked kernels (dead
+    /// lanes price `+inf`/auto-resolve, accelerating whole-group
+    /// abandons), and a fully admitted one takes the exact unmasked path.
     #[allow(clippy::too_many_arguments)]
-    fn refine_leaf_packed(
+    fn refine_leaf_packed<B: PruneBound>(
         &self,
         pack: &LeafPack,
         n_rows: usize,
         q: &[f32],
         ctx: &QueryContext<'_>,
-        knn: &KnnSet,
+        pb: &B,
+        filter: Option<&RowFilter>,
         stats: &AtomicStats,
         qscratch: &mut QuantScratch,
         cancel: Option<&CancelToken>,
@@ -1026,19 +1473,46 @@ impl<S: Summarization> Index<S> {
         let mut lanes_abandoned = 0usize;
         let mut quant_groups = 0usize;
         let mut quant_killed = 0usize;
+        let mut predicate_masked = 0usize;
         for g in 0..block.n_groups() {
             // Cancellation checkpoint at group-sweep granularity: the
-            // partial `knn` offers already made are discarded wholesale
-            // by the caller, so bailing mid-leaf cannot skew exactness.
+            // partial offers already made are discarded wholesale by the
+            // caller, so bailing mid-leaf cannot skew exactness.
             if fired(cancel) {
                 break;
             }
-            let bound = knn.bound();
+            let bound = pb.l2_bound();
             let lanes = block.lanes_in(g);
-            if mindist_block(ctx, block, g, bound, &mut lbs) {
-                // Every lane's (partial) sum exceeded the bound: the
+            // Predicate mask: bit `i` lives iff the filter admits lane
+            // `i`'s row. Pad lanes past `lanes` never get a bit, so a
+            // bitmap that ends mid-group can't admit a phantom row (the
+            // unmasked path ignores pads via `take(lanes)` as before).
+            let (live, masked) = match filter {
+                None => (0xFFu8, 0usize),
+                Some(f) => {
+                    let mut m = 0u8;
+                    for i in 0..lanes {
+                        if f.admits(self.slot_to_row[start + g * BLOCK_LANES + i] as usize) {
+                            m |= 1 << i;
+                        }
+                    }
+                    (m, lanes - m.count_ones() as usize)
+                }
+            };
+            predicate_masked += masked;
+            if live == 0 {
+                // Whole group predicate-rejected: no kernel runs at all.
+                continue;
+            }
+            let group_abandoned = if masked == 0 {
+                mindist_block(ctx, block, g, bound, &mut lbs)
+            } else {
+                mindist_block_masked(ctx, block, g, bound, live, &mut lbs)
+            };
+            if group_abandoned {
+                // Every live lane's (partial) sum exceeded the bound: the
                 // whole group is pruned in one shot.
-                lanes_abandoned += lanes;
+                lanes_abandoned += lanes - masked;
                 continue;
             }
             // Quantized middle tier: one integer sweep re-prices the
@@ -1047,9 +1521,11 @@ impl<S: Summarization> Index<S> {
             // bound: the sweep reads all 8 lanes' codes (`8n` bytes,
             // roughly the traffic of two `f32` row scans), so pricing a
             // lone straggler costs more than the one scan it could save.
+            // Dead lanes carry `+inf` word bounds, so they never count as
+            // survivors.
             let mut quant_priced = false;
             if let Some((grid, qb)) = quant {
-                let survivors = lbs.iter().take(lanes).filter(|&&l| l < bound).count();
+                let survivors = lbs.iter().take(lanes).filter(|&&l| !pb.prunes(l)).count();
                 if survivors >= QUANT_MIN_SURVIVORS {
                     if qscratch.err_q.is_nan() {
                         // First engagement anywhere in this query: encode
@@ -1057,42 +1533,65 @@ impl<S: Summarization> Index<S> {
                         // later leaf reuses the same codes.
                         qscratch.err_q = grid.quantize_query(q, &mut qscratch.codes[..n]);
                     }
-                    qb.thresholds(g, knn.bound(), qscratch.err_q, &mut qthr);
+                    qb.thresholds(g, pb.l2_bound(), qscratch.err_q, &mut qthr);
                     quant_groups += 1;
-                    if quant_lower_bound(&qscratch.codes[..n], qb.group_codes(g), &qthr, &mut qsums)
-                    {
-                        // Every lane's integer sum crossed its threshold:
-                        // all word survivors die without touching f32
-                        // data (partial sums only grow, so the verdict
-                        // is already final).
-                        quant_killed += lbs.iter().take(lanes).filter(|&&l| l < bound).count();
-                        lanes_abandoned += lbs.iter().take(lanes).filter(|&&l| l >= bound).count();
+                    let all_resolved = if masked == 0 {
+                        quant_lower_bound(
+                            &qscratch.codes[..n],
+                            qb.group_codes(g),
+                            &qthr,
+                            &mut qsums,
+                        )
+                    } else {
+                        quant_lower_bound_masked(
+                            &qscratch.codes[..n],
+                            qb.group_codes(g),
+                            &qthr,
+                            live,
+                            &mut qsums,
+                        )
+                    };
+                    if all_resolved {
+                        // Every live lane's integer sum crossed its
+                        // threshold: all word survivors die without
+                        // touching f32 data (partial sums only grow, so
+                        // the verdict is already final, and the threshold
+                        // guarantee is strict — safe for range ties).
+                        for (i, &l) in lbs.iter().enumerate().take(lanes) {
+                            if live & (1 << i) == 0 {
+                                continue; // counted in predicate_masked
+                            }
+                            if pb.prunes(l) {
+                                lanes_abandoned += 1;
+                            } else {
+                                quant_killed += 1;
+                            }
+                        }
                         continue;
                     }
                     quant_priced = true;
                 }
             }
             for (i, &lbd) in lbs.iter().enumerate().take(lanes) {
-                // Re-read the bound: it tightens as lanes refine.
-                let bound = knn.bound();
-                if lbd >= bound {
+                if live & (1 << i) == 0 {
+                    continue; // predicate-rejected; counted once per group
+                }
+                // Re-ask the policy: its bound tightens as lanes refine.
+                if pb.prunes(lbd) {
                     lanes_abandoned += 1;
                     continue;
                 }
                 if quant_priced {
                     let (_, qb) = quant.expect("quant_priced implies a quant block");
                     let qlb = qb.lane_bound(qsums[i], qb.group_errs(g)[i], qscratch.err_q);
-                    if qlb >= f64::from(bound) {
+                    if pb.prunes_f64(qlb) {
                         quant_killed += 1;
                         continue;
                     }
                 }
                 refined += 1;
                 let slot = start + g * BLOCK_LANES + i;
-                let d = euclidean_sq_early_abandon(q, self.series_at_slot(slot), bound);
-                if d < bound {
-                    knn.offer(Neighbor { row: self.slot_to_row[slot], dist_sq: d });
-                }
+                pb.score_and_offer(q, self.series_at_slot(slot), self.slot_to_row[slot]);
             }
         }
         // Refine-traffic estimate: word bounds are BOUNDS_STRIDE f32 per
@@ -1101,41 +1600,50 @@ impl<S: Summarization> Index<S> {
         let bytes = block.n_groups() * block.word_len() * BOUNDS_STRIDE * 4
             + quant_groups * n * BLOCK_LANES
             + refined * n * 4;
-        stats.series_lbd_checked.fetch_add(n_rows, Ordering::Relaxed);
+        stats.series_lbd_checked.fetch_add(n_rows - predicate_masked, Ordering::Relaxed);
         stats.series_refined.fetch_add(refined, Ordering::Relaxed);
         stats.block_groups_swept.fetch_add(block.n_groups(), Ordering::Relaxed);
         stats.block_lanes_abandoned.fetch_add(lanes_abandoned, Ordering::Relaxed);
         stats.quant_groups_swept.fetch_add(quant_groups, Ordering::Relaxed);
         stats.quant_lanes_killed.fetch_add(quant_killed, Ordering::Relaxed);
+        stats.predicate_lanes_masked.fetch_add(predicate_masked, Ordering::Relaxed);
         stats.refine_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// The per-row fallback path (leaves invalidated by online inserts).
-    fn refine_leaf_rows(
+    fn refine_leaf_rows<B: PruneBound>(
         &self,
         rows: &[u32],
         q: &[f32],
         ctx: &QueryContext<'_>,
-        knn: &KnnSet,
+        pb: &B,
+        filter: Option<&RowFilter>,
         stats: &AtomicStats,
     ) {
         let mut refined = 0usize;
+        let mut checked = 0usize;
+        let mut predicate_masked = 0usize;
         for &row in rows {
-            let bound = knn.bound();
+            if let Some(f) = filter {
+                if !f.admits(row as usize) {
+                    predicate_masked += 1;
+                    continue;
+                }
+            }
+            checked += 1;
+            let bound = pb.l2_bound();
             let lbd = mindist_simd(ctx, self.word(row as usize), bound);
-            if lbd >= bound {
+            if pb.prunes(lbd) {
                 continue;
             }
             refined += 1;
-            let d = euclidean_sq_early_abandon(q, self.series(row as usize), bound);
-            if d < bound {
-                knn.offer(Neighbor { row, dist_sq: d });
-            }
+            pb.score_and_offer(q, self.series(row as usize), row);
         }
-        stats.series_lbd_checked.fetch_add(rows.len(), Ordering::Relaxed);
+        stats.series_lbd_checked.fetch_add(checked, Ordering::Relaxed);
         stats.series_refined.fetch_add(refined, Ordering::Relaxed);
+        stats.predicate_lanes_masked.fetch_add(predicate_masked, Ordering::Relaxed);
         // Per-row traffic: one symbol word per row plus the exact rows.
-        let bytes = rows.len() * self.word_len + refined * self.series_len * 4;
+        let bytes = checked * self.word_len + refined * self.series_len * 4;
         stats.refine_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 }

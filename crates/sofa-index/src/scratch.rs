@@ -14,7 +14,7 @@
 //! allocations (asserted by the workspace's counting-allocator test), and
 //! batch lanes reuse one scratch for every query they claim.
 
-use crate::bsf::KnnSet;
+use crate::bsf::{KnnSet, Neighbor};
 use parking_lot::Mutex;
 use sofa_summaries::{RootLbd, TransformScratch};
 use std::cmp::Reverse;
@@ -107,6 +107,9 @@ pub(crate) struct QueryScratch {
     pub root_lbd: RootLbd,
     /// Reusable k-best set (heap + atomic bound).
     pub knn: KnnSet,
+    /// Range-query hit accumulator (unordered during the sweep; sorted
+    /// at drain). Unused — and empty — for k-NN/IP queries.
+    pub range: Mutex<Vec<Neighbor>>,
     /// Refinement priority queues (`config.num_queues` of them).
     pub queues: Vec<Mutex<LeafQueue>>,
     /// Per-queue abandon flags for the refinement phase.
@@ -129,6 +132,7 @@ impl QueryScratch {
             qword: Vec::with_capacity(word_len),
             root_lbd: RootLbd::empty(),
             knn: KnnSet::new(1),
+            range: Mutex::new(Vec::new()),
             queues: (0..num_queues).map(|_| Mutex::new(BinaryHeap::new())).collect(),
             done: (0..num_queues).map(|_| AtomicBool::new(false)).collect(),
             lanes: (0..lanes).map(|_| Mutex::new(LaneScratch::default())).collect(),
@@ -141,6 +145,7 @@ impl QueryScratch {
     /// flags. Buffer capacities are retained throughout.
     pub fn begin(&mut self, k: usize) {
         self.knn.reset(k);
+        self.range.get_mut().clear();
         for queue in &mut self.queues {
             queue.get_mut().clear();
         }

@@ -44,7 +44,7 @@ use crate::config::IndexConfig;
 use crate::node::{CollectBlock, LeafPack, LevelLanes, Node, NodeKind, Subtree};
 use crate::{Index, IndexError};
 use sofa_exec::{failpoint, ExecPool};
-use sofa_mmap::Mmap;
+use sofa_mmap::{Advice, Mmap};
 use sofa_summaries::{
     CoeffPos, ISax, LevelBlocks, McbModel, NodeBlock, QuantBlock, QuantGrid, SaxConfig, Sfa,
     Summarization, WordBlock,
@@ -546,6 +546,35 @@ pub struct SectionInfo {
     pub checksum: u64,
 }
 
+/// The capability/config matrix of a snapshot: what an [`Index::open`]
+/// of this file will support, decoded from its checksum-verified meta
+/// section, plus the kernel tier this *process* would serve it with.
+/// Returned inside [`SnapshotInfo`] so operators can audit a mapped
+/// snapshot without opening it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotCapabilities {
+    /// Rows (series) held by the index.
+    pub n_rows: usize,
+    /// Points per series.
+    pub series_len: usize,
+    /// Symbols per summarized word.
+    pub word_len: usize,
+    /// Maximum rows per tree leaf.
+    pub leaf_capacity: usize,
+    /// Depth of the hierarchical collect-block ladder (0 = fringe only).
+    pub collect_levels: usize,
+    /// Whether the config asks for the int8 quantized refine tier.
+    pub quant_refine: bool,
+    /// Whether that tier was actually enabled when the snapshot was cut
+    /// (it self-disables when mispredictions make it unprofitable).
+    pub quant_enabled: bool,
+    /// Whether the file carries a quantizer grid + per-leaf codes at all.
+    pub quant_grid_present: bool,
+    /// Kernel tier dispatch resolves to in this process ("scalar",
+    /// "portable", "avx2") — a property of the host, not the file.
+    pub kernel_tier: &'static str,
+}
+
 /// Checksum-verified snapshot metadata, as returned by [`describe`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SnapshotInfo {
@@ -557,6 +586,8 @@ pub struct SnapshotInfo {
     pub file_len: u64,
     /// The section table, in file order.
     pub sections: Vec<SectionInfo>,
+    /// What this snapshot supports once opened.
+    pub capabilities: SnapshotCapabilities,
 }
 
 struct SectionEntry {
@@ -671,6 +702,7 @@ fn section_slice<'a>(
 pub fn describe<P: AsRef<Path>>(path: P) -> Result<SnapshotInfo, IndexError> {
     let bytes = std::fs::read(path).map_err(|e| io_err("read", &e))?;
     let (kind, entries) = parse_and_verify(&bytes)?;
+    let meta = decode_meta(section_slice(&bytes, &entries, SEC_META)?)?;
     Ok(SnapshotInfo {
         format_version: SNAPSHOT_FORMAT_VERSION,
         summarization_kind: kind,
@@ -685,6 +717,17 @@ pub fn describe<P: AsRef<Path>>(path: P) -> Result<SnapshotInfo, IndexError> {
                 checksum: e.checksum,
             })
             .collect(),
+        capabilities: SnapshotCapabilities {
+            n_rows: meta.n_slots,
+            series_len: meta.series_len,
+            word_len: meta.word_len,
+            leaf_capacity: meta.leaf_capacity,
+            collect_levels: meta.collect_levels,
+            quant_refine: meta.quant_refine,
+            quant_enabled: meta.quant_enabled,
+            quant_grid_present: meta.grid_present,
+            kernel_tier: sofa_simd::active_tier().name(),
+        },
     })
 }
 
@@ -1381,6 +1424,9 @@ impl<S: SnapshotSummarization> Index<S> {
         let path = path.as_ref();
         let file = File::open(path).map_err(|e| io_err("open", &e))?;
         let map = Arc::new(Mmap::map(&file).map_err(|e| io_err("mmap", &e))?);
+        // The checksum sweep below touches every byte front to back —
+        // let the kernel read ahead aggressively for that pass.
+        map.advise(Advice::Sequential);
         let bytes = map.as_bytes();
         let (kind, entries) = parse_and_verify(bytes)?;
         if kind != S::KIND {
@@ -1494,6 +1540,11 @@ impl<S: SnapshotSummarization> Index<S> {
                 }
             }
         }
+
+        // Validation is done; from here on the mapping serves leaf
+        // refinements, which land on arbitrary slot runs — sequential
+        // read-ahead would only pollute the page cache.
+        map.advise(Advice::Random);
 
         let threads = pool.threads();
         let config = IndexConfig {
@@ -1625,6 +1676,17 @@ mod tests {
             assert_eq!(s.offset % 64, 0, "section {} misaligned", s.name);
             assert!(s.offset + s.len <= info.file_len);
         }
+        // The capability matrix reflects the built index's config.
+        let caps = &info.capabilities;
+        assert_eq!(caps.n_rows, 300);
+        assert_eq!(caps.series_len, 64);
+        assert_eq!(caps.word_len, 8);
+        assert_eq!(caps.leaf_capacity, 25);
+        assert_eq!(caps.collect_levels, idx.config().collect_levels);
+        assert_eq!(caps.quant_refine, idx.config().quant_refine);
+        assert_eq!(caps.quant_enabled, idx.quant_refine_enabled());
+        assert_eq!(caps.quant_grid_present, idx.quant_grid.is_some());
+        assert_eq!(caps.kernel_tier, sofa_simd::active_tier().name());
         std::fs::remove_file(&path).ok();
     }
 

@@ -150,10 +150,35 @@ mod ffi {
             offset: i64,
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
     }
 
     pub const PROT_READ: c_int = 1;
     pub const MAP_PRIVATE: c_int = 2;
+
+    // madvise advice values — identical on Linux and the BSDs/macOS.
+    pub const MADV_NORMAL: c_int = 0;
+    pub const MADV_RANDOM: c_int = 1;
+    pub const MADV_SEQUENTIAL: c_int = 2;
+}
+
+/// A page-access pattern hint for [`Mmap::advise`] — the `madvise(2)`
+/// advice values the snapshot lifecycle actually uses.
+///
+/// Opening a snapshot reads every section once, front to back, to
+/// verify checksums — [`Advice::Sequential`] lets the kernel read ahead
+/// aggressively and drop pages behind the sweep. Serving then touches
+/// pages in lower-bound order, which is effectively random —
+/// [`Advice::Random`] turns read-ahead off so a query faults in only
+/// the pages it prices. [`Advice::Normal`] restores the default.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Advice {
+    /// Default kernel behavior (moderate read-ahead).
+    Normal,
+    /// Expect page references in random order; disable read-ahead.
+    Random,
+    /// Expect sequential front-to-back reads; read ahead aggressively.
+    Sequential,
 }
 
 impl Mmap {
@@ -234,6 +259,31 @@ impl Mmap {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Hints the kernel about this mapping's upcoming access pattern
+    /// (`madvise(2)`). Purely an optimization: advice never changes
+    /// what reads observe, so failures — and non-Unix targets, where
+    /// the buffer is owned memory and there is nothing to advise — are
+    /// ignored.
+    pub fn advise(&self, advice: Advice) {
+        #[cfg(unix)]
+        if let MmapInner::Mapped { ptr, len } = self.inner {
+            let flag = match advice {
+                Advice::Normal => ffi::MADV_NORMAL,
+                Advice::Random => ffi::MADV_RANDOM,
+                Advice::Sequential => ffi::MADV_SEQUENTIAL,
+            };
+            // SAFETY: `ptr`/`len` delimit a live mapping created by
+            // `mmap` and released only on drop; madvise reads no memory
+            // and the advice values are all valid on every Unix we
+            // target. The result is advisory — ignore it.
+            unsafe {
+                let _ = ffi::madvise(ptr.cast_mut().cast(), len, flag);
+            }
+        }
+        #[cfg(not(unix))]
+        let _ = advice;
     }
 }
 
@@ -327,6 +377,21 @@ mod tests {
         let off = (4 - base % 4) % 4 + 1;
         let err = cast_slice::<u32>(&buf[off..off + 8]);
         assert_eq!(err, Err(CastError::Misaligned { align: 4 }));
+    }
+
+    #[test]
+    fn advise_is_harmless_across_patterns_and_empty_maps() {
+        let path = tmp_path("advise");
+        std::fs::File::create(&path).unwrap().write_all(&[42u8; 4096]).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        for advice in [Advice::Sequential, Advice::Random, Advice::Normal] {
+            map.advise(advice);
+            assert_eq!(map.as_bytes()[0], 42, "advice {advice:?} must not change contents");
+        }
+        Mmap::default().advise(Advice::Random); // no mapping: a no-op
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use stats::ServeStats;
 
 pub use sofa_exec::CancelToken;
 
-use sofa_index::{Index, Neighbor};
+use sofa_index::{Index, Neighbor, QueryKind};
 use sofa_summaries::Summarization;
 
 /// One tick-output slot: the collector hands [`TickExec::run_tick`] one
@@ -80,8 +80,19 @@ pub trait TickExec: Send + Sync + 'static {
     /// Length every query must have.
     fn series_len(&self) -> usize;
 
-    /// Answers `queries` (row-major, `ks[i]` neighbors for query `i`)
-    /// into `outs[i]` (cleared first, best first).
+    /// How many rows the executor serves, when it knows — used to
+    /// validate [`sofa_index::RowFilter`] lengths at admission instead
+    /// of mid-tick. Executors that can't say (e.g. test stubs) return
+    /// `None` and filtered submissions are validated by the tick itself.
+    fn n_rows(&self) -> Option<usize> {
+        None
+    }
+
+    /// Answers `queries` (row-major, per-query kind `kinds[i]`) into
+    /// `outs[i]` (cleared first, best first). A tick may mix kinds
+    /// freely — k-NN, filtered k-NN, range and inner-product
+    /// submissions coalesce into the same tick. Results use the funnel
+    /// encoding of [`QueryKind`] (an `Ip` slot carries scores).
     ///
     /// `cancels` is either empty (no cancellation) or one token per
     /// query; an implementation that honors it must leave a cancelled
@@ -93,11 +104,18 @@ pub trait TickExec: Send + Sync + 'static {
     ///
     /// # Panics
     /// Implementations may panic on malformed input (length not a
-    /// multiple of [`TickExec::series_len`], mismatched `ks`/`outs`
-    /// lengths, or a zero `k`). [`Server`] validates every submission
-    /// before it can reach a tick and contains executor panics to the
-    /// panicking tick, so a panic never takes the server down.
-    fn run_tick(&self, queries: &[f32], ks: &[usize], outs: &[ResultSlot], cancels: &[CancelToken]);
+    /// multiple of [`TickExec::series_len`], mismatched `kinds`/`outs`
+    /// lengths, or an invalid kind). [`Server`] validates every
+    /// submission before it can reach a tick and contains executor
+    /// panics to the panicking tick, so a panic never takes the server
+    /// down.
+    fn run_tick(
+        &self,
+        queries: &[f32],
+        kinds: &[QueryKind],
+        outs: &[ResultSlot],
+        cancels: &[CancelToken],
+    );
 
     /// Answers served from a degraded executor (e.g. with one shard
     /// quarantined), if the executor tracks that. Non-degradable
@@ -112,14 +130,18 @@ impl<S: Summarization + 'static> TickExec for Index<S> {
         Index::series_len(self)
     }
 
+    fn n_rows(&self) -> Option<usize> {
+        Some(self.n_series())
+    }
+
     fn run_tick(
         &self,
         queries: &[f32],
-        ks: &[usize],
+        kinds: &[QueryKind],
         outs: &[ResultSlot],
         cancels: &[CancelToken],
     ) {
-        self.knn_batch_into_cancel(queries, ks, outs, cancels).expect("server-validated tick");
+        self.query_batch_into_cancel(queries, kinds, outs, cancels).expect("server-validated tick");
     }
 }
 
@@ -128,14 +150,18 @@ impl<S: Summarization + 'static> TickExec for ShardedIndex<S> {
         ShardedIndex::series_len(self)
     }
 
+    fn n_rows(&self) -> Option<usize> {
+        Some(self.n_series())
+    }
+
     fn run_tick(
         &self,
         queries: &[f32],
-        ks: &[usize],
+        kinds: &[QueryKind],
         outs: &[ResultSlot],
         cancels: &[CancelToken],
     ) {
-        self.knn_tick_cancel(queries, ks, outs, cancels).expect("server-validated tick");
+        self.query_tick_cancel(queries, kinds, outs, cancels).expect("server-validated tick");
     }
 
     fn degraded_answers(&self) -> u64 {
@@ -148,14 +174,18 @@ impl<T: TickExec + ?Sized> TickExec for std::sync::Arc<T> {
         (**self).series_len()
     }
 
+    fn n_rows(&self) -> Option<usize> {
+        (**self).n_rows()
+    }
+
     fn run_tick(
         &self,
         queries: &[f32],
-        ks: &[usize],
+        kinds: &[QueryKind],
         outs: &[ResultSlot],
         cancels: &[CancelToken],
     ) {
-        (**self).run_tick(queries, ks, outs, cancels);
+        (**self).run_tick(queries, kinds, outs, cancels);
     }
 
     fn degraded_answers(&self) -> u64 {

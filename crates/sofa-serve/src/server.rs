@@ -35,7 +35,8 @@
 use crate::stats::{ServeStats, StatCounters};
 use crate::{CancelToken, ResultSlot, TickExec};
 use sofa_exec::sync::lock;
-use sofa_index::{IndexError, Neighbor};
+use sofa_index::{IndexError, IpNeighbor, Neighbor, QueryKind, RowFilter};
+use sofa_summaries::ip_from_score;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -199,7 +200,7 @@ enum Outcome {
 /// submission reuses both.
 struct TicketState {
     query: Vec<f32>,
-    k: usize,
+    kind: QueryKind,
     result: Vec<Neighbor>,
     outcome: Outcome,
     enqueued_at: Option<Instant>,
@@ -219,7 +220,7 @@ impl Ticket {
         Ticket {
             state: Mutex::new(TicketState {
                 query: Vec::new(),
-                k: 0,
+                kind: QueryKind::Knn { k: 1 },
                 result: Vec::new(),
                 outcome: Outcome::Pending,
                 enqueued_at: None,
@@ -346,6 +347,97 @@ impl<E: TickExec> Server<E> {
         k: usize,
         out: &mut Vec<Neighbor>,
     ) -> Result<(), ServeError> {
+        self.query_into(query, QueryKind::Knn { k }, out)
+    }
+
+    /// Exact k-NN restricted to the rows `filter` admits, through the
+    /// coalescer — identical to `Index::knn_filtered` on the same
+    /// index. Filtered submissions coalesce into the same ticks as
+    /// every other kind.
+    ///
+    /// # Errors
+    /// As [`Server::knn`]; additionally rejects a filter whose length
+    /// disagrees with the executor's row count (when known).
+    pub fn knn_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: Arc<RowFilter>,
+    ) -> Result<Vec<Neighbor>, ServeError> {
+        let mut out = Vec::new();
+        self.query_into(query, QueryKind::KnnFiltered { k, filter }, &mut out)?;
+        Ok(out)
+    }
+
+    /// Every row within squared radius `r_sq` of the query, sorted by
+    /// `(dist_sq, row)`, through the coalescer — identical to
+    /// `Index::range` on the same index (ties exactly at the radius
+    /// included).
+    ///
+    /// # Errors
+    /// As [`Server::knn`]; additionally rejects a non-finite or
+    /// negative radius.
+    pub fn range(&self, query: &[f32], r_sq: f32) -> Result<Vec<Neighbor>, ServeError> {
+        let mut out = Vec::new();
+        self.query_into(query, QueryKind::Range { r_sq }, &mut out)?;
+        Ok(out)
+    }
+
+    /// Exact top-k rows by inner product with the z-normalized query,
+    /// best (largest dot) first, through the coalescer. The reported
+    /// `ip` is recovered from the funnel's score transport
+    /// (`ip = 2n - score`, one `f64` rounding from the direct dot
+    /// product); row ranking is identical to `Index::knn_ip`.
+    ///
+    /// # Errors
+    /// As [`Server::knn`].
+    pub fn knn_ip(&self, query: &[f32], k: usize) -> Result<Vec<IpNeighbor>, ServeError> {
+        let mut out = Vec::new();
+        self.query_into(query, QueryKind::Ip { k }, &mut out)?;
+        let n = self.inner.series_len;
+        Ok(out
+            .into_iter()
+            .map(|nb| IpNeighbor { row: nb.row, ip: ip_from_score(n, nb.dist_sq) })
+            .collect())
+    }
+
+    /// The single best row by inner product (see [`Server::knn_ip`]).
+    ///
+    /// # Errors
+    /// As [`Server::knn_ip`]; additionally rejects an empty index.
+    pub fn nn_ip(&self, query: &[f32]) -> Result<IpNeighbor, ServeError> {
+        self.knn_ip(query, 1)?
+            .first()
+            .copied()
+            .ok_or_else(|| ServeError::Index(IndexError::BadQuery("index is empty".into())))
+    }
+
+    /// Submits one query of any [`QueryKind`] and blocks for its
+    /// answer, in the raw funnel encoding (an `Ip` result carries
+    /// scores in `dist_sq`; the typed wrappers convert). This is the
+    /// generic submission path every per-kind method goes through —
+    /// mixed kinds coalesce into shared ticks.
+    ///
+    /// # Errors
+    /// As [`Server::knn`], plus kind-specific validation (zero `k`,
+    /// bad radius, wrong filter length).
+    pub fn query(&self, query: &[f32], kind: QueryKind) -> Result<Vec<Neighbor>, ServeError> {
+        let mut out = Vec::new();
+        self.query_into(query, kind, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Server::query`] into a caller-owned buffer (cleared first) —
+    /// the allocation-free generic submission form.
+    ///
+    /// # Errors
+    /// As [`Server::query`].
+    pub fn query_into(
+        &self,
+        query: &[f32],
+        kind: QueryKind,
+        out: &mut Vec<Neighbor>,
+    ) -> Result<(), ServeError> {
         let inner = &*self.inner;
         if query.len() != inner.series_len {
             return Err(IndexError::BadQuery(format!(
@@ -355,9 +447,7 @@ impl<E: TickExec> Server<E> {
             ))
             .into());
         }
-        if k == 0 {
-            return Err(IndexError::BadQuery("k must be at least 1".into()).into());
-        }
+        Self::validate_kind(&kind, inner.exec.n_rows())?;
 
         let ticket = lock(&inner.tickets).pop().unwrap_or_else(|| Arc::new(Ticket::new()));
         let now = Instant::now();
@@ -365,7 +455,7 @@ impl<E: TickExec> Server<E> {
             let mut st = lock(&ticket.state);
             st.query.clear();
             st.query.extend_from_slice(query);
-            st.k = k;
+            st.kind = kind;
             st.result.clear();
             st.outcome = Outcome::Pending;
             st.enqueued_at = Some(now);
@@ -423,6 +513,43 @@ impl<E: TickExec> Server<E> {
         }
     }
 
+    /// Admission-time kind validation; `n_rows` is the executor's row
+    /// count when it knows it (filter lengths are then checked here
+    /// instead of panicking mid-tick).
+    fn validate_kind(kind: &QueryKind, n_rows: Option<usize>) -> Result<(), ServeError> {
+        match kind {
+            QueryKind::Knn { k } | QueryKind::Ip { k } => {
+                if *k == 0 {
+                    return Err(IndexError::BadQuery("k must be at least 1".into()).into());
+                }
+            }
+            QueryKind::KnnFiltered { k, filter } => {
+                if *k == 0 {
+                    return Err(IndexError::BadQuery("k must be at least 1".into()).into());
+                }
+                if let Some(rows) = n_rows {
+                    if filter.len() != rows {
+                        return Err(IndexError::BadQuery(format!(
+                            "row filter covers {} rows but the index holds {}",
+                            filter.len(),
+                            rows
+                        ))
+                        .into());
+                    }
+                }
+            }
+            QueryKind::Range { r_sq } => {
+                if !(r_sq.is_finite() && *r_sq >= 0.0) {
+                    return Err(IndexError::BadQuery(format!(
+                        "range radius² must be finite and non-negative, got {r_sq}"
+                    ))
+                    .into());
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Stops accepting submissions. Already-queued tickets are still
     /// answered (the collector drains the queue before exiting);
     /// submitters blocked on a full queue get [`ServeError::ShutDown`].
@@ -449,7 +576,7 @@ impl<E: TickExec> Drop for Server<E> {
 fn run_guarded<E: TickExec>(
     exec: &E,
     queries: &[f32],
-    ks: &[usize],
+    kinds: &[QueryKind],
     outs: &[ResultSlot],
     cancels: &[CancelToken],
 ) -> bool {
@@ -457,7 +584,7 @@ fn run_guarded<E: TickExec>(
         if sofa_exec::failpoint::fire(TICK_FAILPOINT).is_err() {
             return false;
         }
-        exec.run_tick(queries, ks, outs, cancels);
+        exec.run_tick(queries, kinds, outs, cancels);
         true
     }))
     .unwrap_or(false)
@@ -492,7 +619,7 @@ fn collector_loop<E: TickExec>(inner: &ServerInner<E>) {
     let fill = inner.cfg.fill_target;
     let mut batch: Vec<Arc<Ticket>> = Vec::with_capacity(fill);
     let mut queries: Vec<f32> = Vec::with_capacity(fill * n);
-    let mut ks: Vec<usize> = Vec::with_capacity(fill);
+    let mut kinds: Vec<QueryKind> = Vec::with_capacity(fill);
     let mut cancels: Vec<CancelToken> = Vec::new();
     let mut outs: Vec<ResultSlot> = Vec::new();
     loop {
@@ -555,12 +682,12 @@ fn collector_loop<E: TickExec>(inner: &ServerInner<E>) {
         // batch engine skips all token polling) unless deadlines are on.
         let m = batch.len();
         queries.clear();
-        ks.clear();
+        kinds.clear();
         cancels.clear();
         for t in &batch {
             let st = lock(&t.state);
             queries.extend_from_slice(&st.query);
-            ks.push(st.k);
+            kinds.push(st.kind.clone());
             if let Some(token) = &st.cancel {
                 cancels.push(token.clone());
             }
@@ -574,7 +701,7 @@ fn collector_loop<E: TickExec>(inner: &ServerInner<E>) {
         // executor bug (or an armed failpoint) — contain it below
         // instead of taking the server down.
         let tick_started = Instant::now();
-        let ok = run_guarded(&inner.exec, &queries, &ks[..m], &outs[..m], &cancels);
+        let ok = run_guarded(&inner.exec, &queries, &kinds[..m], &outs[..m], &cancels);
         // The tick is counted before fan-out so a submitter that reads
         // `stats()` right after waking already sees its own tick.
         inner.counters.note_tick(m as u64, tick_started.elapsed());
@@ -603,7 +730,7 @@ fn collector_loop<E: TickExec>(inner: &ServerInner<E>) {
             let solo_ok = run_guarded(
                 &inner.exec,
                 &queries[i * n..(i + 1) * n],
-                &ks[i..=i],
+                &kinds[i..=i],
                 &outs[i..=i],
                 solo_cancels,
             );
@@ -638,6 +765,15 @@ mod tests {
         }
     }
 
+    /// The `k` a test tick answers for one kind (test execs only echo
+    /// k-NN-shaped results).
+    fn kind_k(kind: &QueryKind) -> usize {
+        match kind {
+            QueryKind::Knn { k } | QueryKind::KnnFiltered { k, .. } | QueryKind::Ip { k } => *k,
+            QueryKind::Range { .. } => 1,
+        }
+    }
+
     impl TickExec for EchoExec {
         fn series_len(&self) -> usize {
             self.series_len
@@ -646,7 +782,7 @@ mod tests {
         fn run_tick(
             &self,
             queries: &[f32],
-            ks: &[usize],
+            kinds: &[QueryKind],
             outs: &[ResultSlot],
             _cancels: &[CancelToken],
         ) {
@@ -657,7 +793,7 @@ mod tests {
             for (i, q) in queries.chunks(self.series_len).enumerate() {
                 let mut out = outs[i].lock();
                 out.clear();
-                for rank in 0..ks[i] {
+                for rank in 0..kind_k(&kinds[i]) {
                     out.push(Neighbor { row: q[0] as u32 + rank as u32, dist_sq: rank as f32 });
                 }
             }
@@ -777,7 +913,13 @@ mod tests {
             fn series_len(&self) -> usize {
                 2
             }
-            fn run_tick(&self, _q: &[f32], _k: &[usize], _o: &[ResultSlot], _c: &[CancelToken]) {
+            fn run_tick(
+                &self,
+                _q: &[f32],
+                _k: &[QueryKind],
+                _o: &[ResultSlot],
+                _c: &[CancelToken],
+            ) {
                 panic!("tick boom");
             }
         }
@@ -803,12 +945,12 @@ mod tests {
             fn run_tick(
                 &self,
                 queries: &[f32],
-                ks: &[usize],
+                kinds: &[QueryKind],
                 outs: &[ResultSlot],
                 cancels: &[CancelToken],
             ) {
                 assert!(!queries.chunks(self.0.series_len()).any(|q| q[0] == 13.0), "poison query");
-                self.0.run_tick(queries, ks, outs, cancels);
+                self.0.run_tick(queries, kinds, outs, cancels);
             }
         }
         let server = Arc::new(Server::new(

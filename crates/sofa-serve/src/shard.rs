@@ -18,7 +18,7 @@
 
 use crate::{CancelToken, ResultSlot};
 use sofa_exec::sync::lock;
-use sofa_index::{ExecPool, Index, IndexError, IndexStats, KnnSet, Neighbor};
+use sofa_index::{ExecPool, Index, IndexError, IndexStats, KnnSet, Neighbor, QueryKind, RowFilter};
 use sofa_summaries::Summarization;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -287,8 +287,7 @@ impl<S: Summarization> ShardedIndex<S> {
     }
 
     /// [`ShardedIndex::knn_tick`] with per-query cooperative
-    /// cancellation — the [`crate::TickExec`] entry point, shaped for
-    /// the coalescer. `cancels` is empty or one token per query; a
+    /// cancellation. `cancels` is empty or one token per query; a
     /// query whose token fires is abandoned by every shard and its
     /// output slot is left unwritten (the token is latched fired, so
     /// the caller can tell).
@@ -306,6 +305,63 @@ impl<S: Summarization> ShardedIndex<S> {
         outs: &[ResultSlot],
         cancels: &[CancelToken],
     ) -> Result<(), IndexError> {
+        let kinds: Vec<QueryKind> = ks.iter().map(|&k| QueryKind::Knn { k }).collect();
+        self.query_tick_cancel(queries, &kinds, outs, cancels)
+    }
+
+    /// Answers a single query of any [`QueryKind`] across all shards —
+    /// the generic form of [`ShardedIndex::knn`]. Results use the
+    /// funnel encoding of [`QueryKind`] (an `Ip` answer carries scores
+    /// `2n - q·x` in `dist_sq`, ascending score = best first; convert
+    /// with [`sofa_summaries::ip_from_score`]). A `KnnFiltered` kind
+    /// takes a filter over *global* row ids; each shard sees its
+    /// rebased slice.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] on a length mismatch or an
+    /// invalid kind (zero `k`, non-finite radius, wrong filter length).
+    pub fn query(&self, query: &[f32], kind: QueryKind) -> Result<Vec<Neighbor>, IndexError> {
+        let slot = [ResultSlot::new(Vec::new())];
+        self.query_tick_cancel(query, std::slice::from_ref(&kind), &slot, &[])?;
+        let [slot] = slot;
+        Ok(slot.into_inner())
+    }
+
+    /// Answers one mixed-kind tick of queries (row-major, kind
+    /// `kinds[i]` for query `i`) into `outs[i]` (cleared first, best
+    /// first, global row ids) — the [`crate::TickExec`] entry point,
+    /// shaped for the coalescer. The fan-out pool runs one lane per
+    /// shard, each lane driving its shard's batch engine over the whole
+    /// tick; per-slot merging is then kind-aware:
+    ///
+    /// * k-NN, filtered k-NN and inner-product slots merge through the
+    ///   reusable [`KnnSet`] with shard rows rebased to global ids (an
+    ///   IP score rides in `dist_sq` and merges by the same
+    ///   ascending-best order).
+    /// * Range slots concatenate every surviving shard's hits, rebase,
+    ///   and sort by `(dist_sq, row)` — identical to an unsharded range
+    ///   sweep.
+    ///
+    /// Global [`RowFilter`]s are re-sliced per shard before fan-out, so
+    /// each shard validates and applies a filter over exactly its own
+    /// rows.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::BadQuery`] if the buffer is not a whole
+    /// number of series, `kinds`/`outs`/`cancels` lengths don't match
+    /// the query count, or any kind is invalid.
+    ///
+    /// # Panics
+    /// In [`DegradedMode::FailFast`] (the default), panics when a shard
+    /// panics during the tick or is already quarantined — behind a
+    /// [`crate::Server`] the panic is contained per tick.
+    pub fn query_tick_cancel(
+        &self,
+        queries: &[f32],
+        kinds: &[QueryKind],
+        outs: &[ResultSlot],
+        cancels: &[CancelToken],
+    ) -> Result<(), IndexError> {
         let n = self.series_len;
         if queries.len() % n != 0 {
             return Err(IndexError::BadQuery(format!(
@@ -315,16 +371,16 @@ impl<S: Summarization> ShardedIndex<S> {
             )));
         }
         let m = queries.len() / n;
-        if ks.len() != m || outs.len() != m {
+        if kinds.len() != m || outs.len() != m {
             return Err(IndexError::BadQuery(format!(
-                "{} queries but {} ks and {} output slots",
+                "{} queries but {} kinds and {} output slots",
                 m,
-                ks.len(),
+                kinds.len(),
                 outs.len()
             )));
         }
-        if ks.contains(&0) {
-            return Err(IndexError::BadQuery("k must be at least 1".into()));
+        for kind in kinds {
+            self.validate_kind(kind)?;
         }
         if !cancels.is_empty() && cancels.len() != m {
             return Err(IndexError::BadQuery(format!(
@@ -341,6 +397,32 @@ impl<S: Summarization> ShardedIndex<S> {
         if was_degraded && self.degraded_mode == DegradedMode::FailFast {
             panic!("sharded index has quarantined shards {:?} (FailFast)", self.degraded_shards());
         }
+        // A global row filter must become shard-local before fan-out:
+        // each shard validates filters against its own row count and
+        // its funnel tests shard-local row ids.
+        let needs_rebase = kinds.iter().any(|k| matches!(k, QueryKind::KnnFiltered { .. }));
+        let shard_kinds: Vec<Vec<QueryKind>> = if needs_rebase {
+            self.bases
+                .iter()
+                .zip(&self.shards)
+                .map(|(&base, shard)| {
+                    kinds
+                        .iter()
+                        .map(|kind| match kind {
+                            QueryKind::KnnFiltered { k, filter } => QueryKind::KnnFiltered {
+                                k: *k,
+                                filter: Arc::new(RowFilter::from_fn(shard.n_series(), |r| {
+                                    filter.admits(base as usize + r)
+                                })),
+                            },
+                            other => other.clone(),
+                        })
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut guard = lock(&self.merge);
         let MergeScratch { shard_outs, set } = &mut *guard;
         for per_shard in shard_outs.iter_mut() {
@@ -351,6 +433,7 @@ impl<S: Summarization> ShardedIndex<S> {
         let shard_outs: &[Vec<ResultSlot>] = shard_outs;
         let shards = &self.shards;
         let degraded = &self.degraded;
+        let shard_kinds = &shard_kinds;
         let panicked = AtomicBool::new(false);
         let lanes = self.fan.threads().min(n_shards).max(1);
         self.fan.broadcast_limit(n_shards, |lane| {
@@ -358,10 +441,16 @@ impl<S: Summarization> ShardedIndex<S> {
             while s < n_shards {
                 // A panicking shard is quarantined here, not propagated:
                 // the post-broadcast policy decides what that means.
+                let kinds_for_s: &[QueryKind] = if needs_rebase { &shard_kinds[s] } else { kinds };
                 if !degraded[s].load(Ordering::Acquire)
                     && catch_unwind(AssertUnwindSafe(|| {
                         shards[s]
-                            .knn_batch_into_cancel(queries, ks, &shard_outs[s][..m], cancels)
+                            .query_batch_into_cancel(
+                                queries,
+                                kinds_for_s,
+                                &shard_outs[s][..m],
+                                cancels,
+                            )
                             .expect("tick inputs were validated");
                     }))
                     .is_err()
@@ -378,30 +467,82 @@ impl<S: Summarization> ShardedIndex<S> {
         }
         let any_degraded = was_degraded || panicked.load(Ordering::Relaxed);
         let mut answered = 0u64;
-        for (slot, &k) in ks.iter().enumerate().take(m) {
+        for (slot, kind) in kinds.iter().enumerate().take(m) {
             // A fired token means some shard may have abandoned this
             // query — its slots are unwritten or stale. Leave the
             // output untouched; the caller sees the latched token.
             if cancels.get(slot).is_some_and(CancelToken::is_cancelled_now) {
                 continue;
             }
-            set.reset(k);
-            for (s, &base) in self.bases.iter().enumerate() {
-                if degraded[s].load(Ordering::Acquire) {
-                    continue;
+            match kind {
+                QueryKind::Knn { k } | QueryKind::KnnFiltered { k, .. } | QueryKind::Ip { k } => {
+                    set.reset(*k);
+                    for (s, &base) in self.bases.iter().enumerate() {
+                        if degraded[s].load(Ordering::Acquire) {
+                            continue;
+                        }
+                        for nb in shard_outs[s][slot].lock().iter() {
+                            set.offer(Neighbor { row: nb.row + base, dist_sq: nb.dist_sq });
+                        }
+                    }
+                    let mut out = outs[slot].lock();
+                    out.clear();
+                    set.drain_sorted_into(&mut out);
                 }
-                for nb in shard_outs[s][slot].lock().iter() {
-                    set.offer(Neighbor { row: nb.row + base, dist_sq: nb.dist_sq });
+                QueryKind::Range { .. } => {
+                    let mut out = outs[slot].lock();
+                    out.clear();
+                    for (s, &base) in self.bases.iter().enumerate() {
+                        if degraded[s].load(Ordering::Acquire) {
+                            continue;
+                        }
+                        out.extend(
+                            shard_outs[s][slot]
+                                .lock()
+                                .iter()
+                                .map(|nb| Neighbor { row: nb.row + base, dist_sq: nb.dist_sq }),
+                        );
+                    }
+                    out.sort_unstable();
                 }
             }
-            let mut out = outs[slot].lock();
-            out.clear();
-            set.drain_sorted_into(&mut out);
             answered += 1;
         }
         self.queries_served.fetch_add(answered, Ordering::Relaxed);
         if any_degraded {
             self.degraded_answers.fetch_add(answered, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Validates one kind against the *global* row space (per-shard
+    /// validation happens again inside each shard, over its slice).
+    fn validate_kind(&self, kind: &QueryKind) -> Result<(), IndexError> {
+        match kind {
+            QueryKind::Knn { k } | QueryKind::Ip { k } => {
+                if *k == 0 {
+                    return Err(IndexError::BadQuery("k must be at least 1".into()));
+                }
+            }
+            QueryKind::KnnFiltered { k, filter } => {
+                if *k == 0 {
+                    return Err(IndexError::BadQuery("k must be at least 1".into()));
+                }
+                if filter.len() != self.n_series {
+                    return Err(IndexError::BadQuery(format!(
+                        "row filter covers {} rows but the sharded index holds {}",
+                        filter.len(),
+                        self.n_series
+                    )));
+                }
+            }
+            QueryKind::Range { r_sq } => {
+                if !(r_sq.is_finite() && *r_sq >= 0.0) {
+                    return Err(IndexError::BadQuery(format!(
+                        "range radius² must be finite and non-negative, got {r_sq}"
+                    )));
+                }
+            }
         }
         Ok(())
     }

@@ -7,7 +7,7 @@
 //! scenarios also share one `#[test]` so they cannot race each other.
 
 use sofa_exec::failpoint::{self, FailAction};
-use sofa_index::Neighbor;
+use sofa_index::{Neighbor, QueryKind};
 use sofa_serve::{
     CancelToken, ResultSlot, ServeConfig, ServeError, Server, TickExec, TICK_FAILPOINT,
 };
@@ -24,14 +24,18 @@ impl TickExec for EchoExec {
     fn run_tick(
         &self,
         queries: &[f32],
-        ks: &[usize],
+        kinds: &[QueryKind],
         outs: &[ResultSlot],
         _cancels: &[CancelToken],
     ) {
         for (i, q) in queries.chunks(2).enumerate() {
+            let k = match &kinds[i] {
+                QueryKind::Knn { k } => *k,
+                _ => 1,
+            };
             let mut out = outs[i].lock();
             out.clear();
-            for rank in 0..ks[i] {
+            for rank in 0..k {
                 out.push(Neighbor { row: q[0] as u32 + rank as u32, dist_sq: rank as f32 });
             }
         }

@@ -75,6 +75,26 @@ pub(crate) mod x86 {
         unsafe { block_lower_bound(values, weights, bounds, bsf_sq, out) }
     }
 
+    /// Safe wrapper over the AVX2 *masked* block lower-bound kernel.
+    /// `init` carries the per-lane accumulator seeds (`0.0` live, `+inf`
+    /// dead — computed by the dispatcher so all tiers share one
+    /// definition). Re-checks the layout itself (soundness boundary).
+    pub(crate) fn block_lower_bound_masked_checked(
+        values: &[f32],
+        weights: &[f32],
+        bounds: &[f32],
+        bsf_sq: f32,
+        init: [f32; 8],
+        out: &mut [f32; 8],
+    ) -> bool {
+        assert!(supported(), "AVX2 kernels dispatched on a CPU without AVX2+FMA");
+        assert_eq!(bounds.len(), values.len() * crate::block::BOUNDS_STRIDE);
+        assert_eq!(weights.len(), values.len());
+        // SAFETY: AVX2+FMA verified above; the layout asserts guarantee
+        // every load stays in bounds.
+        unsafe { block_lower_bound_masked(values, weights, bounds, bsf_sq, init, out) }
+    }
+
     /// Safe wrapper over the AVX2 quantized lower-bound kernel. Re-checks
     /// the layout itself (soundness boundary, as above).
     pub(crate) fn quant_lower_bound_checked(
@@ -244,6 +264,54 @@ pub(crate) mod x86 {
             acc = _mm256_add_ps(acc, _mm256_mul_ps(wd, d));
             // Whole-group early abandon every 4 positions: one compare +
             // movemask amortized over 4 * 8 lane updates.
+            if j % 4 == 3 {
+                let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(acc, vbsf);
+                if _mm256_movemask_ps(gt) == 0xFF {
+                    _mm256_storeu_ps(out.as_mut_ptr(), acc);
+                    return true;
+                }
+            }
+        }
+        _mm256_storeu_ps(out.as_mut_ptr(), acc);
+        let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(acc, vbsf);
+        _mm256_movemask_ps(gt) == 0xFF
+    }
+
+    /// AVX2 masked block lower bound: identical to [`block_lower_bound`]
+    /// except the accumulator starts from `init` instead of zero. Dead
+    /// lanes (seeded `+inf`) absorb every add without producing NaN (the
+    /// per-position `d` is always finite), so live lanes remain
+    /// bit-identical to the unmasked kernel while dead lanes satisfy every
+    /// abandon checkpoint automatically.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA support; slice lengths must satisfy the layout
+    /// contract (`bounds.len() == values.len() * 16`,
+    /// `weights.len() == values.len()`).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn block_lower_bound_masked(
+        values: &[f32],
+        weights: &[f32],
+        bounds: &[f32],
+        bsf_sq: f32,
+        init: [f32; 8],
+        out: &mut [f32; 8],
+    ) -> bool {
+        debug_assert_eq!(bounds.len(), values.len() * crate::block::BOUNDS_STRIDE);
+        debug_assert_eq!(weights.len(), values.len());
+        let zero = _mm256_setzero_ps();
+        let vbsf = _mm256_set1_ps(bsf_sq);
+        let mut acc = _mm256_loadu_ps(init.as_ptr());
+        for j in 0..values.len() {
+            let lo = _mm256_loadu_ps(bounds.as_ptr().add(j * 16));
+            let hi = _mm256_loadu_ps(bounds.as_ptr().add(j * 16 + 8));
+            let vq = _mm256_set1_ps(*values.get_unchecked(j));
+            let vw = _mm256_set1_ps(*weights.get_unchecked(j));
+            let d_below = _mm256_sub_ps(lo, vq);
+            let d_above = _mm256_sub_ps(vq, hi);
+            let d = _mm256_max_ps(_mm256_max_ps(d_below, d_above), zero);
+            let wd = _mm256_mul_ps(vw, d);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(wd, d));
             if j % 4 == 3 {
                 let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(acc, vbsf);
                 if _mm256_movemask_ps(gt) == 0xFF {

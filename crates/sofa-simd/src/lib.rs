@@ -48,8 +48,9 @@ pub mod vector;
 pub mod znorm;
 
 pub use block::{
-    block_lower_bound, block_lower_bound_portable, block_lower_bound_scalar, BLOCK_LANES,
-    BOUNDS_STRIDE,
+    block_lower_bound, block_lower_bound_masked, block_lower_bound_masked_portable,
+    block_lower_bound_masked_scalar, block_lower_bound_portable, block_lower_bound_scalar,
+    BLOCK_LANES, BOUNDS_STRIDE,
 };
 pub use dispatch::{active_tier, force_tier, KernelTier};
 pub use distance::{
@@ -58,7 +59,8 @@ pub use distance::{
     euclidean_sq_scalar, DistanceKernel,
 };
 pub use quant::{
-    quant_lower_bound, quant_lower_bound_portable, quant_lower_bound_scalar, QUANT_MAX_POSITIONS,
+    quant_lower_bound, quant_lower_bound_masked, quant_lower_bound_portable,
+    quant_lower_bound_scalar, QUANT_MAX_POSITIONS,
 };
 pub use vector::{F32x8, Mask8, LANES};
 pub use znorm::{znormalize, znormalize_into, ZNormStats};

@@ -137,6 +137,37 @@ pub fn quant_lower_bound(
     }
 }
 
+/// [`quant_lower_bound`] with a per-lane predicate bitmap (the filtered
+/// query path): bit `i` of `live` set means lane `i` participates.
+///
+/// Implemented as a threshold override: a dead lane's threshold becomes
+/// `-1`, so its (always non-negative) integer sum exceeds it from position
+/// zero — the lane auto-satisfies every abandon checkpoint and the
+/// caller's `sum > thr` rejection alike. Because the sweep itself is
+/// untouched, live lanes are bit-identical to the unmasked kernel on
+/// every tier *by construction*, and a group whose survivors are all
+/// pruned abandons earlier than the unmasked sweep would.
+///
+/// # Panics
+/// Panics if the slice lengths violate the layout contract or the
+/// position count exceeds [`QUANT_MAX_POSITIONS`].
+#[inline]
+pub fn quant_lower_bound_masked(
+    qcodes: &[u8],
+    codes: &[u8],
+    thr: &[i32; LANES],
+    live: u8,
+    out: &mut [i32; LANES],
+) -> bool {
+    let mut t = *thr;
+    for (lane, tl) in t.iter_mut().enumerate() {
+        if live & (1 << lane) == 0 {
+            *tl = -1;
+        }
+    }
+    quant_lower_bound(qcodes, codes, &t, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +281,72 @@ mod tests {
         assert!(abandoned);
         for lane in 0..LANES {
             assert!(out[lane] > thr[lane], "lane {lane}: {} <= {}", out[lane], thr[lane]);
+        }
+    }
+
+    #[test]
+    fn masked_live_lanes_match_unmasked_all_256_masks() {
+        let p = 33;
+        let lanes: Vec<[u8; LANES]> = (0..p)
+            .map(|j| {
+                let mut row = [0u8; LANES];
+                for (i, r) in row.iter_mut().enumerate() {
+                    *r = ((j * 17 + i * 41 + 7) % 256) as u8;
+                }
+                row
+            })
+            .collect();
+        let codes = codes_of(&lanes);
+        let qcodes: Vec<u8> = (0..p).map(|j| ((j * 53 + 19) % 256) as u8).collect();
+        let mut full = [0i32; LANES];
+        assert!(!quant_lower_bound(&qcodes, &codes, &NEVER, &mut full));
+        for thr_val in [i32::MAX, 400_000, 0] {
+            let thr = [thr_val; LANES];
+            for live in 0u16..=255 {
+                let live = live as u8;
+                let mut out = [0i32; LANES];
+                let abandoned = quant_lower_bound_masked(&qcodes, &codes, &thr, live, &mut out);
+                if !abandoned {
+                    for lane in 0..LANES {
+                        if live & (1 << lane) != 0 {
+                            assert_eq!(out[lane], full[lane], "live lane {lane}");
+                        }
+                    }
+                }
+                // A fully-dead group must abandon at the first checkpoint.
+                if live == 0 {
+                    assert!(abandoned, "all-dead group must abandon (thr={thr_val})");
+                }
+                // Abandoning requires every live lane past its threshold.
+                if abandoned && thr_val == i32::MAX {
+                    assert_eq!(live, 0, "thr=MAX can only abandon all-dead groups");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_full_mask_matches_unmasked() {
+        let p = 19;
+        let lanes: Vec<[u8; LANES]> = (0..p)
+            .map(|j| {
+                let mut row = [0u8; LANES];
+                for (i, r) in row.iter_mut().enumerate() {
+                    *r = ((j * 13 + i * 5 + 11) % 256) as u8;
+                }
+                row
+            })
+            .collect();
+        let codes = codes_of(&lanes);
+        let qcodes: Vec<u8> = (0..p).map(|j| ((j * 29 + 3) % 256) as u8).collect();
+        for thr_val in [i32::MAX, 1_000, 0] {
+            let thr = [thr_val; LANES];
+            let mut plain = [0i32; LANES];
+            let mut masked = [0i32; LANES];
+            let a = quant_lower_bound(&qcodes, &codes, &thr, &mut plain);
+            let b = quant_lower_bound_masked(&qcodes, &codes, &thr, 0xFF, &mut masked);
+            assert_eq!(a, b, "thr={thr_val}");
+            assert_eq!(plain, masked, "thr={thr_val}");
         }
     }
 

@@ -175,6 +175,38 @@ pub fn mindist_block(
     block_lower_bound(ctx.values(), ctx.weights(), block.group_bounds(group), bsf_sq, out)
 }
 
+/// [`mindist_block`] with a per-lane predicate bitmap — the filtered-query
+/// sweep. Bit `i` of `live` set means lane `i` participates; dead lanes
+/// (rows the caller's predicate rejected, or pad lanes) report `+inf` and
+/// cost nothing, letting a group whose surviving lanes are all pruned
+/// abandon earlier. Live lanes are bit-for-bit identical to the unmasked
+/// sweep across all kernel tiers (see
+/// [`sofa_simd::block_lower_bound_masked`]).
+///
+/// # Panics
+/// Panics if `ctx`'s word length differs from the block's or `group` is
+/// out of range.
+#[inline]
+#[must_use]
+pub fn mindist_block_masked(
+    ctx: &QueryContext<'_>,
+    block: &WordBlock,
+    group: usize,
+    bsf_sq: f32,
+    live: u8,
+    out: &mut [f32; BLOCK_LANES],
+) -> bool {
+    assert_eq!(ctx.word_len(), block.word_len(), "query context and block disagree on word length");
+    sofa_simd::block_lower_bound_masked(
+        ctx.values(),
+        ctx.weights(),
+        block.group_bounds(group),
+        bsf_sq,
+        live,
+        out,
+    )
+}
+
 /// Per-subtree SoA storage of *node* quantization intervals — the
 /// [`WordBlock`] treatment applied to the tree's collect phase.
 ///
@@ -650,6 +682,39 @@ mod tests {
                 assert_eq!(a1, a2, "group {g} abandon decision");
                 for i in 0..BLOCK_LANES {
                     assert_eq!(dispatched[i].to_bits(), scalar[i].to_bits(), "group {g} lane {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_block_matches_unmasked_on_live_lanes() {
+        let n = 64;
+        let data = dataset(30, n);
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 64, ..Default::default() });
+        let words = words_of(&sfa, &data, n);
+        let block = WordBlock::build(&sfa, &words);
+        let ctx = QueryContext::new(&sfa, &data[3 * n..4 * n]);
+        let mut full = [0.0f32; BLOCK_LANES];
+        let mut masked = [0.0f32; BLOCK_LANES];
+        for g in 0..block.n_groups() {
+            let a_full = mindist_block(&ctx, &block, g, f32::INFINITY, &mut full);
+            // Full mask is the unmasked sweep, bit for bit.
+            let a_masked = mindist_block_masked(&ctx, &block, g, f32::INFINITY, 0xFF, &mut masked);
+            assert_eq!(a_full, a_masked);
+            for i in 0..BLOCK_LANES {
+                assert_eq!(full[i].to_bits(), masked[i].to_bits(), "group {g} lane {i}");
+            }
+            // A partial mask keeps live lanes bitwise identical and pins
+            // dead lanes to +inf.
+            let live = 0b0110_1001u8;
+            let _ = mindist_block_masked(&ctx, &block, g, f32::INFINITY, live, &mut masked);
+            for i in 0..BLOCK_LANES {
+                if live & (1 << i) != 0 {
+                    assert_eq!(full[i].to_bits(), masked[i].to_bits(), "group {g} lane {i}");
+                } else {
+                    assert_eq!(masked[i], f32::INFINITY, "group {g} dead lane {i}");
                 }
             }
         }

@@ -417,6 +417,89 @@ pub fn mindist_node(ctx: &QueryContext<'_>, prefixes: &[u8], bits: &[u8]) -> f32
     sum
 }
 
+// ---------------------------------------------------------------------
+// Parseval inner-product bounds (cosine / MIPS over z-normalized series)
+// ---------------------------------------------------------------------
+//
+// Over z-normalized series every vector's squared norm is (numerically)
+// the series length `n`, so maximizing the inner product is minimizing
+// the **IP score**
+//
+// ```text
+// score(q, x) = 2n - dot(q, x)
+// ```
+//
+// which is non-negative (dot <= ||q||·||x|| ~ n <= 2n), ascending-is-better,
+// and therefore drops into the same k-best / atomic-bound machinery as a
+// squared Euclidean distance. The polarization identity
+//
+// ```text
+// dot(q, x) = (||q||² + ||x||² - ||q - x||²) / 2
+// ```
+//
+// turns any Euclidean *lower* bound into an inner-product *upper* bound —
+// and the SFA/iSAX mindist is exactly such a bound (Parseval keeps the
+// DFT-domain sum below the time-domain distance). Substituting
+// `||q||² = ||x||² = n` and `mindist² <= ||q - x||²`:
+//
+// ```text
+// score(q, x) >= n + mindist²/2 - margin
+// ```
+//
+// where `margin` absorbs how far the float z-normalized norms actually
+// sit from `n` (|‖v‖² − n| is a few n·ε after an f32 mean/std pass;
+// constant rows z-normalize to all-zeros, whose ‖x‖² = 0 only *raises*
+// the true score, so the bound stays valid). [`IP_MARGIN_SCALE`] is ~100×
+// the observed residual — slack that costs a negligible amount of pruning
+// and is what lets the engine answer IP queries *exactly* (the in-suite
+// oracle gate would catch any insufficiency).
+
+/// Safety margin for the IP bounds, as a fraction of the series length:
+/// `margin = n * IP_MARGIN_SCALE`. Covers the float residual between a
+/// z-normalized vector's true squared norm and `n`.
+pub const IP_MARGIN_SCALE: f64 = 1e-3;
+
+/// The IP score `2n - dot` — the minimized quantity of cosine/MIPS
+/// queries over z-normalized series. Non-negative, ascending-is-better.
+#[inline]
+#[must_use]
+pub fn ip_score(n: usize, dot: f32) -> f32 {
+    2.0 * n as f32 - dot
+}
+
+/// Recovers the inner product from an IP score (`dot = 2n - score`).
+#[inline]
+#[must_use]
+pub fn ip_from_score(n: usize, score: f32) -> f32 {
+    2.0 * n as f32 - score
+}
+
+/// Lower-bounds a candidate's IP score from its Euclidean mindist
+/// (squared): `n + mindist²/2 - n·IP_MARGIN_SCALE`. Any candidate whose
+/// bound exceeds the current k-th best score cannot enter the result set.
+#[inline]
+#[must_use]
+pub fn ip_bound_from_mindist(n: usize, mindist_sq: f32) -> f32 {
+    let nn = n as f64;
+    ((nn + f64::from(mindist_sq) * 0.5) - nn * IP_MARGIN_SCALE) as f32
+}
+
+/// Converts an IP-score bound `B` into the Euclidean-domain pruning
+/// radius the L2 kernels understand: a candidate with
+/// `mindist² >= ip_l2_radius(n, B)` has `score >= B` and is prunable.
+/// Inverse of [`ip_bound_from_mindist`]; may be negative (nothing can
+/// beat `B` — every non-negative mindist prunes) or `+inf` (`B` itself
+/// infinite — nothing prunes).
+#[inline]
+#[must_use]
+pub fn ip_l2_radius(n: usize, score_bound: f32) -> f32 {
+    if score_bound == f32::INFINITY {
+        return f32::INFINITY;
+    }
+    let nn = n as f64;
+    (2.0 * (f64::from(score_bound) - nn + nn * IP_MARGIN_SCALE)) as f32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -666,6 +749,79 @@ mod tests {
             let node = mindist_node(&ctx, &w, &[8; 8]);
             assert!((leaf - node).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn ip_bound_lower_bounds_true_score() {
+        // The Parseval IP bound must never exceed the true IP score, for
+        // both SFA and iSAX summaries, across leaf words and coarse node
+        // prefixes (any valid L2 mindist admits the conversion).
+        let n = 64;
+        let data = dataset(400, n, mixed_signal);
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 16, alphabet: 64, ..Default::default() });
+        let mut t = sfa.transformer();
+        let queries = dataset(20, n, |r, t| mixed_signal(r + 700, t + 5));
+        for q in queries.chunks(n) {
+            let ctx = QueryContext::new(&sfa, q);
+            for c in data.chunks(n).take(150) {
+                let w = t.word(c, 16);
+                let score = ip_score(n, sofa_simd::dot(q, c));
+                assert!(score >= 0.0, "IP score must stay non-negative: {score}");
+                let leaf_bound = ip_bound_from_mindist(n, mindist_scalar(&ctx, &w));
+                assert!(leaf_bound <= score, "leaf bound {leaf_bound} > score {score}");
+                // Coarser (node-prefix) mindists give looser, still-valid
+                // bounds.
+                let prefixes: Vec<u8> = w.iter().map(|&s| s >> 4).collect();
+                let node_bound =
+                    ip_bound_from_mindist(n, mindist_node(&ctx, &prefixes, &[2u8; 16]));
+                assert!(node_bound <= score, "node bound {node_bound} > score {score}");
+            }
+        }
+    }
+
+    #[test]
+    fn ip_bound_holds_for_constant_rows() {
+        // A constant row z-normalizes to all zeros: ||x||² = 0, dot = 0,
+        // score = 2n. The bound (built assuming ||x||² ~ n) must still sit
+        // below it.
+        let n = 64;
+        let mut data = dataset(200, n, mixed_signal);
+        for v in data.iter_mut().take(n) {
+            *v = 0.0; // row 0: an already-z-normalized constant row
+        }
+        let sfa =
+            Sfa::learn(&data, n, &SfaConfig { word_len: 8, alphabet: 32, ..Default::default() });
+        let mut t = sfa.transformer();
+        let q = &data[5 * n..6 * n];
+        let ctx = QueryContext::new(&sfa, q);
+        let zero_row = &data[..n];
+        let w = t.word(zero_row, 8);
+        let score = ip_score(n, sofa_simd::dot(q, zero_row));
+        let bound = ip_bound_from_mindist(n, mindist_scalar(&ctx, &w));
+        assert!(bound <= score, "constant row: bound {bound} > score {score}");
+    }
+
+    #[test]
+    fn ip_radius_inverts_ip_bound() {
+        // Consistency: a candidate prunes via the radius exactly when its
+        // converted bound meets the score bound (up to f64 rounding, which
+        // the margin dwarfs).
+        let n = 96;
+        for b in [f32::INFINITY, 250.0, 192.5, 96.0, 10.0] {
+            let r = ip_l2_radius(n, b);
+            if b == f32::INFINITY {
+                assert_eq!(r, f32::INFINITY);
+                continue;
+            }
+            if r > 0.0 {
+                // mindist just below the radius must not certify pruning…
+                assert!(ip_bound_from_mindist(n, r * 0.999) < b);
+            }
+            // …while one at/above it must.
+            assert!(ip_bound_from_mindist(n, r.max(0.0) * 1.001 + 1e-3) >= b * 0.999_999);
+        }
+        assert_eq!(ip_from_score(64, ip_score(64, 13.25)), 13.25);
     }
 
     #[test]

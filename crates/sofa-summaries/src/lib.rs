@@ -46,10 +46,14 @@ pub mod tlb;
 pub mod traits;
 
 pub use block::{
-    mindist_block, mindist_level_block, mindist_node_block, LevelBlocks, NodeBlock, WordBlock,
+    mindist_block, mindist_block_masked, mindist_level_block, mindist_node_block, LevelBlocks,
+    NodeBlock, WordBlock,
 };
 pub use dft::DftSummary;
-pub use lbd::{mindist_node, mindist_scalar, mindist_simd, QueryContext, QueryEnv, RootLbd};
+pub use lbd::{
+    ip_bound_from_mindist, ip_from_score, ip_l2_radius, ip_score, mindist_node, mindist_scalar,
+    mindist_simd, QueryContext, QueryEnv, RootLbd, IP_MARGIN_SCALE,
+};
 pub use mcb::{BinningStrategy, CoeffPos, CoefficientSelection, McbConfig, McbModel};
 pub use numeric::{Apca, ApcaSegment, OrthoPoly, Pla};
 pub use paa::Paa;

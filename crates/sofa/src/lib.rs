@@ -79,9 +79,12 @@ pub use sofa_summaries as summaries;
 
 pub use sofa_exec::{CancelToken, ExecPool};
 pub use sofa_index::{
-    describe, SectionInfo, SnapshotInfo, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
+    describe, SectionInfo, SnapshotCapabilities, SnapshotInfo, SNAPSHOT_FORMAT_VERSION,
+    SNAPSHOT_MAGIC,
 };
-pub use sofa_index::{IndexConfig, IndexError, IndexStats, Neighbor, QueryStats};
+pub use sofa_index::{
+    IndexConfig, IndexError, IndexStats, IpNeighbor, Neighbor, QueryKind, QueryStats, RowFilter,
+};
 pub use sofa_serve::{
     AdmissionPolicy, DegradedMode, ServeConfig, ServeError, ServeStats, Server, ShardedIndex,
     TickExec,
@@ -510,6 +513,117 @@ macro_rules! forward_index_api {
                 self.inner.knn_with_stats(query, k)
             }
 
+            /// Exact k-NN restricted to the rows a [`RowFilter`]
+            /// admits — exactly the result of running k-NN over the
+            /// admitted subset alone, evaluated *inside* the pruning
+            /// funnel (rejected rows are masked out of the SIMD
+            /// lower-bound sweep rather than filtered from a larger
+            /// answer afterwards).
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] on a length mismatch,
+            /// `k == 0`, or a filter whose length is not the row count.
+            pub fn knn_filtered(
+                &self,
+                query: &[f32],
+                k: usize,
+                filter: &RowFilter,
+            ) -> Result<Vec<Neighbor>, IndexError> {
+                self.inner.knn_filtered(query, k, filter)
+            }
+
+            /// [`Self::knn_filtered`] plus per-query work counters (see
+            /// [`QueryStats::predicate_lanes_masked`]).
+            ///
+            /// # Errors
+            /// As [`Self::knn_filtered`].
+            pub fn knn_filtered_with_stats(
+                &self,
+                query: &[f32],
+                k: usize,
+                filter: &RowFilter,
+            ) -> Result<(Vec<Neighbor>, QueryStats), IndexError> {
+                self.inner.knn_filtered_with_stats(query, k, filter)
+            }
+
+            /// Every row within squared distance `r_sq` of the query,
+            /// sorted by `(dist_sq, row)` — the epsilon-range query.
+            /// Rows exactly at the radius are included.
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] on a length mismatch or
+            /// a non-finite/negative radius.
+            pub fn range(&self, query: &[f32], r_sq: f32) -> Result<Vec<Neighbor>, IndexError> {
+                self.inner.range(query, r_sq)
+            }
+
+            /// [`Self::range`] plus per-query work counters (see
+            /// [`QueryStats::range_hits`]).
+            ///
+            /// # Errors
+            /// As [`Self::range`].
+            pub fn range_with_stats(
+                &self,
+                query: &[f32],
+                r_sq: f32,
+            ) -> Result<(Vec<Neighbor>, QueryStats), IndexError> {
+                self.inner.range_with_stats(query, r_sq)
+            }
+
+            /// [`Self::range`] into a caller-owned buffer (cleared
+            /// first) — the allocation-free serving form.
+            ///
+            /// # Errors
+            /// As [`Self::range`].
+            pub fn range_into(
+                &self,
+                query: &[f32],
+                r_sq: f32,
+                out: &mut Vec<Neighbor>,
+            ) -> Result<(), IndexError> {
+                self.inner.range_into(query, r_sq, out)
+            }
+
+            /// The row with the largest inner product `q·x` against the
+            /// z-normalized query — exact max-inner-product search run
+            /// through the same pruning funnel via the Parseval score
+            /// conversion.
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] on a length mismatch or
+            /// an empty index.
+            pub fn nn_ip(&self, query: &[f32]) -> Result<IpNeighbor, IndexError> {
+                self.inner.nn_ip(query)
+            }
+
+            /// Exact top-k rows by inner product, best (largest dot)
+            /// first (see [`Self::nn_ip`]).
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] on a length mismatch or `k == 0`.
+            pub fn knn_ip(&self, query: &[f32], k: usize) -> Result<Vec<IpNeighbor>, IndexError> {
+                self.inner.knn_ip(query, k)
+            }
+
+            /// Mixed-kind batch: each query `i` runs as `kinds[i]`
+            /// (k-NN, filtered k-NN, range, or inner product) into
+            /// `outs[i]`, spread across the worker pool — the engine
+            /// behind [`serve::Server`]'s coalesced mixed ticks.
+            /// Results use the funnel encoding of [`QueryKind`].
+            ///
+            /// # Errors
+            /// Returns [`IndexError::BadQuery`] on shape mismatches or
+            /// any invalid kind.
+            pub fn query_batch_into_cancel(
+                &self,
+                queries: &[f32],
+                kinds: &[QueryKind],
+                outs: &[serve::ResultSlot],
+                cancels: &[CancelToken],
+            ) -> Result<(), IndexError> {
+                self.inner.query_batch_into_cancel(queries, kinds, outs, cancels)
+            }
+
             /// Fast approximate 1-NN (tree descent only; not exact).
             ///
             /// # Errors
@@ -638,14 +752,18 @@ macro_rules! forward_index_api {
                 self.inner.series_len()
             }
 
+            fn n_rows(&self) -> Option<usize> {
+                TickExec::n_rows(&self.inner)
+            }
+
             fn run_tick(
                 &self,
                 queries: &[f32],
-                ks: &[usize],
+                kinds: &[QueryKind],
                 outs: &[serve::ResultSlot],
                 cancels: &[serve::CancelToken],
             ) {
-                TickExec::run_tick(&self.inner, queries, ks, outs, cancels);
+                TickExec::run_tick(&self.inner, queries, kinds, outs, cancels);
             }
 
             fn degraded_answers(&self) -> u64 {
